@@ -1,0 +1,84 @@
+"""Application benchmarks: the systems built *on top of* the paper's
+mechanism (dining philosophers) and the conclusion's allocator sketch.
+
+These measure the downstream-user experience: verifying a composed
+application whose substrate is the §4 priority mechanism.
+"""
+
+import pytest
+
+from repro.graph.generators import path_graph, ring_graph
+from repro.systems.allocator import build_allocator_system
+from repro.systems.philosophers import build_philosopher_system
+
+PH_INSTANCES = [
+    ("ring3", lambda: ring_graph(3)),
+    ("path4", lambda: path_graph(4)),
+    ("ring4", lambda: ring_graph(4)),
+]
+
+
+@pytest.mark.parametrize("name,build", PH_INSTANCES, ids=[i[0] for i in PH_INSTANCES])
+def test_philosophers_safety(benchmark, name, build, table_printer):
+    ph = build_philosopher_system(build())
+    result = benchmark(lambda: ph.mutual_exclusion().check(ph.system))
+    assert result.holds
+    table_printer(
+        f"application: philosophers on {name}",
+        ["states", "mutual exclusion"],
+        [[ph.system.space.size, "holds"]],
+    )
+
+
+@pytest.mark.parametrize("name,build", PH_INSTANCES[:2], ids=[i[0] for i in PH_INSTANCES[:2]])
+def test_philosophers_liveness(benchmark, name, build):
+    ph = build_philosopher_system(build())
+
+    def everyone_eats():
+        return all(
+            ph.liveness(i).holds_in(ph.system) for i in ph.graph.nodes()
+        )
+
+    assert benchmark(everyone_eats)
+
+
+@pytest.mark.parametrize("n,total", [(2, 2), (3, 2), (2, 4)],
+                         ids=["n2t2", "n3t2", "n2t4"])
+def test_allocator_verification(benchmark, n, total, table_printer):
+    al = build_allocator_system(n, total)
+
+    def verify():
+        return (
+            al.conservation().holds_in(al.system)
+            and al.clients_return_tokens().holds_in(al.system)
+            and al.token_available().holds_in(al.system)
+            and not al.pool_refills_fully().holds_in(al.system)
+        )
+
+    assert benchmark(verify)
+    table_printer(
+        f"application: allocator n={n}, T={total}",
+        ["states", "conservation", "availability", "full refill"],
+        [[al.system.space.size, "holds", "holds", "fails (fair ping-pong)"]],
+    )
+
+
+def test_allocator_guarantee_universe(benchmark):
+    """The guarantee checked against a five-environment universe."""
+    from repro.core.commands import GuardedCommand
+    from repro.core.program import Program
+    from repro.systems.allocator import build_client, build_greedy_client
+
+    al = build_allocator_system(2, 2)
+    drain = GuardedCommand("drain", True, [(al.avail, 0)])
+    burn = GuardedCommand(
+        "burn", al.avail.ref() > 0, [(al.avail, al.avail.ref() - 1)]
+    )
+    universe = [
+        build_client(7, al.total),
+        build_greedy_client(8, al.total),
+        Program("Drainer", [al.avail], True, [drain], fair=["drain"]),
+        Program("Burner", [al.avail], True, [burn], fair=["burn"]),
+    ]
+    result = benchmark(lambda: al.guarantee().check_against(al.system, universe))
+    assert result.holds

@@ -1,0 +1,51 @@
+"""E11 — DSL pipeline: tokenize → parse → elaborate → pretty → re-parse.
+
+Engineering benchmark for the surface language on generated sources of
+growing size (k commands over k variables).
+"""
+
+import pytest
+
+from repro.dsl import parse_program, pretty_program
+from repro.dsl.lexer import tokenize
+
+
+def make_source(k: int) -> str:
+    decls = ";\n  ".join(f"shared x{i} : int[0..3]" for i in range(k))
+    init = " /\\ ".join(f"x{i} = 0" for i in range(k))
+    cmds = ";\n  ".join(
+        f"fair c{i}: x{i} < 3 -> x{i} := x{i} + 1" for i in range(k)
+    )
+    return f"program Big\ndeclare\n  {decls}\ninitially\n  {init}\nassign\n  {cmds}\nend\n"
+
+
+@pytest.mark.parametrize("k", [4, 16, 64], ids=lambda k: f"k{k}")
+def test_E11_tokenize(benchmark, k):
+    src = make_source(k)
+    toks = benchmark(lambda: tokenize(src))
+    assert toks[-1].kind == "eof"
+
+
+@pytest.mark.parametrize("k", [4, 16, 64], ids=lambda k: f"k{k}")
+def test_E11_parse_and_elaborate(benchmark, k, table_printer):
+    src = make_source(k)
+    prog = benchmark(lambda: parse_program(src))
+    assert len(prog.commands) == k + 1  # + skip
+    table_printer(
+        f"E11: parse+elaborate, k={k}",
+        ["source bytes", "commands", "variables"],
+        [[len(src), len(prog.commands), len(prog.variables)]],
+    )
+
+
+@pytest.mark.parametrize("k", [4, 16], ids=lambda k: f"k{k}")
+def test_E11_roundtrip(benchmark, k):
+    prog = parse_program(make_source(k))
+
+    def roundtrip():
+        return parse_program(pretty_program(prog))
+
+    out = benchmark(roundtrip)
+    assert {c.body_key() for c in out.commands} == {
+        c.body_key() for c in prog.commands
+    }

@@ -1,0 +1,73 @@
+"""E5/E6 — the graph-theoretic core of §4: Definition 1, Lemma 1 and
+Property 5 (acyclicity preservation) at graph scale.
+
+These run on graphs far larger than the model-checkable systems (up to 128
+nodes): the claims are per-derivation graph facts, so scale is limited only
+by the closure computations (bitset fixpoints).
+"""
+
+import pytest
+
+from repro.graph.acyclicity import is_acyclic
+from repro.graph.derivation import apply_reversal, derivations_from, lemma1_bound_holds
+from repro.graph.generators import clique_graph, grid_graph, random_graph, ring_graph
+from repro.graph.orientation import Orientation
+from repro.graph.reachability import above_star_all, reach_star_all
+from repro.util.rng import make_rng
+
+SCALES = [
+    ("ring32", lambda: ring_graph(32)),
+    ("ring128", lambda: ring_graph(128)),
+    ("grid6x6", lambda: grid_graph(6, 6)),
+    ("clique16", lambda: clique_graph(16)),
+    ("random64", lambda: random_graph(64, 0.08, seed=21)),
+]
+
+
+def _run_reversal_sequence(graph, steps: int, seed: int = 0):
+    """Apply ``steps`` priority reversals, checking E5/E6 claims at each."""
+    rng = make_rng(seed)
+    o = Orientation.from_ranking(graph)
+    ok = True
+    for _ in range(steps):
+        moves = derivations_from(o)
+        if not moves:  # cannot happen on acyclic finite graphs (Lemma 2)
+            ok = False
+            break
+        i, o2 = moves[int(rng.integers(len(moves)))]
+        ok &= lemma1_bound_holds(o, o2, i)   # E5: Lemma 1
+        o = o2
+        ok &= is_acyclic(o)                  # E6: Property 5
+    return ok
+
+
+@pytest.mark.parametrize("name,build", SCALES, ids=[s[0] for s in SCALES])
+def test_E5_E6_reversal_sequence(benchmark, name, build, table_printer):
+    graph = build()
+    ok = benchmark(lambda: _run_reversal_sequence(graph, steps=20))
+    assert ok
+    table_printer(
+        f"E5/E6: 20 reversals on {name}",
+        ["nodes", "edges", "Lemma 1", "acyclicity preserved"],
+        [[graph.n, graph.m, "holds", "holds"]],
+    )
+
+
+@pytest.mark.parametrize("name,build", SCALES, ids=[s[0] for s in SCALES])
+def test_E5_closures(benchmark, name, build):
+    """R*/A* closure cost for all nodes at once (the §4 quantities)."""
+    graph = build()
+    o = Orientation.from_ranking(graph)
+
+    def closures():
+        return reach_star_all(o), above_star_all(o)
+
+    r_all, a_all = benchmark(closures)
+    assert len(r_all) == graph.n and len(a_all) == graph.n
+
+
+def test_E5_single_reversal_is_cheap(benchmark):
+    graph = clique_graph(64)
+    o = Orientation.from_ranking(graph)
+    out = benchmark(lambda: apply_reversal(o, 0))
+    assert not out.priority(0)

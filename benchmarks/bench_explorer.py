@@ -1,0 +1,73 @@
+"""E10 — semantic substrate scaling: successor tables, masks, reachability
+and simulation on state spaces up to ~10⁶ states.
+
+Not a paper claim — an engineering envelope: it documents how far the
+vectorized engine carries the paper's semantics on one machine.
+"""
+
+import pytest
+
+from repro.core.predicates import ExprPredicate
+from repro.semantics.explorer import distance_map, reachable_mask
+from repro.semantics.simulate import simulate
+from repro.semantics.transition import TransitionSystem
+from repro.systems.counter import build_counter_system
+
+#: (n, cap) → states = (cap+1)^n · (n·cap+1)
+SWEEP = [
+    (4, 3),    #   3.3k
+    (6, 3),    #  77k
+    (7, 3),    # 360k
+    (8, 3),    # 1.6M
+]
+
+
+def _ids():
+    return [f"n{n}cap{c}" for n, c in SWEEP]
+
+
+@pytest.mark.parametrize("n,cap", SWEEP, ids=_ids())
+def test_E10_table_construction(benchmark, n, cap, table_printer):
+    cs = build_counter_system(n, cap)
+
+    def build():
+        # Bypass the weak cache to measure real construction.
+        return TransitionSystem(cs.system)
+
+    ts = benchmark(build)
+    table_printer(
+        f"E10: successor tables   (n={n}, cap={cap})",
+        ["states", "commands", "edges"],
+        [[cs.system.space.size, len(cs.system.commands), ts.edge_count()]],
+    )
+
+
+@pytest.mark.parametrize("n,cap", SWEEP[:3], ids=_ids()[:3])
+def test_E10_reachability(benchmark, n, cap):
+    cs = build_counter_system(n, cap)
+    TransitionSystem.for_program(cs.system)  # warm the cache
+    mask = benchmark(lambda: reachable_mask(cs.system))
+    # Reachable = exactly the C = Σ c_i slice of the space.
+    inv = ExprPredicate(cs.C.ref() == cs.sum_expr())
+    assert (mask <= inv.mask(cs.system.space)).all()
+
+
+@pytest.mark.parametrize("n,cap", SWEEP[:3], ids=_ids()[:3])
+def test_E10_mask_evaluation(benchmark, n, cap):
+    cs = build_counter_system(n, cap)
+    cs.system.space.var_arrays()  # warm the decode cache
+    pred = ExprPredicate(cs.C.ref() == cs.sum_expr())
+    mask = benchmark(lambda: pred.mask(cs.system.space))
+    assert mask.any()
+
+
+def test_E10_distance_map(benchmark):
+    cs = build_counter_system(5, 3)
+    dist = benchmark(lambda: distance_map(cs.system))
+    assert int(dist.max()) == 5 * 3  # n·cap increments to saturation
+
+
+def test_E10_simulation_throughput(benchmark):
+    cs = build_counter_system(6, 3)
+    trace = benchmark(lambda: simulate(cs.system, 2000))
+    assert len(trace) == 2000

@@ -1,0 +1,73 @@
+"""E10 (kernel side) — automatic invariant machinery and the §3 variants.
+
+Times the gfp-based inductive strengthening (auxiliary-invariant
+discovery) against forward reachability, and the reused §3.3 proof on the
+weighted counter generalization.
+"""
+
+import pytest
+
+from repro.core.expressions import land, lnot
+from repro.core.predicates import ExprPredicate
+from repro.graph.generators import ring_graph
+from repro.semantics.invariants import (
+    auto_invariant,
+    inductive_strengthening,
+    strongest_invariant,
+)
+from repro.systems.counter import build_counter_system
+from repro.systems.counter_variants import (
+    build_weighted_counter_system,
+    build_weighted_invariant_proof,
+)
+from repro.systems.philosophers import build_philosopher_system
+
+
+def test_auto_invariant_philosophers(benchmark, table_printer):
+    ph = build_philosopher_system(ring_graph(3))
+    parts = [
+        lnot(land(ph.phase(i).ref() == "eat", ph.phase(j).ref() == "eat"))
+        for (i, j) in ph.graph.edges
+    ]
+    bare = ExprPredicate(land(*parts))
+
+    result = benchmark(lambda: auto_invariant(ph.system, bare))
+    assert result.holds
+    table_printer(
+        "auto-invariant: philosophers ring(3) mutual exclusion",
+        ["states", "certificate states"],
+        [[ph.system.space.size,
+          result.witness["strengthened"].count(ph.system.space)]],
+    )
+
+
+@pytest.mark.parametrize("n,cap", [(4, 2), (5, 2)], ids=["n4", "n5"])
+def test_strengthening_scaling(benchmark, n, cap):
+    cs = build_counter_system(n, cap)
+    target = ExprPredicate(cs.C.ref() == cs.sum_expr())
+    out = benchmark(lambda: inductive_strengthening(cs.system, target))
+    # The conservation predicate is already inductive: fixpoint immediately.
+    assert out.count(cs.system.space) == target.count(cs.system.space)
+
+
+@pytest.mark.parametrize("n,cap", [(4, 2), (5, 2)], ids=["n4", "n5"])
+def test_strongest_invariant_cost(benchmark, n, cap):
+    cs = build_counter_system(n, cap)
+    si = benchmark(lambda: strongest_invariant(cs.system))
+    assert si.count(cs.system.space) > 0
+
+
+@pytest.mark.parametrize("caps,weights", [
+    ((2, 2), (1, 3)),
+    ((1, 2, 1), (2, 1, 4)),
+], ids=["w2", "w3"])
+def test_weighted_counter_proof(benchmark, caps, weights, table_printer):
+    ws = build_weighted_counter_system(caps, weights)
+    proof = build_weighted_invariant_proof(ws)
+    result = benchmark(lambda: proof.check(ws.system))
+    assert result.ok
+    table_printer(
+        f"§3.4 reuse: weighted counter caps={caps} weights={weights}",
+        ["states", "rule applications", "verdict"],
+        [[ws.system.space.size, result.nodes_checked, "OK"]],
+    )

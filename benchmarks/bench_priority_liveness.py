@@ -1,0 +1,73 @@
+"""E4 — §4 liveness (paper's (10), conditioned on the standing acyclicity
+invariant): ``Acyclicity ↝ Priority.i`` across graph families, via the
+fair-SCC model checker.
+
+Also regenerates the negative control: the *unconditioned* (10) fails on
+any graph with an undirected cycle (the deadlocked cyclic orientations),
+and holds on trees — the precise boundary of the paper's assumption.
+"""
+
+import pytest
+
+from repro.graph.generators import (
+    clique_graph,
+    grid_graph,
+    path_graph,
+    random_graph,
+    ring_graph,
+    star_graph,
+)
+from repro.systems.priority import build_priority_system
+
+FAMILIES = [
+    ("ring5", lambda: ring_graph(5)),
+    ("ring7", lambda: ring_graph(7)),
+    ("path7", lambda: path_graph(7)),
+    ("star7", lambda: star_graph(7)),
+    ("clique5", lambda: clique_graph(5)),
+    ("grid2x3", lambda: grid_graph(2, 3)),
+    ("random7", lambda: random_graph(7, 0.3, seed=4)),
+]
+
+
+@pytest.mark.parametrize("name,build", FAMILIES, ids=[f[0] for f in FAMILIES])
+def test_E4_liveness_all_nodes(benchmark, name, build, table_printer):
+    psys = build_priority_system(build())
+
+    def check_all():
+        return all(
+            psys.liveness_property(i).holds_in(psys.system)
+            for i in psys.graph.nodes()
+        )
+
+    assert benchmark(check_all)
+
+    table_printer(
+        f"E4: liveness (10 | acyclic) on {name}",
+        ["nodes", "orientations", "verdict (paper: holds)"],
+        [[psys.graph.n, psys.space.size, "holds"]],
+    )
+
+
+@pytest.mark.parametrize(
+    "name,build,expected",
+    [
+        ("ring5 (has cycles)", lambda: ring_graph(5), False),
+        ("path5 (tree)", lambda: path_graph(5), True),
+        ("star5 (tree)", lambda: star_graph(5), True),
+    ],
+    ids=["ring5", "path5", "star5"],
+)
+def test_E4_unconditioned_boundary(benchmark, name, build, expected, table_printer):
+    psys = build_priority_system(build())
+    prop = psys.unconditioned_liveness_property(0)
+
+    result = benchmark(lambda: prop.check(psys.system))
+    assert result.holds == expected
+
+    table_printer(
+        f"E4 control: literal (10) on {name}",
+        ["verdict", "expected"],
+        [["holds" if result.holds else "fails",
+          "holds (no cyclic orientations)" if expected else "fails (cyclic deadlock)"]],
+    )

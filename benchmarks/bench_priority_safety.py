@@ -1,0 +1,53 @@
+"""E3 — §4 safety (paper's (9)): the priority invariant across graph
+families.
+
+The paper calls this proof "trivial"; the bench confirms the verdict and
+measures the cost of the inductive check over all ``2^m`` orientations.
+"""
+
+import pytest
+
+from repro.graph.generators import (
+    clique_graph,
+    grid_graph,
+    path_graph,
+    random_graph,
+    ring_graph,
+    star_graph,
+)
+from repro.systems.priority import build_priority_system
+
+FAMILIES = [
+    ("ring6", lambda: ring_graph(6)),
+    ("ring8", lambda: ring_graph(8)),
+    ("path8", lambda: path_graph(8)),
+    ("star8", lambda: star_graph(8)),
+    ("clique5", lambda: clique_graph(5)),
+    ("grid2x4", lambda: grid_graph(2, 4)),
+    ("random8", lambda: random_graph(8, 0.25, seed=11)),
+]
+
+
+@pytest.mark.parametrize("name,build", FAMILIES, ids=[f[0] for f in FAMILIES])
+def test_E3_safety_invariant(benchmark, name, build, table_printer):
+    psys = build_priority_system(build())
+    prop = psys.safety_property()
+
+    result = benchmark(lambda: prop.check(psys.system))
+    assert result.holds
+
+    table_printer(
+        f"E3: safety (9) on {name}",
+        ["nodes", "edges", "orientations", "acyclic", "verdict (paper: holds)"],
+        [[psys.graph.n, psys.graph.m, psys.space.size, psys.acyclic_count,
+          "holds" if result.holds else "FAILS"]],
+    )
+
+
+@pytest.mark.parametrize("name,build", FAMILIES[:4], ids=[f[0] for f in FAMILIES[:4]])
+def test_E3_system_construction(benchmark, name, build):
+    """Cost of building the system incl. the per-orientation reachability
+    tables (the dominant setup cost of the §4 experiments)."""
+    graph = build()
+    psys = benchmark(lambda: build_priority_system(graph))
+    assert psys.space.size == 2 ** graph.m

@@ -1,0 +1,51 @@
+"""E10 (graph side) — bitset closure scaling for R*/A* on large graphs.
+
+The §4 quantities at sizes far beyond the model-checkable systems; shows
+the Python-int bitset fixpoint carrying to thousands of nodes.
+"""
+
+import pytest
+
+from repro.graph.acyclicity import is_acyclic, topological_order
+from repro.graph.generators import clique_graph, grid_graph, random_graph, ring_graph
+from repro.graph.orientation import Orientation
+from repro.graph.reachability import above_star_all, duality_holds, reach_star_all
+
+SCALES = [
+    ("ring256", lambda: ring_graph(256)),
+    ("grid12x12", lambda: grid_graph(12, 12)),
+    ("clique48", lambda: clique_graph(48)),
+    ("random256", lambda: random_graph(256, 0.02, seed=33)),
+]
+
+
+@pytest.mark.parametrize("name,build", SCALES, ids=[s[0] for s in SCALES])
+def test_E10_closures_all_nodes(benchmark, name, build, table_printer):
+    graph = build()
+    o = Orientation.from_ranking(graph)
+
+    r_all = benchmark(lambda: reach_star_all(o))
+    assert len(r_all) == graph.n
+
+    table_printer(
+        f"E10: R* for all nodes on {name}",
+        ["nodes", "edges"],
+        [[graph.n, graph.m]],
+    )
+
+
+@pytest.mark.parametrize("name,build", SCALES[:2], ids=[s[0] for s in SCALES[:2]])
+def test_E10_duality_check(benchmark, name, build):
+    """(11) verified wholesale on one large orientation."""
+    o = Orientation.from_ranking(build())
+    assert benchmark(lambda: duality_holds(o))
+
+
+@pytest.mark.parametrize("name,build", SCALES, ids=[s[0] for s in SCALES])
+def test_E10_acyclicity_and_topo(benchmark, name, build):
+    o = Orientation.from_ranking(build())
+
+    def run():
+        return is_acyclic(o) and len(topological_order(o)) == o.graph.n
+
+    assert benchmark(run)

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one experiment from EXPERIMENTS.md: it
+*asserts* the paper-claim verdicts (so a regression in the library fails the
+bench run, not just the timing) and times the operation with
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Use ``-s`` to also see the per-experiment result tables that mirror
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+def emit_rows(title: str, headers, rows) -> None:
+    """Print one experiment's result rows (visible under ``-s``)."""
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))
+
+
+@pytest.fixture(scope="session")
+def table_printer():
+    return emit_rows

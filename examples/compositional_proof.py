@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Walk through the paper's two proofs as machine-checked objects.
+
+Part 1 — the §3.3 derivation of ``invariant C = Σ c_i``, printed rule by
+rule and re-checked by the kernel.
+
+Part 2 — the §4.6 liveness argument: the paper's induction on ``|A*(i)|``
+and the fully synthesized certificate, both checked against the system
+using only the paper's five proof rules.
+
+Run:  python examples/compositional_proof.py
+"""
+
+from repro.graph.generators import ring_graph
+from repro.systems.counter import build_counter_system
+from repro.systems.counter_proof import build_invariant_proof
+from repro.systems.priority import build_priority_system
+from repro.systems.priority_proof import (
+    cardinality_induction_proof,
+    synthesized_liveness_proof,
+)
+
+
+def part1() -> None:
+    print("=" * 72)
+    print("Part 1: the §3.3 proof of  invariant C = Σ c_i   (n=3, cap=2)")
+    print("=" * 72)
+    cs = build_counter_system(3, 2)
+    proof = build_invariant_proof(cs)
+
+    print("\nThe derivation, as the kernel sees it:\n")
+    print(proof.render())
+
+    result = proof.check(cs.system)
+    print(f"\nkernel verdict: {result.explain()}")
+    hist = proof.rule_histogram()
+    print("rule usage:", ", ".join(f"{k}×{v}" for k, v in sorted(hist.items())))
+
+
+def part2() -> None:
+    print("\n" + "=" * 72)
+    print("Part 2: the §4.6 liveness proof on ring(5), node 0")
+    print("=" * 72)
+    psys = build_priority_system(ring_graph(5))
+
+    print("\n(a) the paper's structure: induction on |A*(0)|")
+    proof = cardinality_induction_proof(psys, 0)
+    print(f"    levels: {[lv.describe() for lv in proof.levels]}")
+    result = proof.check(psys.system)
+    print(f"    kernel verdict: {result.explain()}")
+
+    print("\n(b) the fully synthesized certificate (SCC condensation)")
+    synth = synthesized_liveness_proof(psys, 0)
+    result2 = synth.check(psys.system)
+    print(f"    kernel verdict: {result2.explain()}")
+    hist = synth.rule_histogram()
+    print("    rule usage:", ", ".join(f"{k}×{v}" for k, v in sorted(hist.items())))
+    print("\n    every rule above is (a macro over) the paper's five:")
+    print("    Transient, Implication, Disjunction, Transitivity, PSP.")
+
+
+if __name__ == "__main__":
+    part1()
+    part2()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Dining philosophers built on the §4 priority substrate.
+
+The paper motivates the priority mechanism with perpetually conflicting
+components; this example instantiates the classic table of philosophers:
+forks are graph edges, eating requires priority over both neighbours, and
+yielding is the edge-reversal move.
+
+Verifies mutual exclusion + starvation freedom, then animates a meal.
+
+Run:  python examples/dining_philosophers.py [n]
+"""
+
+import sys
+
+from repro.graph.generators import ring_graph
+from repro.semantics.simulate import simulate
+from repro.systems.philosophers import build_philosopher_system
+
+
+def main(n: int = 3) -> None:
+    ph = build_philosopher_system(ring_graph(n))
+    print(f"{ph.system!r}  ({ph.system.space.size} states)\n")
+
+    # -- verification -----------------------------------------------------
+    print(ph.eat_implies_priority().check(ph.system).explain())
+    print(ph.mutual_exclusion().check(ph.system).explain())
+    for i in range(n):
+        res = ph.liveness(i).check(ph.system)
+        status = "eats eventually" if res.holds else "CAN STARVE"
+        print(f"  philosopher {i}: {status}")
+
+    # -- animation -----------------------------------------------------------
+    print("\n— a meal under round-robin scheduling —")
+    start = next(
+        s for s in ph.system.initial_states()
+        if ph.acyclicity_predicate().holds(s)
+    )
+    trace = simulate(ph.system, 12 * n * n, start=start)
+    meals = {i: 0 for i in range(n)}
+    last_line = ""
+    for state, cmd in zip(trace.states[1:], trace.commands):
+        phases = "".join(
+            "E" if state[ph.phase(i)] == "eat" else "." for i in range(n)
+        )
+        for i in range(n):
+            if cmd == f"sit[{i}]" and state[ph.phase(i)] == "eat":
+                meals[i] += 1
+        line = f"  [{phases}]"
+        if line != last_line and ("E" in phases or cmd.startswith("sit")):
+            print(f"{line}  after {cmd}")
+            last_line = line
+        if all(m >= 2 for m in meals.values()):
+            break
+    print(f"\nmeals served: {meals}")
+    assert all(m >= 1 for m in meals.values()), "someone starved!"
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

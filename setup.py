@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully configured in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` works on offline environments whose setuptools
+lacks PEP-660 editable-wheel support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info FILE``
+    Parse a DSL program and print its listing plus state-space statistics.
+``check FILE -p "PROPERTY" [-p …]``
+    Check one or more properties (UNITY property syntax) against the
+    program; exits non-zero if any fails.
+``prove FILE --from P --to Q``
+    Model-check ``P ↝ Q``, synthesize a kernel certificate, re-check it,
+    and print the proof tree.
+``simulate FILE [--steps N] [--seed S] [--until Q]``
+    Run a fair trace and print it (optionally until a predicate holds).
+``reproduce [--exp EID] [--markdown]``
+    Re-run the paper's experiment suite (EXPERIMENTS.md) and print the
+    verdict table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Compositional program verification with existential and "
+            "universal properties (Charpentier & Chandy, IPPS 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_file_args(p) -> None:
+        p.add_argument("file", type=Path)
+        p.add_argument(
+            "--program", default=None, metavar="NAME",
+            help="which program/system of a multi-program module to use "
+                 "(default: the single program, or the last `system`)",
+        )
+
+    p_info = sub.add_parser("info", help="print a parsed program's listing")
+    add_file_args(p_info)
+
+    p_check = sub.add_parser("check", help="check properties against a program")
+    add_file_args(p_check)
+    p_check.add_argument(
+        "-p", "--property", dest="properties", action="append", required=True,
+        metavar="PROP", help='e.g. "invariant x = 0", "true ~> x = 3"',
+    )
+
+    p_prove = sub.add_parser("prove", help="synthesize a leads-to certificate")
+    add_file_args(p_prove)
+    p_prove.add_argument("--from", dest="lhs", required=True, metavar="P")
+    p_prove.add_argument("--to", dest="rhs", required=True, metavar="Q")
+    p_prove.add_argument(
+        "--quiet", action="store_true", help="suppress the proof tree"
+    )
+
+    p_sim = sub.add_parser("simulate", help="run a fair trace")
+    add_file_args(p_sim)
+    p_sim.add_argument("--steps", type=int, default=20)
+    p_sim.add_argument("--seed", type=int, default=None,
+                       help="random fair scheduler (default: round-robin)")
+    p_sim.add_argument("--until", metavar="Q", default=None,
+                       help="stop when this predicate holds")
+
+    p_rep = sub.add_parser("reproduce", help="re-run the experiment suite")
+    p_rep.add_argument("--exp", default=None, metavar="EID",
+                       help="one experiment id (default: all)")
+    p_rep.add_argument("--markdown", action="store_true",
+                       help="emit a Markdown table for EXPERIMENTS.md")
+    return parser
+
+
+def _load_program(path: Path, name: str | None = None):
+    """Load a program from a (possibly multi-program) module file.
+
+    Selection: an explicit ``name``, else the only program, else the last
+    declared ``system`` (the natural "main" of a module).
+    """
+    from repro.dsl import parse_module, parse_module_text
+
+    try:
+        source = path.read_text()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    module = parse_module(source)
+    if name is not None:
+        if name not in module:
+            raise SystemExit(
+                f"error: no program named {name!r}; module defines "
+                f"{sorted(module)}"
+            )
+        return module[name]
+    if len(module) == 1:
+        return next(iter(module.values()))
+    tree = parse_module_text(source)
+    if tree.systems:
+        return module[tree.systems[-1].name]
+    raise SystemExit(
+        f"error: module defines several programs {sorted(module)}; "
+        "pick one with --program NAME"
+    )
+
+
+def _parse_pred(text: str, program):
+    """Parse a bare predicate via the property grammar (as `invariant …`)."""
+    from repro.dsl import parse_property
+
+    prop = parse_property(f"invariant {text}", program)
+    return prop.p  # type: ignore[attr-defined]
+
+
+def _cmd_info(args) -> int:
+    program = _load_program(args.file, args.program)
+    print(program.describe())
+    print()
+    print(f"state space : {program.space.size} states")
+    print(f"commands    : {len(program.commands)} (fair: {len(program.fair_names)})")
+    print(f"initial     : {int(program.initial_mask().sum())} states")
+    from repro.semantics.explorer import reachable_mask
+
+    print(f"reachable   : {int(reachable_mask(program).sum())} states")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from repro.dsl import parse_property
+
+    program = _load_program(args.file, args.program)
+    failures = 0
+    for text in args.properties:
+        prop = parse_property(text, program)
+        result = prop.check(program)
+        print(result.explain())
+        if not result.holds:
+            failures += 1
+            state = result.witness.get("state")
+            if state is not None:
+                print(f"    counterexample: {state!r}")
+    return 1 if failures else 0
+
+
+def _cmd_prove(args) -> int:
+    from repro.semantics.synthesis import synthesize_leadsto_proof
+    from repro.errors import ProofError
+
+    program = _load_program(args.file, args.program)
+    p = _parse_pred(args.lhs, program)
+    q = _parse_pred(args.rhs, program)
+    try:
+        proof = synthesize_leadsto_proof(program, p, q)
+    except ProofError as exc:
+        print(f"NOT PROVABLE: {exc}")
+        return 1
+    result = proof.check(program)
+    if not args.quiet:
+        print(proof.render())
+        print()
+    print(result.explain())
+    return 0 if result.ok else 1
+
+
+def _cmd_simulate(args) -> int:
+    from repro.semantics.scheduler import RandomFairScheduler
+    from repro.semantics.simulate import run_until, simulate
+
+    program = _load_program(args.file, args.program)
+    scheduler = (
+        RandomFairScheduler(program, seed=args.seed)
+        if args.seed is not None
+        else None
+    )
+    if args.until is not None:
+        goal = _parse_pred(args.until, program)
+        trace, reached = run_until(
+            program, goal, scheduler=scheduler, max_steps=args.steps
+        )
+        tail = "reached" if reached else f"NOT reached in {args.steps} steps"
+        print(f"goal {args.until!r}: {tail}")
+    else:
+        trace = simulate(program, args.steps, scheduler=scheduler)
+    for k, state in enumerate(trace.states):
+        cmd = f"  ←{trace.commands[k - 1]}" if k else "  (initial)"
+        print(f"  {k:4d}: {state!r}{cmd}")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.report import render_markdown, render_text, run_all, run_experiment
+
+    rows = run_experiment(args.exp) if args.exp else run_all()
+    print(render_markdown(rows) if args.markdown else render_text(rows))
+    bad = [r for r in rows if not r.ok]
+    if bad:
+        print(f"\n{len(bad)} claim(s) did NOT reproduce", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} claims reproduce")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "check": _cmd_check,
+    "prove": _cmd_prove,
+    "simulate": _cmd_simulate,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

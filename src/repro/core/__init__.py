@@ -1,0 +1,91 @@
+"""Core theory objects: the §2 programming model and property language.
+
+This package implements, as executable Python objects, every concept the
+paper's §2 introduces:
+
+- finite typed **domains** and **variables** with locality declarations
+  (:mod:`repro.core.domains`, :mod:`repro.core.variables`),
+- an **expression / predicate** language with symbolic substitution (for
+  ``wp``) and vectorized evaluation (:mod:`repro.core.expressions`,
+  :mod:`repro.core.predicates`),
+- **states** and mixed-radix encoded **state spaces**
+  (:mod:`repro.core.state`),
+- UNITY-style **commands** — total, deterministic guarded multi-assignments,
+  plus ``skip`` (:mod:`repro.core.commands`),
+- **programs** ``(vars, initially, C, D)`` with ``skip ∈ C`` and weakly-fair
+  ``D ⊆ C`` (:mod:`repro.core.program`),
+- **composition** ``F ∘ G`` with the paper's side conditions
+  (:mod:`repro.core.composition`),
+- the **property language** ``init / transient / next / stable / invariant /
+  leads-to / guarantees`` (:mod:`repro.core.properties`) and the
+  existential/universal classification (:mod:`repro.core.classify`),
+- a checkable **proof kernel** for the paper's leads-to rules and for the
+  universal-property construction steps (:mod:`repro.core.rules`,
+  :mod:`repro.core.proofs`).
+"""
+
+from repro.core.commands import AltCommand, Assignment, GuardedCommand, Skip, skip
+from repro.core.composition import can_compose, compatibility_report, compose, compose_all
+from repro.core.domains import BoolDomain, EnumDomain, FiniteDomain, IntRange
+from repro.core.expressions import (
+    BoolConst,
+    Const,
+    Expr,
+    IntConst,
+    VarRef,
+    const,
+    esum,
+    iff,
+    implies,
+    ite,
+    land,
+    lnot,
+    lor,
+    maximum,
+    minimum,
+    var_ref,
+)
+from repro.core.predicates import (
+    FALSE,
+    TRUE,
+    ExprPredicate,
+    FnPredicate,
+    MaskPredicate,
+    Predicate,
+    forall_range,
+    exists_range,
+)
+from repro.core.program import Program
+from repro.core.properties import (
+    Guarantees,
+    Init,
+    Invariant,
+    LeadsTo,
+    Next,
+    Property,
+    PropertyFamily,
+    Stable,
+    Transient,
+    forall_values,
+)
+from repro.core.state import State, StateSpace
+from repro.core.variables import Locality, Var
+
+__all__ = [
+    # domains / variables
+    "FiniteDomain", "BoolDomain", "IntRange", "EnumDomain", "Var", "Locality",
+    # expressions
+    "Expr", "Const", "IntConst", "BoolConst", "VarRef", "const", "var_ref",
+    "esum", "land", "lor", "lnot", "implies", "iff", "ite", "minimum", "maximum",
+    # predicates
+    "Predicate", "ExprPredicate", "FnPredicate", "MaskPredicate",
+    "TRUE", "FALSE", "forall_range", "exists_range",
+    # states
+    "State", "StateSpace",
+    # commands / programs / composition
+    "Assignment", "GuardedCommand", "AltCommand", "Skip", "skip", "Program",
+    "can_compose", "compatibility_report", "compose", "compose_all",
+    # properties
+    "Property", "Init", "Transient", "Next", "Stable", "Invariant",
+    "LeadsTo", "Guarantees", "PropertyFamily", "forall_values",
+]

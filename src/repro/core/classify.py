@@ -1,0 +1,142 @@
+"""The existential/universal classification and its composition theorems.
+
+The paper (§2, after [6]):
+
+    ``X is existential ≡ ⟨∀ F,G : F ∥ G : (X.F ∨ X.G) ⇒ X.(F∘G)⟩``
+    ``X is universal   ≡ ⟨∀ F,G : F ∥ G : (X.F ∧ X.G) ⇒ X.(F∘G)⟩``
+
+These are ∀-statements over all program pairs, so they cannot be *verified*
+by enumeration — but they can be **tested** on concrete pairs, and a single
+failing pair *refutes* a classification.  This module provides the test
+harness used by the suite's randomized theorem checks:
+:func:`check_existential_on` and :func:`check_universal_on` verify one
+instance of the defining implication, and :func:`classification_table`
+records the paper's classification of every property type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.composition import compatibility_report, compose
+from repro.core.program import Program
+from repro.core.properties import (
+    Guarantees,
+    Init,
+    Invariant,
+    LeadsTo,
+    Next,
+    Property,
+    Stable,
+    Transient,
+)
+from repro.errors import PropertyError
+
+__all__ = [
+    "ClassificationOutcome",
+    "check_existential_on",
+    "check_universal_on",
+    "classification_table",
+    "paper_classification",
+]
+
+
+@dataclass
+class ClassificationOutcome:
+    """Result of testing one instance of a classification implication.
+
+    ``vacuous`` is True when the premise of the implication did not hold
+    (nothing was tested); ``consistent`` is True unless the instance
+    *refutes* the classification.
+    """
+
+    property_text: str
+    left: str
+    right: str
+    premise_held: bool
+    conclusion_held: bool
+
+    @property
+    def vacuous(self) -> bool:
+        return not self.premise_held
+
+    @property
+    def consistent(self) -> bool:
+        return (not self.premise_held) or self.conclusion_held
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+def _check_on(
+    prop: Property,
+    f: Program,
+    g: Program,
+    *,
+    mode: str,
+) -> ClassificationOutcome:
+    report = compatibility_report(f, g)
+    if not report.ok:
+        raise PropertyError(
+            f"classification check needs composable programs: {report.explain()}"
+        )
+    # The property must be stateable in each component: its predicate
+    # variables must be declared by both programs.
+    holds_f = prop.holds_in(f)
+    holds_g = prop.holds_in(g)
+    premise = (holds_f or holds_g) if mode == "existential" else (holds_f and holds_g)
+    if not premise:
+        return ClassificationOutcome(
+            prop.describe(), f.name, g.name, premise_held=False, conclusion_held=False
+        )
+    system = compose(f, g)
+    return ClassificationOutcome(
+        prop.describe(),
+        f.name,
+        g.name,
+        premise_held=True,
+        conclusion_held=prop.holds_in(system),
+    )
+
+
+def check_existential_on(prop: Property, f: Program, g: Program) -> ClassificationOutcome:
+    """Test ``(X.F ∨ X.G) ⇒ X.(F∘G)`` on one compatible pair."""
+    return _check_on(prop, f, g, mode="existential")
+
+
+def check_universal_on(prop: Property, f: Program, g: Program) -> ClassificationOutcome:
+    """Test ``(X.F ∧ X.G) ⇒ X.(F∘G)`` on one compatible pair."""
+    return _check_on(prop, f, g, mode="universal")
+
+
+#: The paper's classification of each property type (§2): ``init``,
+#: ``transient`` and ``guarantees`` are existential; ``next``, ``stable``
+#: and ``invariant`` are universal; ``leads-to`` is neither in general.
+_PAPER_TABLE: dict[type, str] = {
+    Init: "existential",
+    Transient: "existential",
+    Guarantees: "existential",
+    Next: "universal",
+    Stable: "universal",
+    Invariant: "universal",
+    LeadsTo: "neither",
+}
+
+
+def paper_classification(prop_type: type) -> str:
+    """The paper's classification of a property type."""
+    try:
+        return _PAPER_TABLE[prop_type]
+    except KeyError:
+        raise PropertyError(
+            f"{prop_type.__name__} has no classification in the paper"
+        ) from None
+
+
+def classification_table() -> list[tuple[str, str, bool, bool]]:
+    """Rows ``(type, paper classification, is_existential, is_universal)``
+    for reporting; the flags come from the implemented property classes."""
+    rows = []
+    for cls, paper in _PAPER_TABLE.items():
+        rows.append((cls.__name__, paper, bool(cls.is_existential), bool(cls.is_universal)))
+    return rows

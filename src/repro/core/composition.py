@@ -1,0 +1,251 @@
+"""Program composition ``F ∘ G`` with the paper's side conditions.
+
+From §2: *"The program composition is defined to be the union of the sets
+of variables and the sets C and D of the components and the conjunction of
+the initially predicates.  Such a composition is not always possible.
+Especially, composition must respect variable locality (a variable declared
+local in a component should not be written by another component) and must
+provide at least one initial state (the conjunction of initial predicates
+must be logically consistent)."*
+
+Our locality check is the strict, syntactically decidable reading: a
+variable declared ``local`` by one component may not be **named** by any
+other component at all (the paper's specifications follow the same
+discipline — component specifications name only their own locals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.program import Program
+from repro.core.variables import Var
+from repro.errors import CompositionError
+
+__all__ = [
+    "CompatibilityReport",
+    "compatibility_report",
+    "can_compose",
+    "compose",
+    "compose_all",
+    "inert_program",
+    "lifted",
+]
+
+
+@dataclass
+class CompatibilityReport:
+    """Outcome of the ``F ∥ G`` composability check."""
+
+    left: str
+    right: str
+    ok: bool
+    reasons: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def explain(self) -> str:
+        """One-line summary suitable for error messages."""
+        if self.ok:
+            return f"{self.left} || {self.right}: composable"
+        joined = "; ".join(self.reasons)
+        return f"{self.left} || {self.right}: NOT composable ({joined})"
+
+
+def _merge_variables(f: Program, g: Program) -> tuple[list[Var], list[str]]:
+    """Merged declaration list (F's order, then G's new names) + problems."""
+    problems: list[str] = []
+    by_name: dict[str, Var] = {}
+    merged: list[Var] = []
+    for v in f.variables:
+        by_name[v.name] = v
+        merged.append(v)
+    for v in g.variables:
+        prev = by_name.get(v.name)
+        if prev is None:
+            by_name[v.name] = v
+            merged.append(v)
+            continue
+        if prev.is_local() or v.is_local():
+            problems.append(
+                f"variable {v.name} is declared local by "
+                f"{f.name if prev.is_local() else g.name} but is also "
+                f"declared by the other component (locality violation)"
+            )
+        elif prev.domain != v.domain:
+            problems.append(
+                f"shared variable {v.name} has mismatched domains: "
+                f"{prev.domain!r} in {f.name} vs {v.domain!r} in {g.name}"
+            )
+        # identical shared re-declaration merges silently
+    return merged, problems
+
+
+def compatibility_report(
+    f: Program, g: Program, *, check_init: bool = True
+) -> CompatibilityReport:
+    """Check the paper's composability side conditions for ``F ∥ G``.
+
+    ``check_init=True`` additionally verifies that the conjunction of the
+    ``initially`` predicates is satisfiable over the merged state space
+    (semantic check; skip for very large spaces and check later).
+    """
+    reasons: list[str] = []
+    if f.name == g.name:
+        reasons.append(f"components share the name {f.name!r}")
+    merged, var_problems = _merge_variables(f, g)
+    reasons.extend(var_problems)
+
+    if not reasons and check_init:
+        composed = _compose_unchecked(f, g, name="__compat_probe__")
+        if not composed.has_initial_state():
+            reasons.append(
+                "conjunction of initially predicates is unsatisfiable "
+                "(no initial state)"
+            )
+    return CompatibilityReport(f.name, g.name, ok=not reasons, reasons=reasons)
+
+
+def can_compose(f: Program, g: Program, *, check_init: bool = True) -> bool:
+    """Boolean form of :func:`compatibility_report` (the paper's ``F ∥ G``)."""
+    return compatibility_report(f, g, check_init=check_init).ok
+
+
+def _compose_unchecked(f: Program, g: Program, name: str) -> Program:
+    merged_vars, _ = _merge_variables(f, g)
+    # Command union: resolve *name* collisions between distinct bodies by
+    # prefixing with the component name; structural duplicates merge inside
+    # the Program constructor.
+    f_keys = {c.body_key(): c for c in f.commands}
+    commands = list(f.commands)
+    fair: set[str] = set(f.fair_names)
+    for cmd in g.commands:
+        key = cmd.body_key()
+        if key in f_keys:
+            # Same body: the union has one element; fairness is inherited if
+            # either side lists it as fair.
+            if cmd.name in g.fair_names:
+                fair.add(f_keys[key].name)
+            # Merge provenance through a replacement entry.
+            idx = commands.index(f_keys[key])
+            commands[idx] = commands[idx].with_origins(
+                commands[idx].origins | cmd.origins | frozenset({g.name})
+            )
+            continue
+        new_name = cmd.name
+        if any(c.name == new_name for c in commands):
+            new_name = f"{g.name}.{cmd.name}"
+            if any(c.name == new_name for c in commands):
+                raise CompositionError(
+                    f"cannot disambiguate command name {cmd.name!r} from "
+                    f"{g.name}"
+                )
+            cmd = cmd.renamed(new_name)
+        commands.append(cmd)
+        if key in {c.body_key() for c in g.fair_commands}:
+            fair.add(cmd.name)
+    return Program(
+        name,
+        merged_vars,
+        f.init & g.init,
+        commands,
+        fair=sorted(fair),
+    )
+
+
+def compose(
+    f: Program, g: Program, *, name: str | None = None, check_init: bool = True
+) -> Program:
+    """The composed system ``F ∘ G``.
+
+    Raises :class:`CompositionError` when ``F ∥ G`` fails (the paper's
+    composability condition).
+    """
+    report = compatibility_report(f, g, check_init=check_init)
+    if not report.ok:
+        raise CompositionError(report.explain())
+    return _compose_unchecked(f, g, name or f"({f.name}||{g.name})")
+
+
+def compose_all(
+    programs: list[Program] | tuple[Program, ...],
+    *,
+    name: str | None = None,
+    check_init: bool = True,
+) -> Program:
+    """Left fold of :func:`compose` over two or more components.
+
+    Composition is associative and commutative up to command/variable
+    ordering, so the fold order does not affect semantics (the test suite
+    checks this).
+    """
+    if not programs:
+        raise CompositionError("compose_all of an empty component list")
+    if len(programs) == 1:
+        return programs[0]
+    out = programs[0]
+    for nxt in programs[1:-1]:
+        out = compose(out, nxt, check_init=False)
+    out = compose(out, programs[-1], check_init=check_init)
+    if name is not None:
+        out = Program(
+            name, out.variables, out.init, out.commands, fair=sorted(out.fair_names)
+        )
+    return out
+
+
+def inert_program(name: str, variables: list[Var] | tuple[Var, ...]) -> Program:
+    """A program that declares ``variables`` but never changes anything.
+
+    Its command set is ``{skip}`` and its ``initially`` is ``true``, so
+    composing with it adds declarations without adding behaviour — the
+    canonical "empty environment".
+    """
+    from repro.core.predicates import TRUE
+
+    return Program(name, variables, TRUE, [], fair=())
+
+
+def lifted(program: Program, ambient: "Program | Sequence[Var]") -> Program:
+    """``program`` viewed as a component of a larger system.
+
+    Returns the composition of ``program`` with an inert program declaring
+    the ambient variables — i.e. the same commands and ``initially`` over
+    the system's variable tuple, in the system's declaration order.  The
+    paper's §3.3 conjunction step reasons about exactly this view: component
+    ``i``'s ``stable`` properties are stated over variables (``c_j``) that
+    only exist in the ambient system.
+
+    ``ambient`` is either the system :class:`Program` or an explicit
+    variable sequence; it must declare every variable of ``program``.
+    """
+    from collections.abc import Sequence as _Seq
+
+    if isinstance(ambient, Program):
+        ambient_vars = ambient.variables
+    elif isinstance(ambient, _Seq):
+        ambient_vars = tuple(ambient)
+    else:  # pragma: no cover - defensive
+        raise CompositionError(f"cannot lift over {ambient!r}")
+    own = {v.name: v for v in program.variables}
+    ordered = []
+    for v in ambient_vars:
+        if v.name in own and own[v.name] != v:
+            raise CompositionError(
+                f"lift of {program.name}: ambient redeclares {v.name} "
+                "differently"
+            )
+        ordered.append(v)
+    missing = set(own) - {v.name for v in ordered}
+    if missing:
+        raise CompositionError(
+            f"lift of {program.name}: ambient lacks variables {sorted(missing)}"
+        )
+    return Program(
+        f"{program.name}^",
+        ordered,
+        program.init,
+        [c for c in program.commands],
+        fair=sorted(program.fair_names),
+    )

@@ -1,0 +1,156 @@
+"""The ``guarantees`` calculus: composition rules for conditional properties.
+
+The paper's §2 defines ``X guarantees Y`` and notes it is **existential**;
+the underlying theory (Chandy & Sanders, *Reasoning about program
+composition*) equips it with a small calculus.  This module implements the
+rules as *constructors* of new :class:`~repro.core.properties.Guarantees`
+objects:
+
+- **transitivity** — ``X g Y,  Y g Z  ⊢  X g Z`` (:func:`g_transitivity`);
+- **conjunction** — ``X₁ g Y₁,  X₂ g Y₂  ⊢  (X₁∧X₂) g (Y₁∧Y₂)``
+  (:func:`g_conjunction`);
+- **lhs strengthening / rhs weakening** — if ``X' ⊨ X`` and ``Y ⊨ Y'``
+  then ``X g Y ⊢ X' g Y'`` (:func:`g_weaken`); the entailments are
+  *meta-level* (they must hold of every system), so the caller supplies
+  them as :class:`PropertyEntailment` objects that are spot-checked
+  against concrete systems;
+- **elimination** — in a given system, ``X g Y`` plus ``X`` yields ``Y``
+  (:func:`g_eliminate`; this one is fully semantic).
+
+Soundness of each rule is immediate from the definition
+``(X g Y).F ≡ ⟨∀G : F ∥ G : X.(F∘G) ⇒ Y.(F∘G)⟩``; the test suite verifies
+every rule *instance-wise*: whenever the premises pass
+``check_against`` over an environment universe, so does the conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.properties import Guarantees, Property, PropertyFamily
+from repro.errors import PropertyError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.program import Program
+
+__all__ = [
+    "PropertyEntailment",
+    "g_transitivity",
+    "g_conjunction",
+    "g_weaken",
+    "g_eliminate",
+    "conj_property",
+]
+
+
+def conj_property(*props: Property) -> Property:
+    """Conjunction of program properties (a two-member family)."""
+    if not props:
+        raise PropertyError("conjunction of no properties")
+    if len(props) == 1:
+        return props[0]
+    text = " /\\ ".join(f"({p.describe()})" for p in props)
+    return PropertyFamily(text, props)
+
+
+@dataclass
+class PropertyEntailment:
+    """A meta-level claim ``stronger ⊨ weaker``: every system satisfying
+    ``stronger`` satisfies ``weaker``.
+
+    Not finitely decidable in general; :meth:`spot_check` falsifies it
+    against concrete systems (used by the weakening rule's tests).
+    """
+
+    stronger: Property
+    weaker: Property
+
+    def spot_check(self, systems: list["Program"]) -> bool:
+        """True iff no provided system refutes the entailment."""
+        for system in systems:
+            if self.stronger.holds_in(system) and not self.weaker.holds_in(system):
+                return False
+        return True
+
+    def describe(self) -> str:
+        return f"({self.stronger.describe()}) |= ({self.weaker.describe()})"
+
+
+def g_transitivity(first: Guarantees, second: Guarantees) -> Guarantees:
+    """``X g Y, Y g Z ⊢ X g Z``.
+
+    Side condition: the middle properties must be the same object or
+    render identically (program properties have no general semantic
+    equality; the calculus keeps this syntactic, as the theory does).
+    """
+    if first.rhs is not second.lhs and (
+        first.rhs.describe() != second.lhs.describe()
+    ):
+        raise PropertyError(
+            "transitivity: middle properties differ: "
+            f"{first.rhs.describe()} vs {second.lhs.describe()}"
+        )
+    return Guarantees(first.lhs, second.rhs)
+
+
+def g_conjunction(first: Guarantees, second: Guarantees) -> Guarantees:
+    """``X₁ g Y₁, X₂ g Y₂ ⊢ (X₁ ∧ X₂) g (Y₁ ∧ Y₂)``."""
+    return Guarantees(
+        conj_property(first.lhs, second.lhs),
+        conj_property(first.rhs, second.rhs),
+    )
+
+
+def g_weaken(
+    g: Guarantees,
+    *,
+    new_lhs: Property | None = None,
+    new_rhs: Property | None = None,
+    lhs_entailment: PropertyEntailment | None = None,
+    rhs_entailment: PropertyEntailment | None = None,
+) -> Guarantees:
+    """``X g Y ⊢ X' g Y'`` given ``X' ⊨ X`` and ``Y ⊨ Y'``.
+
+    Callers must supply the entailment objects matching the replaced
+    sides; the rule validates their orientation (it cannot validate their
+    truth — spot-check them against your systems).
+    """
+    lhs = g.lhs
+    rhs = g.rhs
+    if new_lhs is not None:
+        if lhs_entailment is None:
+            raise PropertyError("weaken: lhs replacement needs its entailment")
+        if lhs_entailment.stronger is not new_lhs or lhs_entailment.weaker is not g.lhs:
+            raise PropertyError(
+                "weaken: lhs entailment must be  new_lhs |= old_lhs"
+            )
+        lhs = new_lhs
+    if new_rhs is not None:
+        if rhs_entailment is None:
+            raise PropertyError("weaken: rhs replacement needs its entailment")
+        if rhs_entailment.stronger is not g.rhs or rhs_entailment.weaker is not new_rhs:
+            raise PropertyError(
+                "weaken: rhs entailment must be  old_rhs |= new_rhs"
+            )
+        rhs = new_rhs
+    return Guarantees(lhs, rhs)
+
+
+def g_eliminate(g: Guarantees, system: "Program") -> bool:
+    """Elimination in a concrete system: if the system has ``X``, conclude
+    (and semantically verify) ``Y``.
+
+    Returns ``True`` when the premise holds and the conclusion verifies;
+    raises :class:`PropertyError` when the premise holds but the
+    conclusion fails — which refutes ``X g Y`` for this very system (the
+    inert environment instance of the definition).
+    """
+    if not g.lhs.holds_in(system):
+        return False  # premise absent: nothing to conclude
+    if g.rhs.holds_in(system):
+        return True
+    raise PropertyError(
+        f"elimination refutes {g.describe()} on {system.name}: "
+        "X holds but Y fails"
+    )

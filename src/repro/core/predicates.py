@@ -1,0 +1,359 @@
+"""Predicates: boolean-valued properties of single states.
+
+The paper treats a *property* as a predicate on systems and builds the
+property language (``init``, ``next``, …) from predicates on **states**.
+This module provides those state predicates, in three flavours:
+
+- :class:`ExprPredicate` — backed by a boolean
+  :class:`~repro.core.expressions.Expr`; supports symbolic substitution
+  (hence symbolic ``wp``) and vectorized mask evaluation.  The common case.
+- :class:`FnPredicate` — backed by an arbitrary ``State → bool`` callable;
+  the escape hatch for predicates that are awkward to express as
+  expressions (e.g. graph reachability ``A*(i) = ∅`` in §4).  Masks are
+  computed by a per-state loop, so prefer :class:`MaskPredicate` when the
+  same predicate is consulted repeatedly.
+- :class:`MaskPredicate` — backed by a precomputed boolean mask over one
+  specific state space (used by the priority system, which precomputes
+  reachability sets for all orientations once).
+
+All flavours compose with ``& | ~`` and :meth:`Predicate.implies`, and can
+be compared semantically over a space (:meth:`Predicate.equivalent`,
+:meth:`Predicate.entails`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any
+
+import numpy as np
+
+from repro.core.expressions import (
+    BoolConst,
+    Expr,
+    land,
+    lnot,
+    lor,
+)
+from repro.core.state import State, StateSpace
+from repro.core.variables import Var
+from repro.errors import PropertyError
+
+__all__ = [
+    "Predicate",
+    "ExprPredicate",
+    "FnPredicate",
+    "MaskPredicate",
+    "TRUE",
+    "FALSE",
+    "forall_range",
+    "exists_range",
+]
+
+
+class Predicate:
+    """Abstract base class of state predicates."""
+
+    # -- core interface ---------------------------------------------------
+
+    def holds(self, state: State) -> bool:
+        """Truth value at a single state."""
+        raise NotImplementedError
+
+    def mask(self, space: StateSpace) -> np.ndarray:
+        """Boolean satisfaction mask over all encoded states of ``space``."""
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[Var]:
+        """Variables the predicate (syntactically) depends on; callables
+        conservatively report the empty set and must be checked against a
+        space explicitly."""
+        return frozenset()
+
+    def as_expr(self) -> Expr:
+        """The backing boolean expression, if one exists.
+
+        Raises :class:`PropertyError` for callable/mask-backed predicates —
+        callers needing symbolic ``wp`` must use expression predicates.
+        """
+        raise PropertyError(f"predicate {self} has no symbolic expression form")
+
+    def describe(self) -> str:
+        """Human-readable rendering (used by proofs and reports)."""
+        raise NotImplementedError
+
+    # -- combinators ----------------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return _combine("and", self, _as_pred(other))
+
+    def __rand__(self, other: "Predicate") -> "Predicate":
+        return _combine("and", _as_pred(other), self)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return _combine("or", self, _as_pred(other))
+
+    def __ror__(self, other: "Predicate") -> "Predicate":
+        return _combine("or", _as_pred(other), self)
+
+    def __invert__(self) -> "Predicate":
+        return _negate(self)
+
+    def implies(self, other: "Predicate") -> "Predicate":
+        """Pointwise implication ``self ⇒ other``."""
+        return _negate(self) | _as_pred(other)
+
+    # -- semantic relations over a space ------------------------------------
+
+    def entails(self, other: "Predicate", space: StateSpace) -> bool:
+        """True iff ``self ⇒ other`` is valid over ``space``."""
+        return bool(np.all(~self.mask(space) | _as_pred(other).mask(space)))
+
+    def equivalent(self, other: "Predicate", space: StateSpace) -> bool:
+        """True iff the two predicates have equal masks over ``space``."""
+        return bool(np.array_equal(self.mask(space), _as_pred(other).mask(space)))
+
+    def is_satisfiable(self, space: StateSpace) -> bool:
+        """True iff some state of ``space`` satisfies the predicate."""
+        return bool(self.mask(space).any())
+
+    def witness(self, space: StateSpace) -> State | None:
+        """Some satisfying state of ``space``, or ``None``."""
+        mask = self.mask(space)
+        hits = np.flatnonzero(mask)
+        if hits.size == 0:
+            return None
+        return space.state_at(int(hits[0]))
+
+    def count(self, space: StateSpace) -> int:
+        """Number of satisfying states."""
+        return int(self.mask(space).sum())
+
+    # -- dunder -------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"<Predicate {self.describe()}>"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def _as_pred(p: Any) -> Predicate:
+    if isinstance(p, Predicate):
+        return p
+    if isinstance(p, Expr):
+        return ExprPredicate(p)
+    if isinstance(p, (bool, np.bool_)):
+        return TRUE if p else FALSE
+    raise PropertyError(f"cannot treat {p!r} as a predicate")
+
+
+class ExprPredicate(Predicate):
+    """Predicate backed by a boolean expression."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr) -> None:
+        if expr.typ != "bool":
+            raise PropertyError(
+                f"predicate expression must be boolean, got {expr} : {expr.typ}"
+            )
+        self.expr = expr
+
+    def holds(self, state: State) -> bool:
+        return bool(self.expr.eval(state))
+
+    def mask(self, space: StateSpace) -> np.ndarray:
+        out = self.expr.eval_vec(space.var_arrays())
+        arr = np.asarray(out, dtype=bool)
+        if arr.ndim == 0:
+            return np.full(space.size, bool(arr), dtype=bool)
+        return arr
+
+    def variables(self) -> frozenset[Var]:
+        return self.expr.variables()
+
+    def as_expr(self) -> Expr:
+        return self.expr
+
+    def describe(self) -> str:
+        return str(self.expr)
+
+
+class FnPredicate(Predicate):
+    """Predicate backed by an arbitrary ``State → bool`` callable.
+
+    The mask loop decodes every state; use for small spaces or one-off
+    checks, and prefer :class:`MaskPredicate` (precomputed) otherwise.
+    """
+
+    __slots__ = ("fn", "_description")
+
+    def __init__(self, fn: Callable[[State], bool], description: str) -> None:
+        self.fn = fn
+        self._description = description
+
+    def holds(self, state: State) -> bool:
+        return bool(self.fn(state))
+
+    def mask(self, space: StateSpace) -> np.ndarray:
+        out = np.empty(space.size, dtype=bool)
+        for i in range(space.size):
+            out[i] = bool(self.fn(space.state_at(i)))
+        return out
+
+    def describe(self) -> str:
+        return self._description
+
+
+class MaskPredicate(Predicate):
+    """Predicate backed by a precomputed mask over one fixed space."""
+
+    __slots__ = ("space", "_mask", "_description")
+
+    def __init__(
+        self, space: StateSpace, mask: np.ndarray, description: str
+    ) -> None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (space.size,):
+            raise PropertyError(
+                f"mask shape {mask.shape} does not match space size {space.size}"
+            )
+        self.space = space
+        self._mask = mask
+        self._description = description
+
+    def holds(self, state: State) -> bool:
+        return bool(self._mask[self.space.index_of(state)])
+
+    def mask(self, space: StateSpace) -> np.ndarray:
+        if space != self.space:
+            raise PropertyError(
+                "MaskPredicate consulted against a different state space"
+            )
+        return self._mask
+
+    def describe(self) -> str:
+        return self._description
+
+
+class _Composite(Predicate):
+    """Conjunction/disjunction of mixed-flavour predicates."""
+
+    __slots__ = ("op", "parts")
+
+    def __init__(self, op: str, parts: tuple[Predicate, ...]) -> None:
+        self.op = op
+        self.parts = parts
+
+    def holds(self, state: State) -> bool:
+        if self.op == "and":
+            return all(p.holds(state) for p in self.parts)
+        return any(p.holds(state) for p in self.parts)
+
+    def mask(self, space: StateSpace) -> np.ndarray:
+        out = self.parts[0].mask(space).copy()
+        for p in self.parts[1:]:
+            if self.op == "and":
+                out &= p.mask(space)
+            else:
+                out |= p.mask(space)
+        return out
+
+    def variables(self) -> frozenset[Var]:
+        out: frozenset[Var] = frozenset()
+        for p in self.parts:
+            out |= p.variables()
+        return out
+
+    def as_expr(self) -> Expr:
+        exprs = [p.as_expr() for p in self.parts]
+        return land(*exprs) if self.op == "and" else lor(*exprs)
+
+    def describe(self) -> str:
+        sym = " /\\ " if self.op == "and" else " \\/ "
+        return sym.join(f"({p.describe()})" for p in self.parts)
+
+
+class _Negation(Predicate):
+    """Pointwise negation of any predicate flavour."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Predicate) -> None:
+        self.inner = inner
+
+    def holds(self, state: State) -> bool:
+        return not self.inner.holds(state)
+
+    def mask(self, space: StateSpace) -> np.ndarray:
+        return ~self.inner.mask(space)
+
+    def variables(self) -> frozenset[Var]:
+        return self.inner.variables()
+
+    def as_expr(self) -> Expr:
+        return lnot(self.inner.as_expr())
+
+    def describe(self) -> str:
+        return f"~({self.inner.describe()})"
+
+
+def _combine(op: str, a: Predicate, b: Predicate) -> Predicate:
+    # Flatten nested composites of the same operator; merge expression
+    # predicates into a single expression so symbolic wp stays available.
+    if isinstance(a, ExprPredicate) and isinstance(b, ExprPredicate):
+        if op == "and":
+            return ExprPredicate(land(a.expr, b.expr))
+        return ExprPredicate(lor(a.expr, b.expr))
+    parts: list[Predicate] = []
+    for p in (a, b):
+        if isinstance(p, _Composite) and p.op == op:
+            parts.extend(p.parts)
+        else:
+            parts.append(p)
+    return _Composite(op, tuple(parts))
+
+
+def _negate(p: Predicate) -> Predicate:
+    if isinstance(p, ExprPredicate):
+        return ExprPredicate(lnot(p.expr))
+    if isinstance(p, _Negation):
+        return p.inner
+    return _Negation(p)
+
+
+#: The always-true predicate.
+TRUE = ExprPredicate(BoolConst(True))
+#: The always-false predicate.
+FALSE = ExprPredicate(BoolConst(False))
+
+
+def forall_range(
+    values: Iterable[Any], fn: Callable[[Any], Predicate]
+) -> Predicate:
+    """Finite universal quantification: ``⋀_{v ∈ values} fn(v)``.
+
+    The paper's specifications quantify over counter values ``k``; on finite
+    domains that is a finite conjunction.
+    """
+    parts = [_as_pred(fn(v)) for v in values]
+    if not parts:
+        return TRUE
+    out = parts[0]
+    for p in parts[1:]:
+        out = out & p
+    return out
+
+
+def exists_range(
+    values: Iterable[Any], fn: Callable[[Any], Predicate]
+) -> Predicate:
+    """Finite existential quantification: ``⋁_{v ∈ values} fn(v)``."""
+    parts = [_as_pred(fn(v)) for v in values]
+    if not parts:
+        return FALSE
+    out = parts[0]
+    for p in parts[1:]:
+        out = out | p
+    return out

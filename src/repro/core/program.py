@@ -1,0 +1,226 @@
+"""Programs: the paper's §2 model.
+
+A program is ``(variables, initially, C, D)`` where
+
+- *variables* are typed and carry locality declarations,
+- *initially* is a predicate on states,
+- ``C`` is a finite set of commands, always containing ``skip``,
+- ``D ⊆ C`` is the subset executed under **weak fairness** (every command
+  of ``D`` is executed infinitely often).
+
+Commands form a *set*: structurally identical commands are merged (their
+provenance sets are unioned), matching the union semantics of composition.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from functools import cached_property
+from typing import Any
+
+import numpy as np
+
+from repro.core.commands import Command, Skip
+from repro.core.expressions import Expr
+from repro.core.predicates import ExprPredicate, Predicate
+from repro.core.state import State, StateSpace
+from repro.core.variables import Var
+from repro.errors import ProgramError
+
+__all__ = ["Program"]
+
+
+class Program:
+    """An executable, checkable instance of the paper's program model.
+
+    Parameters
+    ----------
+    name:
+        Program identifier (used for provenance and composition).
+    variables:
+        Ordered variable declarations; order fixes the state encoding.
+    init:
+        The ``initially`` predicate (a :class:`Predicate` or boolean
+        :class:`Expr`).
+    commands:
+        The command set ``C``.  A ``skip`` command is added automatically if
+        absent (§2: *"The set C contains at least the command skip"*).
+    fair:
+        Names (or :class:`Command` objects) forming the weakly-fair subset
+        ``D ⊆ C``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        variables: Sequence[Var],
+        init: Predicate | Expr | bool,
+        commands: Sequence[Command],
+        fair: Iterable[str | Command] = (),
+    ) -> None:
+        if not name:
+            raise ProgramError("programs must be named")
+        self.name = name
+
+        vars_t = tuple(variables)
+        names = [v.name for v in vars_t]
+        if len(set(names)) != len(names):
+            dup = sorted({n for n in names if names.count(n) > 1})
+            raise ProgramError(f"program {name}: duplicate variable names {dup}")
+        self.variables = vars_t
+        declared = set(vars_t)
+
+        # -- init predicate -------------------------------------------------
+        if isinstance(init, (bool, np.bool_)):
+            from repro.core.expressions import BoolConst
+
+            init = ExprPredicate(BoolConst(bool(init)))
+        elif isinstance(init, Expr):
+            init = ExprPredicate(init)
+        if not isinstance(init, Predicate):
+            raise ProgramError(f"program {name}: init must be a predicate")
+        undeclared = init.variables() - declared
+        if undeclared:
+            raise ProgramError(
+                f"program {name}: init names undeclared variables "
+                f"{sorted(v.name for v in undeclared)}"
+            )
+        self.init = init
+
+        # -- command set (union semantics) ----------------------------------
+        merged: dict[tuple, Command] = {}
+        for cmd in commands:
+            if not isinstance(cmd, Command):
+                raise ProgramError(f"program {name}: {cmd!r} is not a Command")
+            bad = (cmd.reads() | cmd.writes()) - declared
+            if bad:
+                raise ProgramError(
+                    f"program {name}: command {cmd.name} references "
+                    f"undeclared variables {sorted(v.name for v in bad)}"
+                )
+            key = cmd.body_key()
+            origins = cmd.origins or frozenset({name})
+            if key in merged:
+                prev = merged[key]
+                merged[key] = prev.with_origins(prev.origins | origins)
+            else:
+                merged[key] = cmd.with_origins(origins)
+        if ("skip",) not in merged:
+            merged[("skip",)] = Skip(origins=frozenset({name}))
+        cmds = tuple(merged.values())
+        cmd_names = [c.name for c in cmds]
+        if len(set(cmd_names)) != len(cmd_names):
+            dup = sorted({n for n in cmd_names if cmd_names.count(n) > 1})
+            raise ProgramError(
+                f"program {name}: duplicate command names {dup} "
+                "(distinct bodies must have distinct names)"
+            )
+        self.commands = cmds
+        self._by_name = {c.name: c for c in cmds}
+
+        # -- fair subset D ---------------------------------------------------
+        fair_names: set[str] = set()
+        for f in fair:
+            fname = f.name if isinstance(f, Command) else str(f)
+            if fname not in self._by_name:
+                raise ProgramError(
+                    f"program {name}: fair command {fname!r} is not in C"
+                )
+            fair_names.add(fname)
+        self.fair_names = frozenset(fair_names)
+
+    # -- derived views -------------------------------------------------------
+
+    @cached_property
+    def space(self) -> StateSpace:
+        """The program's state space (cached; shares decode arrays)."""
+        return StateSpace(self.variables)
+
+    @property
+    def fair_commands(self) -> tuple[Command, ...]:
+        """The weakly-fair subset ``D`` in declaration order."""
+        return tuple(c for c in self.commands if c.name in self.fair_names)
+
+    @property
+    def local_vars(self) -> tuple[Var, ...]:
+        """Variables declared ``local``."""
+        return tuple(v for v in self.variables if v.is_local())
+
+    @property
+    def shared_vars(self) -> tuple[Var, ...]:
+        """Variables declared ``shared``."""
+        return tuple(v for v in self.variables if not v.is_local())
+
+    def command_named(self, name: str) -> Command:
+        """Look up a command by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ProgramError(
+                f"program {self.name}: no command named {name!r}"
+            ) from None
+
+    def var_named(self, name: str) -> Var:
+        """Look up a declared variable by name."""
+        for v in self.variables:
+            if v.name == name:
+                return v
+        raise ProgramError(f"program {self.name}: no variable named {name!r}")
+
+    # -- initial states ---------------------------------------------------------
+
+    def is_initial(self, state: State) -> bool:
+        """True iff ``state`` satisfies the ``initially`` predicate."""
+        return self.init.holds(state)
+
+    def initial_mask(self) -> np.ndarray:
+        """Boolean mask of initial states over the encoded space."""
+        return self.init.mask(self.space)
+
+    def initial_states(self) -> list[State]:
+        """All initial states, decoded (small spaces only)."""
+        return [self.space.state_at(int(i)) for i in np.flatnonzero(self.initial_mask())]
+
+    def has_initial_state(self) -> bool:
+        """True iff the ``initially`` predicate is satisfiable."""
+        return bool(self.initial_mask().any())
+
+    # -- convenience -----------------------------------------------------------
+
+    def writes_of(self, var: Var) -> tuple[Command, ...]:
+        """Commands that may write ``var``."""
+        return tuple(c for c in self.commands if var in c.writes())
+
+    def state(self, **by_name: Any) -> State:
+        """Build a state from keyword arguments keyed by variable name.
+
+        >>> prog.state(c=0, C=0)  # doctest: +SKIP
+        """
+        values = {}
+        for key, value in by_name.items():
+            values[self.var_named(key)] = value
+        missing = set(self.variables) - set(values)
+        if missing:
+            raise ProgramError(
+                f"state missing values for {sorted(v.name for v in missing)}"
+            )
+        return State(values)
+
+    def describe(self) -> str:
+        """Multi-line UNITY-style listing of the program."""
+        lines = [f"program {self.name}"]
+        lines.append("  declare")
+        for v in self.variables:
+            lines.append(f"    {v!r}")
+        lines.append(f"  initially {self.init.describe()}")
+        lines.append("  assign")
+        for c in self.commands:
+            marker = "fair " if c.name in self.fair_names else ""
+            lines.append(f"    {marker}{c.name}: {c.describe()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Program {self.name}: |vars|={len(self.variables)}, "
+            f"|C|={len(self.commands)}, |D|={len(self.fair_names)}>"
+        )

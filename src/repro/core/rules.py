@@ -1,0 +1,374 @@
+"""The leads-to proof system: the paper's five rules, mechanized.
+
+From §2, ``↝`` is defined inductively by:
+
+- **Transient**:     ``transient q  ⊢  true ↝ ¬q``
+- **Implication**:   ``[p ⇒ q]  ⊢  p ↝ q``
+- **Disjunction**:   ``⟨∀p ∈ S : p ↝ q⟩  ⊢  ⟨∃p ∈ S : p⟩ ↝ q``
+- **Transitivity**:  ``p ↝ q,  q ↝ r  ⊢  p ↝ r``
+- **PSP**:           ``p ↝ q,  s next t  ⊢  p ∧ s ↝ (q ∧ s) ∨ (¬s ∧ t)``
+
+plus two *derived* constructions used by the paper's priority proof:
+
+- :class:`Ensures` — ``(p∧¬q next p∨q), transient (p∧¬q) ⊢ p ↝ q``.
+  This is a **macro**: :meth:`Ensures.expand` produces its derivation from
+  the five primitive rules (Transient + PSP + Implication + Transitivity +
+  Disjunction), and checking an ``Ensures`` node checks that expansion —
+  so certificates built from ``Ensures`` still live inside the paper's
+  proof system.
+- :class:`MetricInduction` — well-founded induction over a finite variant
+  ("induction on the cardinality of A*(i)", the paper's final liveness
+  step): given disjoint-by-construction level predicates ``L₁ … L_M`` with
+  ``L_m ↝ (q ∨ L₁ ∨ … ∨ L_{m-1})`` for every ``m``, and ``p ⇒ q ∨ ⋁L``,
+  conclude ``p ↝ q``.  (Derivable from Disjunction + Transitivity by meta-
+  induction on ``M``; provided as a rule so certificates stay linear-size.)
+
+Side conditions ("the intermediate predicates agree") are discharged by
+**semantic mask equality** over the program's state space, mirroring the
+paper's free use of predicate calculus between steps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.predicates import Predicate, TRUE
+from repro.core.proofs import (
+    ProofCheckResult,
+    ProofFailure,
+    ProofNode,
+    masks_equal,
+)
+from repro.errors import ProofError
+
+__all__ = [
+    "LeadsToProof",
+    "TransientBasis",
+    "Implication",
+    "Disjunction",
+    "Transitivity",
+    "PSP",
+    "Ensures",
+    "MetricInduction",
+]
+
+
+class LeadsToProof(ProofNode):
+    """Base of leads-to proof nodes; each concludes ``lhs() ↝ rhs()``."""
+
+    def lhs(self) -> Predicate:
+        """Left-hand side of the concluded leads-to."""
+        raise NotImplementedError
+
+    def rhs(self) -> Predicate:
+        """Right-hand side of the concluded leads-to."""
+        raise NotImplementedError
+
+    def conclusion_text(self) -> str:
+        return f"{self.lhs().describe()} ~> {self.rhs().describe()}"
+
+    def verify_semantically(self, program) -> bool:
+        """Cross-check the conclusion with the model checker (not part of
+        kernel checking; used by tests for end-to-end agreement)."""
+        from repro.semantics.leadsto import check_leadsto
+
+        return check_leadsto(program, self.lhs(), self.rhs()).holds
+
+
+class TransientBasis(LeadsToProof):
+    """``transient q ⊢ true ↝ ¬q`` — the only rule that consumes fairness."""
+
+    rule_name = "transient"
+
+    def __init__(self, q: Predicate) -> None:
+        self.q = q
+
+    def lhs(self) -> Predicate:
+        return TRUE
+
+    def rhs(self) -> Predicate:
+        return ~self.q
+
+    def _local_check(self, program, result: ProofCheckResult, path: str) -> None:
+        from repro.semantics.checker import check_transient
+
+        result.obligations_checked += 1
+        res = check_transient(program, self.q)
+        if not res.holds:
+            result.failures.append(ProofFailure(path, res.explain()))
+
+
+class Implication(LeadsToProof):
+    """``[p ⇒ q] ⊢ p ↝ q`` — validity discharged over the whole space."""
+
+    rule_name = "implication"
+
+    def __init__(self, p: Predicate, q: Predicate) -> None:
+        self.p = p
+        self.q = q
+
+    def lhs(self) -> Predicate:
+        return self.p
+
+    def rhs(self) -> Predicate:
+        return self.q
+
+    def _local_check(self, program, result: ProofCheckResult, path: str) -> None:
+        from repro.semantics.checker import check_validity
+
+        result.obligations_checked += 1
+        res = check_validity(program, self.p, self.q)
+        if not res.holds:
+            result.failures.append(ProofFailure(path, res.explain()))
+
+
+class Disjunction(LeadsToProof):
+    """``⟨∀i : pᵢ ↝ q⟩ ⊢ (⋁ᵢ pᵢ) ↝ q``.
+
+    ``conclude_lhs`` optionally names the conclusion's left-hand side; the
+    kernel verifies it is equivalent to the disjunction of the premises'
+    left-hand sides (the paper routinely replaces ``(p∧¬q) ∨ (p∧q)`` by
+    ``p`` this way).
+    """
+
+    rule_name = "disjunction"
+
+    def __init__(
+        self,
+        subs: Sequence[LeadsToProof],
+        *,
+        conclude_lhs: Predicate | None = None,
+    ) -> None:
+        if not subs:
+            raise ProofError("disjunction needs at least one premise")
+        self.subs = tuple(subs)
+        self._conclude_lhs = conclude_lhs
+
+    def premises(self) -> tuple[ProofNode, ...]:
+        return self.subs
+
+    def lhs(self) -> Predicate:
+        if self._conclude_lhs is not None:
+            return self._conclude_lhs
+        out = self.subs[0].lhs()
+        for sub in self.subs[1:]:
+            out = out | sub.lhs()
+        return out
+
+    def rhs(self) -> Predicate:
+        return self.subs[0].rhs()
+
+    def _local_check(self, program, result: ProofCheckResult, path: str) -> None:
+        q = self.subs[0].rhs()
+        for i, sub in enumerate(self.subs[1:], start=1):
+            result.obligations_checked += 1
+            if not masks_equal(sub.rhs(), q, program):
+                result.failures.append(ProofFailure(
+                    path,
+                    f"premise {i} concludes a different right-hand side: "
+                    f"{sub.rhs().describe()} vs {q.describe()}",
+                ))
+        if self._conclude_lhs is not None:
+            fold = self.subs[0].lhs()
+            for sub in self.subs[1:]:
+                fold = fold | sub.lhs()
+            result.obligations_checked += 1
+            if not masks_equal(self._conclude_lhs, fold, program):
+                result.failures.append(ProofFailure(
+                    path,
+                    "declared left-hand side is not equivalent to the "
+                    "disjunction of the premises' left-hand sides",
+                ))
+
+
+class Transitivity(LeadsToProof):
+    """``p ↝ q, q ↝ r ⊢ p ↝ r``; the two ``q``s must be equivalent."""
+
+    rule_name = "transitivity"
+
+    def __init__(self, left: LeadsToProof, right: LeadsToProof) -> None:
+        self.left = left
+        self.right = right
+
+    def premises(self) -> tuple[ProofNode, ...]:
+        return (self.left, self.right)
+
+    def lhs(self) -> Predicate:
+        return self.left.lhs()
+
+    def rhs(self) -> Predicate:
+        return self.right.rhs()
+
+    def _local_check(self, program, result: ProofCheckResult, path: str) -> None:
+        result.obligations_checked += 1
+        if not masks_equal(self.left.rhs(), self.right.lhs(), program):
+            result.failures.append(ProofFailure(
+                path,
+                "intermediate predicates disagree: "
+                f"{self.left.rhs().describe()} vs {self.right.lhs().describe()}",
+            ))
+
+
+class PSP(LeadsToProof):
+    """``p ↝ q, s next t ⊢ (p ∧ s) ↝ (q ∧ s) ∨ (¬s ∧ t)``.
+
+    The ``s next t`` obligation is a semantic leaf of this node.
+    """
+
+    rule_name = "psp"
+
+    def __init__(self, sub: LeadsToProof, s: Predicate, t: Predicate) -> None:
+        self.sub = sub
+        self.s = s
+        self.t = t
+
+    def premises(self) -> tuple[ProofNode, ...]:
+        return (self.sub,)
+
+    def lhs(self) -> Predicate:
+        return self.sub.lhs() & self.s
+
+    def rhs(self) -> Predicate:
+        return (self.sub.rhs() & self.s) | (~self.s & self.t)
+
+    def _local_check(self, program, result: ProofCheckResult, path: str) -> None:
+        from repro.semantics.checker import check_next
+
+        result.obligations_checked += 1
+        res = check_next(program, self.s, self.t)
+        if not res.holds:
+            result.failures.append(ProofFailure(path, res.explain()))
+
+
+class Ensures(LeadsToProof):
+    """Derived rule: ``p ensures q ⊢ p ↝ q``.
+
+    ``p ensures q`` is the conjunction of ``p ∧ ¬q next p ∨ q`` (progress is
+    never undone) and ``transient (p ∧ ¬q)`` (some fair command forces the
+    exit).  Its derivation from the paper's primitives is::
+
+        transient (p∧¬q)                        ⊢ true ↝ ¬(p∧¬q)       (Transient)
+        …, (p∧¬q) next (p∨q)                    ⊢ (p∧¬q) ↝ X           (PSP)
+              where X = (¬(p∧¬q) ∧ (p∧¬q)) ∨ (¬(p∧¬q) ∧ (p∨q)) ≡ q
+        [X ⇒ q]                                 ⊢ X ↝ q                (Implication)
+        …                                       ⊢ (p∧¬q) ↝ q           (Transitivity)
+        [p∧q ⇒ q]                               ⊢ (p∧q) ↝ q            (Implication)
+        …                                       ⊢ (p∧¬q)∨(p∧q) ↝ q     (Disjunction)
+              with declared lhs p  (≡ (p∧¬q)∨(p∧q))
+
+    Checking an ``Ensures`` node checks exactly this expansion, so the
+    kernel's trusted base stays the paper's five rules.
+    """
+
+    rule_name = "ensures"
+
+    def __init__(self, p: Predicate, q: Predicate) -> None:
+        self.p = p
+        self.q = q
+        self._expansion: LeadsToProof | None = None
+
+    def lhs(self) -> Predicate:
+        return self.p
+
+    def rhs(self) -> Predicate:
+        return self.q
+
+    def expand(self) -> LeadsToProof:
+        """The derivation from primitive rules (cached)."""
+        if self._expansion is None:
+            p, q = self.p, self.q
+            pnq = p & ~q
+            basis = TransientBasis(pnq)                 # true ↝ ¬(p∧¬q)
+            psp = PSP(basis, s=pnq, t=p | q)            # (p∧¬q) ↝ X
+            to_q = Implication(psp.rhs(), q)            # X ↝ q   (X ≡ q)
+            left = Transitivity(psp, to_q)              # (p∧¬q) ↝ q
+            right = Implication(p & q, q)               # (p∧q) ↝ q
+            self._expansion = Disjunction([left, right], conclude_lhs=p)
+        return self._expansion
+
+    def premises(self) -> tuple[ProofNode, ...]:
+        return (self.expand(),)
+
+    def _local_check(self, program, result: ProofCheckResult, path: str) -> None:
+        # All obligations live in the expansion; the macro node itself only
+        # asserts that the expansion concludes p ↝ q, which is true by
+        # construction (Disjunction declares lhs = p, rhs folds to q).
+        result.obligations_checked += 1
+        exp = self.expand()
+        if not masks_equal(exp.rhs(), self.q, program):
+            result.failures.append(ProofFailure(
+                path, "expansion right-hand side is not equivalent to q"
+            ))
+
+
+class MetricInduction(LeadsToProof):
+    """Well-founded induction over a finite variant metric.
+
+    Premises: for each level ``m`` (``1 ≤ m ≤ M``, in ``levels`` order), a
+    proof of ``L_m ↝ (q ∨ L_1 ∨ … ∨ L_{m-1})``.  Side condition:
+    ``p ⇒ q ∨ ⋁_m L_m``.  Conclusion: ``p ↝ q``.
+
+    This is the paper's "induction on the cardinality of A*(i)" (§4.6) —
+    the levels there are ``|A*(i)| = m``; the synthesizer instead uses SCC
+    condensation ranks, which is the same construction with a finer metric.
+    """
+
+    rule_name = "metric-induction"
+
+    def __init__(
+        self,
+        p: Predicate,
+        q: Predicate,
+        levels: Sequence[Predicate],
+        subs: Sequence[LeadsToProof],
+    ) -> None:
+        if len(levels) != len(subs):
+            raise ProofError(
+                f"metric induction: {len(levels)} levels but {len(subs)} proofs"
+            )
+        self.p = p
+        self.q = q
+        self.levels = tuple(levels)
+        self.subs = tuple(subs)
+
+    def premises(self) -> tuple[ProofNode, ...]:
+        return self.subs
+
+    def lhs(self) -> Predicate:
+        return self.p
+
+    def rhs(self) -> Predicate:
+        return self.q
+
+    def _local_check(self, program, result: ProofCheckResult, path: str) -> None:
+        from repro.semantics.checker import check_validity
+
+        # Coverage: p ⇒ q ∨ ⋁ levels.
+        result.obligations_checked += 1
+        cover = self.q
+        for lv in self.levels:
+            cover = cover | lv
+        res = check_validity(program, self.p, cover)
+        if not res.holds:
+            result.failures.append(ProofFailure(
+                path, f"p is not covered by q and the levels: {res.message}"
+            ))
+        # Each level's premise must conclude L_m ↝ R with R ⇒ (q ∨ lower
+        # levels); the weakening is derivable (Implication + Transitivity),
+        # accepting it directly keeps hand-written proofs natural.
+        lower = self.q
+        for m, (lv, sub) in enumerate(zip(self.levels, self.subs)):
+            result.obligations_checked += 2
+            if not masks_equal(sub.lhs(), lv, program):
+                result.failures.append(ProofFailure(
+                    path,
+                    f"level {m}: premise lhs {sub.lhs().describe()} is not "
+                    f"the level predicate",
+                ))
+            if not sub.rhs().entails(lower, program.space):
+                result.failures.append(ProofFailure(
+                    path,
+                    f"level {m}: premise rhs {sub.rhs().describe()} does not "
+                    f"entail (q ∨ lower levels)",
+                ))
+            lower = lower | lv

@@ -1,0 +1,236 @@
+"""States and integer-encoded state spaces.
+
+A :class:`State` is an immutable total assignment of values to a program's
+variables.  A :class:`StateSpace` fixes an ordered tuple of variables and
+provides the **mixed-radix codec** between states and dense integers
+``0 … size-1``: with radices ``r_0 … r_{n-1}`` (domain sizes, in declaration
+order) and row-major strides, state index
+``= Σ_k  index_of(value_k) · stride_k``.
+
+The codec is the foundation of the vectorized semantic engine
+(:mod:`repro.semantics`): predicates become boolean NumPy masks indexed by
+state index, and commands become ``int64`` successor tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.core.variables import Var
+from repro.errors import StateError
+
+__all__ = ["State", "StateSpace"]
+
+
+class State(Mapping[Var, Any]):
+    """An immutable total assignment ``Var → value``.
+
+    ``State`` implements the ``Mapping`` protocol keyed by :class:`Var`, so
+    it can be passed directly as the environment of
+    :meth:`repro.core.expressions.Expr.eval`.
+    """
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values: Mapping[Var, Any]) -> None:
+        checked = {}
+        for var, val in values.items():
+            if not isinstance(var, Var):
+                raise StateError(f"state keys must be Vars, got {var!r}")
+            checked[var] = var.check_value(val)
+        self._values = checked
+        self._hash: int | None = None
+
+    # -- Mapping protocol -------------------------------------------------
+
+    def __getitem__(self, var: Var) -> Any:
+        return self._values[var]
+
+    def __iter__(self) -> Iterator[Var]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- functional update --------------------------------------------------
+
+    def updated(self, changes: Mapping[Var, Any]) -> "State":
+        """Return a new state with ``changes`` applied (others unchanged)."""
+        for var in changes:
+            if var not in self._values:
+                raise StateError(
+                    f"cannot update undeclared variable {var.name}"
+                )
+        merged = dict(self._values)
+        merged.update(changes)
+        return State(merged)
+
+    def project(self, variables: Sequence[Var]) -> "State":
+        """Restrict to the given variables (must all be present)."""
+        try:
+            return State({v: self._values[v] for v in variables})
+        except KeyError as exc:
+            raise StateError(f"variable {exc.args[0]} not in state") from None
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, State) and self._values == other._values
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                frozenset((v.name, val) for v, val in self._values.items())
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{v.name}={val!r}"
+            for v, val in sorted(self._values.items(), key=lambda kv: kv[0].name)
+        )
+        return f"State({inner})"
+
+
+class StateSpace:
+    """The finite cartesian product of the domains of an ordered variable tuple.
+
+    Provides the dense codec ``State ↔ int`` plus cached, vectorized decoded
+    value arrays per variable (``var_arrays``), which are the evaluation
+    environment for :meth:`Expr.eval_vec`.
+    """
+
+    __slots__ = ("vars", "_by_name", "size", "_strides", "_radices",
+                 "_value_cache", "_index_cache")
+
+    #: Refuse to enumerate spaces above this size (protects against typos;
+    #: large-but-feasible spaces can still be built by raising the cap).
+    MAX_SIZE = 64_000_000
+
+    def __init__(self, variables: Sequence[Var]) -> None:
+        vars_t = tuple(variables)
+        if not vars_t:
+            raise StateError("a state space needs at least one variable")
+        names = [v.name for v in vars_t]
+        if len(set(names)) != len(names):
+            dup = sorted({n for n in names if names.count(n) > 1})
+            raise StateError(f"duplicate variable names in space: {dup}")
+        self.vars = vars_t
+        self._by_name = {v.name: v for v in vars_t}
+        radices = [v.domain.size for v in vars_t]
+        size = 1
+        for r in radices:
+            size *= r
+            if size > self.MAX_SIZE:
+                raise StateError(
+                    f"state space too large (> {self.MAX_SIZE}); "
+                    "shrink variable domains"
+                )
+        self.size = size
+        # Row-major strides: last declared variable varies fastest.
+        strides = [0] * len(vars_t)
+        acc = 1
+        for k in range(len(vars_t) - 1, -1, -1):
+            strides[k] = acc
+            acc *= radices[k]
+        self._strides = tuple(strides)
+        self._radices = tuple(radices)
+        self._value_cache: dict[Var, np.ndarray] = {}
+        self._index_cache: dict[Var, np.ndarray] = {}
+
+    # -- lookup -------------------------------------------------------------
+
+    def var_named(self, name: str) -> Var:
+        """Return the declared variable with this name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise StateError(f"no variable named {name!r} in space") from None
+
+    def stride_of(self, var: Var) -> int:
+        """Mixed-radix stride of ``var``."""
+        try:
+            return self._strides[self.vars.index(var)]
+        except ValueError:
+            raise StateError(f"variable {var.name} not in space") from None
+
+    # -- scalar codec -------------------------------------------------------
+
+    def index_of(self, state: Mapping[Var, Any]) -> int:
+        """Encode a (total) state into its dense index."""
+        idx = 0
+        for var, stride in zip(self.vars, self._strides):
+            try:
+                value = state[var]
+            except KeyError:
+                raise StateError(
+                    f"state does not assign variable {var.name}"
+                ) from None
+            idx += var.domain.index_of(value) * stride
+        return idx
+
+    def state_at(self, index: int) -> State:
+        """Decode a dense index into a :class:`State`."""
+        if not 0 <= index < self.size:
+            raise StateError(f"state index {index} out of range [0, {self.size})")
+        values = {}
+        for var, stride, radix in zip(self.vars, self._strides, self._radices):
+            values[var] = var.domain.value_at((index // stride) % radix)
+        return State(values)
+
+    def iter_states(self) -> Iterator[State]:
+        """Iterate all states in index order (slow path; prefer masks)."""
+        for i in range(self.size):
+            yield self.state_at(i)
+
+    # -- vectorized codec ---------------------------------------------------
+
+    def index_arrays(self) -> dict[Var, np.ndarray]:
+        """Per-variable arrays of *domain indices* at every state index."""
+        if len(self._index_cache) != len(self.vars):
+            base = np.arange(self.size, dtype=np.int64)
+            for var, stride, radix in zip(self.vars, self._strides, self._radices):
+                if var not in self._index_cache:
+                    self._index_cache[var] = (base // stride) % radix
+        return self._index_cache
+
+    def var_arrays(self) -> dict[Var, np.ndarray]:
+        """Per-variable arrays of *values* at every state index.
+
+        This is the vector environment handed to ``Expr.eval_vec``; arrays
+        are cached, so repeated property checks share the decode cost.
+        """
+        if len(self._value_cache) != len(self.vars):
+            idx = self.index_arrays()
+            for var in self.vars:
+                if var not in self._value_cache:
+                    self._value_cache[var] = var.domain.decode_array(idx[var])
+        return self._value_cache
+
+    def delta_for(self, var: Var, new_index_array: np.ndarray) -> np.ndarray:
+        """Index delta produced by writing ``var`` with domain-index array
+        ``new_index_array`` (vectorized functional update).
+
+        ``new_state_index = old_index + Σ_assigned delta_for(var, new_idx)``.
+        """
+        old = self.index_arrays()[var]
+        return (new_index_array - old) * self.stride_of(var)
+
+    # -- misc -----------------------------------------------------------------
+
+    def contains_vars(self, variables: frozenset[Var]) -> bool:
+        """True iff every variable in ``variables`` is declared here."""
+        return all(v in self._by_name.values() for v in variables)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(v.name for v in self.vars)
+        return f"StateSpace({inner}; size={self.size})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StateSpace) and other.vars == self.vars
+
+    def __hash__(self) -> int:
+        return hash((StateSpace, self.vars))

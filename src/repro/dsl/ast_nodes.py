@@ -1,0 +1,158 @@
+"""Surface-syntax AST (the parser's output, the elaborator's input).
+
+Kept deliberately separate from :mod:`repro.core.expressions`: surface
+names are unresolved (``EName`` may be a variable or an enum label) and
+types are unchecked until elaboration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "EInt", "EBool", "EName", "EUnary", "EBinary", "EIte", "ECall", "ExprAst",
+    "PTypeBool", "PTypeInt", "PTypeEnum", "TypeAst",
+    "PDecl", "PBranch", "PCommand", "PProgram", "PProperty",
+]
+
+
+# -- expressions -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EInt:
+    """Integer literal."""
+    value: int
+
+
+@dataclass(frozen=True)
+class EBool:
+    """Boolean literal."""
+    value: bool
+
+
+@dataclass(frozen=True)
+class EName:
+    """Unresolved name: variable reference or enum label."""
+    name: str
+
+
+@dataclass(frozen=True)
+class EUnary:
+    """Unary operation; ``op`` in {'-', '~'}."""
+    op: str
+    operand: "ExprAst"
+
+
+@dataclass(frozen=True)
+class EBinary:
+    """Binary operation; ``op`` is the surface symbol."""
+    op: str
+    left: "ExprAst"
+    right: "ExprAst"
+
+
+@dataclass(frozen=True)
+class EIte:
+    """Conditional expression."""
+    cond: "ExprAst"
+    then: "ExprAst"
+    orelse: "ExprAst"
+
+
+@dataclass(frozen=True)
+class ECall:
+    """Builtin call: ``min`` / ``max``."""
+    func: str
+    args: tuple["ExprAst", ...]
+
+
+ExprAst = EInt | EBool | EName | EUnary | EBinary | EIte | ECall
+
+
+# -- declarations / types -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PTypeBool:
+    """``bool``."""
+
+
+@dataclass(frozen=True)
+class PTypeInt:
+    """``int[lo..hi]``."""
+    lo: int
+    hi: int
+
+
+@dataclass(frozen=True)
+class PTypeEnum:
+    """``enum { a, b, … }``."""
+    labels: tuple[str, ...]
+
+
+TypeAst = PTypeBool | PTypeInt | PTypeEnum
+
+
+@dataclass(frozen=True)
+class PDecl:
+    """``local|shared name : type``."""
+    locality: str
+    name: str
+    type_spec: TypeAst
+
+
+# -- commands -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PBranch:
+    """``guard -> x := e || y := f`` (guard ``None`` means ``true``)."""
+    guard: ExprAst | None
+    assigns: tuple[tuple[str, ExprAst], ...]
+
+
+@dataclass(frozen=True)
+class PCommand:
+    """``[fair] name: body`` — ``skip``, one branch, or ``[]``-separated
+    branches (first-match alternative)."""
+    name: str
+    fair: bool
+    is_skip: bool
+    branches: tuple[PBranch, ...]
+
+
+@dataclass
+class PProgram:
+    """A full ``program … end`` unit."""
+    name: str
+    decls: list[PDecl] = field(default_factory=list)
+    init: ExprAst | None = None
+    commands: list[PCommand] = field(default_factory=list)
+
+
+# -- properties ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PProperty:
+    """``init e | transient e | stable e | invariant e | e next e | e ~> e``."""
+    kind: str  # 'init' | 'transient' | 'stable' | 'invariant' | 'next' | 'leadsto'
+    first: ExprAst
+    second: ExprAst | None = None
+
+
+@dataclass
+class PSystem:
+    """``system Name = A || B || C`` — composition directive."""
+
+    name: str
+    components: tuple[str, ...]
+
+
+@dataclass
+class PModule:
+    """A source file: several programs plus composition directives."""
+
+    programs: list[PProgram] = field(default_factory=list)
+    systems: list[PSystem] = field(default_factory=list)

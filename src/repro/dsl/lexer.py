@@ -1,0 +1,70 @@
+"""Tokenizer for the UNITY-like surface language.
+
+Longest-match lexing over :data:`repro.dsl.tokens.SYMBOLS`, identifiers and
+decimal integers; ``#`` starts a comment running to end of line.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.tokens import KEYWORDS, SYMBOLS, Token
+from repro.errors import DslSyntaxError
+
+__all__ = ["tokenize"]
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`DslSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch in _IDENT_START:
+            j = i
+            while j < n and source[j] in _IDENT_CONT:
+                j += 1
+            text = source[i:j]
+            kind = text if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += j - i
+            i = j
+            continue
+        if ch in _DIGITS:
+            j = i
+            while j < n and source[j] in _DIGITS:
+                j += 1
+            tokens.append(Token("int", source[i:j], line, col))
+            col += j - i
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                # '[]' is the branch separator, but '[' directly followed
+                # by an index must stay an opening bracket: 'c[0]' never
+                # contains '[]', so no special case is required beyond
+                # longest-match ordering.
+                tokens.append(Token(sym, sym, line, col))
+                col += len(sym)
+                i += len(sym)
+                break
+        else:
+            raise DslSyntaxError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,411 @@
+"""Recursive-descent parser for the UNITY-like surface language.
+
+Grammar (EBNF; ``{}`` repetition, ``[]`` option)::
+
+    program   = "program" name [decls] [init] [assigns] "end"
+    decls     = "declare" decl {";" decl}
+    decl      = ("local"|"shared") name ":" type
+    type      = "bool" | "int" "[" INT ".." INT "]"
+              | "enum" "{" IDENT {"," IDENT} "}"
+    init      = "initially" expr
+    assigns   = "assign" command {";" command}
+    command   = ["fair"] name ":" ("skip" | branch {"[]" branch})
+    branch    = [expr "->"] assign {"||" assign}
+    assign    = name ":=" expr
+    name      = IDENT ["[" INT {"," INT} "]"]
+
+    property  = ("init"|"transient"|"stable"|"invariant") expr
+              | expr ("next"|"~>") expr
+
+    expr      = iff ;  iff = impl {"<=>" impl} ;  impl = or ["=>" impl]
+    or        = and {"\\/" and} ;  and = not {"/\\" not}
+    not       = "~" not | cmp
+    cmp       = sum [("="|"!="|"<"|"<="|">"|">=") sum]
+    sum       = term {("+"|"-") term} ;  term = factor {("*"|"//"|"%") factor}
+    factor    = "-" factor | atom
+    atom      = INT | "true" | "false" | name | "(" expr ")"
+              | "(" "if" expr "then" expr "else" expr ")"
+              | ("min"|"max") "(" expr "," expr ")"
+"""
+
+from __future__ import annotations
+
+from repro.dsl.ast_nodes import (
+    EBinary,
+    EBool,
+    ECall,
+    EInt,
+    EIte,
+    EName,
+    EUnary,
+    ExprAst,
+    PBranch,
+    PCommand,
+    PDecl,
+    PProgram,
+    PProperty,
+    PTypeBool,
+    PTypeEnum,
+    PTypeInt,
+    TypeAst,
+)
+from repro.dsl.lexer import tokenize
+from repro.dsl.tokens import Token
+from repro.errors import DslSyntaxError
+
+__all__ = [
+    "parse_program_text",
+    "parse_module_text",
+    "parse_property_text",
+    "parse_expression_text",
+]
+
+_CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class _Stream:
+    """Token cursor with friendly error reporting."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def at(self, *kinds: str) -> bool:
+        return self.peek().kind in kinds
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.peek()
+        if tok.kind != kind:
+            raise DslSyntaxError(
+                f"expected {kind!r}, found {tok.text or 'end of input'!r}",
+                tok.line, tok.column,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> DslSyntaxError:
+        tok = self.peek()
+        return DslSyntaxError(message, tok.line, tok.column)
+
+
+# ---------------------------------------------------------------------------
+# names
+# ---------------------------------------------------------------------------
+
+
+def _parse_name(s: _Stream) -> str:
+    base = s.expect("ident").text
+    if s.at("[") and s.peek(1).kind == "int":
+        s.advance()  # '['
+        indices = [s.expect("int").text]
+        while s.at(","):
+            s.advance()
+            indices.append(s.expect("int").text)
+        s.expect("]")
+        return f"{base}[{','.join(indices)}]"
+    return base
+
+
+# ---------------------------------------------------------------------------
+# expressions (precedence climbing via nested functions)
+# ---------------------------------------------------------------------------
+
+
+def _parse_expr(s: _Stream) -> ExprAst:
+    return _parse_iff(s)
+
+
+def _parse_iff(s: _Stream) -> ExprAst:
+    left = _parse_impl(s)
+    while s.at("<=>"):
+        s.advance()
+        left = EBinary("<=>", left, _parse_impl(s))
+    return left
+
+
+def _parse_impl(s: _Stream) -> ExprAst:
+    left = _parse_or(s)
+    if s.at("=>"):
+        s.advance()
+        return EBinary("=>", left, _parse_impl(s))  # right-assoc
+    return left
+
+
+def _parse_or(s: _Stream) -> ExprAst:
+    left = _parse_and(s)
+    while s.at("\\/"):
+        s.advance()
+        left = EBinary("\\/", left, _parse_and(s))
+    return left
+
+
+def _parse_and(s: _Stream) -> ExprAst:
+    left = _parse_not(s)
+    while s.at("/\\"):
+        s.advance()
+        left = EBinary("/\\", left, _parse_not(s))
+    return left
+
+
+def _parse_not(s: _Stream) -> ExprAst:
+    if s.at("~"):
+        s.advance()
+        return EUnary("~", _parse_not(s))
+    return _parse_cmp(s)
+
+
+def _parse_cmp(s: _Stream) -> ExprAst:
+    left = _parse_sum(s)
+    if s.peek().kind in _CMP_OPS:
+        op = s.advance().kind
+        return EBinary(op, left, _parse_sum(s))
+    return left
+
+
+def _parse_sum(s: _Stream) -> ExprAst:
+    left = _parse_term(s)
+    while s.at("+", "-"):
+        op = s.advance().kind
+        left = EBinary(op, left, _parse_term(s))
+    return left
+
+
+def _parse_term(s: _Stream) -> ExprAst:
+    left = _parse_factor(s)
+    while s.at("*", "//", "%"):
+        op = s.advance().kind
+        left = EBinary(op, left, _parse_factor(s))
+    return left
+
+
+def _parse_factor(s: _Stream) -> ExprAst:
+    if s.at("-"):
+        s.advance()
+        return EUnary("-", _parse_factor(s))
+    return _parse_atom(s)
+
+
+def _parse_atom(s: _Stream) -> ExprAst:
+    tok = s.peek()
+    if tok.kind == "int":
+        s.advance()
+        return EInt(int(tok.text))
+    if tok.kind == "true":
+        s.advance()
+        return EBool(True)
+    if tok.kind == "false":
+        s.advance()
+        return EBool(False)
+    if tok.kind in ("min", "max"):
+        s.advance()
+        s.expect("(")
+        first = _parse_expr(s)
+        s.expect(",")
+        second = _parse_expr(s)
+        s.expect(")")
+        return ECall(tok.kind, (first, second))
+    if tok.kind == "ident":
+        return EName(_parse_name(s))
+    if tok.kind == "(":
+        s.advance()
+        if s.at("if"):
+            s.advance()
+            cond = _parse_expr(s)
+            s.expect("then")
+            then = _parse_expr(s)
+            s.expect("else")
+            orelse = _parse_expr(s)
+            s.expect(")")
+            return EIte(cond, then, orelse)
+        inner = _parse_expr(s)
+        s.expect(")")
+        return inner
+    raise s.error(f"expected an expression, found {tok.text or 'end of input'!r}")
+
+
+# ---------------------------------------------------------------------------
+# declarations / commands / programs
+# ---------------------------------------------------------------------------
+
+
+def _parse_type(s: _Stream) -> TypeAst:
+    if s.at("bool"):
+        s.advance()
+        return PTypeBool()
+    if s.at("int"):
+        s.advance()
+        s.expect("[")
+        neg_lo = s.at("-") and (s.advance() or True)
+        lo = int(s.expect("int").text) * (-1 if neg_lo else 1)
+        s.expect("..")
+        neg_hi = s.at("-") and (s.advance() or True)
+        hi = int(s.expect("int").text) * (-1 if neg_hi else 1)
+        s.expect("]")
+        return PTypeInt(lo, hi)
+    if s.at("enum"):
+        s.advance()
+        s.expect("{")
+        labels = [s.expect("ident").text]
+        while s.at(","):
+            s.advance()
+            labels.append(s.expect("ident").text)
+        s.expect("}")
+        return PTypeEnum(tuple(labels))
+    raise s.error("expected a type (bool, int[lo..hi] or enum {…})")
+
+
+def _parse_decl(s: _Stream) -> PDecl:
+    if not s.at("local", "shared"):
+        raise s.error("expected 'local' or 'shared'")
+    locality = s.advance().kind
+    name = _parse_name(s)
+    s.expect(":")
+    return PDecl(locality, name, _parse_type(s))
+
+
+def _parse_branch(s: _Stream) -> PBranch:
+    # Lookahead: a branch is either 'expr -> assigns' or bare 'assigns'.
+    # Try the guarded form first by scanning for '->' before ':=' at depth 0.
+    start = s.pos
+    guard: ExprAst | None = None
+    try:
+        candidate = _parse_expr(s)
+        if s.at("->"):
+            s.advance()
+            guard = candidate
+        else:
+            s.pos = start  # bare assignment list: re-parse as assigns
+    except DslSyntaxError:
+        s.pos = start
+    assigns = [_parse_assign(s)]
+    while s.at("||"):
+        s.advance()
+        assigns.append(_parse_assign(s))
+    return PBranch(guard, tuple(assigns))
+
+
+def _parse_assign(s: _Stream) -> tuple[str, ExprAst]:
+    name = _parse_name(s)
+    s.expect(":=")
+    return (name, _parse_expr(s))
+
+
+def _parse_command(s: _Stream) -> PCommand:
+    fair = False
+    if s.at("fair"):
+        s.advance()
+        fair = True
+    if s.at("skip") and s.peek(1).kind == ":":
+        # The canonical identity command is itself named "skip".
+        s.advance()
+        name = "skip"
+    else:
+        name = _parse_name(s)
+    s.expect(":")
+    if s.at("skip"):
+        s.advance()
+        return PCommand(name, fair, True, ())
+    branches = [_parse_branch(s)]
+    while s.at("[]"):
+        s.advance()
+        branches.append(_parse_branch(s))
+    return PCommand(name, fair, False, tuple(branches))
+
+
+def _parse_program_unit(s: _Stream) -> PProgram:
+    s.expect("program")
+    prog = PProgram(name=_parse_name(s))
+    if s.at("declare"):
+        s.advance()
+        prog.decls.append(_parse_decl(s))
+        while s.at(";"):
+            s.advance()
+            prog.decls.append(_parse_decl(s))
+    if s.at("initially"):
+        s.advance()
+        prog.init = _parse_expr(s)
+    if s.at("assign"):
+        s.advance()
+        prog.commands.append(_parse_command(s))
+        while s.at(";"):
+            s.advance()
+            prog.commands.append(_parse_command(s))
+    s.expect("end")
+    return prog
+
+
+def parse_program_text(source: str) -> PProgram:
+    """Parse a single ``program … end`` unit into a surface AST."""
+    s = _Stream(tokenize(source))
+    prog = _parse_program_unit(s)
+    s.expect("eof")
+    return prog
+
+
+def parse_module_text(source: str):
+    """Parse a module: any number of programs plus ``system`` directives.
+
+    Grammar extension::
+
+        module  = { program | systemdecl }
+        systemdecl = "system" name "=" name {"||" name}
+    """
+    from repro.dsl.ast_nodes import PModule, PSystem
+
+    s = _Stream(tokenize(source))
+    module = PModule()
+    while not s.at("eof"):
+        if s.at("program"):
+            module.programs.append(_parse_program_unit(s))
+        elif s.at("system"):
+            s.advance()
+            name = _parse_name(s)
+            s.expect("=")
+            components = [_parse_name(s)]
+            while s.at("||"):
+                s.advance()
+                components.append(_parse_name(s))
+            module.systems.append(PSystem(name, tuple(components)))
+        else:
+            raise s.error("expected 'program' or 'system'")
+    if not module.programs:
+        raise s.error("module contains no programs")
+    return module
+
+
+def parse_property_text(source: str) -> PProperty:
+    """Parse one property line into a surface AST."""
+    s = _Stream(tokenize(source))
+    if s.at("init", "transient", "stable", "invariant"):
+        kind = s.advance().kind
+        expr = _parse_expr(s)
+        s.expect("eof")
+        return PProperty(kind, expr)
+    first = _parse_expr(s)
+    if s.at("next"):
+        s.advance()
+        second = _parse_expr(s)
+        s.expect("eof")
+        return PProperty("next", first, second)
+    if s.at("~>"):
+        s.advance()
+        second = _parse_expr(s)
+        s.expect("eof")
+        return PProperty("leadsto", first, second)
+    raise s.error("expected 'next' or '~>' after the first predicate")
+
+
+def parse_expression_text(source: str) -> ExprAst:
+    """Parse a standalone expression (used by tests and the REPL helper)."""
+    s = _Stream(tokenize(source))
+    expr = _parse_expr(s)
+    s.expect("eof")
+    return expr

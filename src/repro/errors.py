@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing genuine bugs (``TypeError`` etc. still propagate).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DomainError",
+    "ExpressionError",
+    "EvaluationError",
+    "StateError",
+    "CommandError",
+    "ProgramError",
+    "CompositionError",
+    "PropertyError",
+    "ProofError",
+    "GraphError",
+    "DslError",
+    "DslSyntaxError",
+    "ElaborationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all library-specific errors."""
+
+
+class DomainError(ReproError):
+    """A value is outside its declared finite domain, or a domain is invalid."""
+
+
+class ExpressionError(ReproError):
+    """An expression tree is malformed (arity, typing, unknown variable)."""
+
+
+class EvaluationError(ReproError):
+    """Evaluation of an expression or predicate failed at runtime."""
+
+
+class StateError(ReproError):
+    """A state or state space is inconsistent with its variable declarations."""
+
+
+class CommandError(ReproError):
+    """A command is malformed (duplicate targets, type mismatch, bad guard)."""
+
+
+class ProgramError(ReproError):
+    """A program violates the model of §2 (e.g. writes an undeclared variable)."""
+
+
+class CompositionError(ReproError):
+    """Two programs cannot be composed (locality or initial-condition clash)."""
+
+
+class PropertyError(ReproError):
+    """A property is malformed or applied to an incompatible program."""
+
+
+class ProofError(ReproError):
+    """A proof object failed to check (invalid rule application or leaf)."""
+
+
+class GraphError(ReproError):
+    """A neighbourhood graph or orientation is malformed."""
+
+
+class DslError(ReproError):
+    """Base class for surface-language errors."""
+
+
+class DslSyntaxError(DslError):
+    """The DSL source text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = -1, column: int = -1) -> None:
+        self.line = line
+        self.column = column
+        if line >= 0:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ElaborationError(DslError):
+    """A parsed DSL tree could not be elaborated into core objects."""

@@ -1,0 +1,63 @@
+"""Graph substrate for the §4 priority mechanism.
+
+- :mod:`repro.graph.neighborhood` — the undirected, finite conflict graph
+  ``P`` (variables ``N(i)``), with the paper's well-formedness conditions
+  (irreflexive, symmetric);
+- :mod:`repro.graph.orientation` — orientations of ``P`` (the priority
+  relation ``i → j``), with ``Priority(i)``, ``R(i)``, ``A(i)``;
+- :mod:`repro.graph.reachability` — the transitive closures ``R*(i)`` and
+  ``A*(i)`` (bitset fixpoints) and the duality ``i ∈ R*(j) ≡ j ∈ A*(i)``;
+- :mod:`repro.graph.acyclicity` — acyclicity, topological order, and
+  Lemma 2 (every non-empty above-set of a finite acyclic graph contains a
+  maximal node);
+- :mod:`repro.graph.derivation` — Definition 1 (``G →_{i₀} G'``: reversal
+  of all edges of a priority node) and Lemma 1 (reachability growth is
+  bounded by ``{i₀}``);
+- :mod:`repro.graph.generators` — graph families for experiments (ring,
+  path, star, clique, grid, tree, random).
+"""
+
+from repro.graph.acyclicity import (
+    is_acyclic,
+    maximal_nodes_above,
+    topological_order,
+)
+from repro.graph.derivation import (
+    apply_reversal,
+    derivations_from,
+    is_derivation,
+    lemma1_bound_holds,
+)
+from repro.graph.generators import (
+    clique_graph,
+    grid_graph,
+    path_graph,
+    random_graph,
+    ring_graph,
+    star_graph,
+    tree_graph,
+)
+from repro.graph.neighborhood import NeighborhoodGraph
+from repro.graph.orientation import Orientation
+from repro.graph.reachability import above_star, reach_star
+
+__all__ = [
+    "NeighborhoodGraph",
+    "Orientation",
+    "reach_star",
+    "above_star",
+    "is_acyclic",
+    "topological_order",
+    "maximal_nodes_above",
+    "is_derivation",
+    "apply_reversal",
+    "derivations_from",
+    "lemma1_bound_holds",
+    "ring_graph",
+    "path_graph",
+    "star_graph",
+    "clique_graph",
+    "grid_graph",
+    "tree_graph",
+    "random_graph",
+]

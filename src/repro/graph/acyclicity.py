@@ -1,0 +1,114 @@
+"""Acyclicity, topological order, and the paper's Lemma 2.
+
+§4.4: ``Acyclicity ≡ ⟨∀i : i ∉ R*(i)⟩ ≡ ⟨∀i : i ∉ A*(i)⟩``.
+
+Lemma 2: *"There is at least one maximal node in any non-empty above-set of
+a finite acyclic graph"* — the pigeonhole fact powering Property 6: a
+non-priority component always has a priority component above it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.orientation import Orientation
+from repro.graph.reachability import above_star_all, reach_star_all
+from repro.util.bitset import bit, bitset_to_list, iter_bits
+
+__all__ = [
+    "is_acyclic",
+    "topological_order",
+    "maximal_nodes_above",
+    "lemma2_holds",
+]
+
+
+def is_acyclic(orientation: Orientation) -> bool:
+    """``⟨∀i : i ∉ R*(i)⟩`` — no node reaches itself."""
+    for i, r in enumerate(reach_star_all(orientation)):
+        if r & bit(i):
+            return False
+    return True
+
+
+def topological_order(orientation: Orientation) -> list[int]:
+    """A topological order of an acyclic orientation (Kahn's algorithm):
+    every arrow goes from an earlier to a later node.  Raises
+    :class:`GraphError` on cyclic orientations."""
+    g = orientation.graph
+    indeg = [len(orientation.a_list(i)) for i in g.nodes()]
+    ready = [i for i in g.nodes() if indeg[i] == 0]
+    order: list[int] = []
+    while ready:
+        i = ready.pop()
+        order.append(i)
+        for j in orientation.r_list(i):
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                ready.append(j)
+    if len(order) != g.n:
+        raise GraphError("orientation is cyclic; no topological order")
+    return order
+
+
+def maximal_nodes_above(orientation: Orientation, i: int) -> list[int]:
+    """Nodes ``j ∈ A*(i)`` with ``A*(j) = ∅`` — the maximal elements of the
+    above-set, i.e. priority holders dominating ``i``."""
+    a_all = above_star_all(orientation)
+    return [j for j in iter_bits(a_all[i]) if a_all[j] == 0]
+
+
+def lemma2_holds(orientation: Orientation) -> bool:
+    """Lemma 2: in an acyclic orientation, every non-empty ``A*(i)``
+    contains a maximal node.  (Callers should pass acyclic orientations;
+    the lemma can genuinely fail on cyclic ones, which tests exploit.)"""
+    a_all = above_star_all(orientation)
+    for i, above in enumerate(a_all):
+        if above == 0:
+            continue
+        if not any(a_all[j] == 0 for j in iter_bits(above)):
+            return False
+    return True
+
+
+def cycle_witness(orientation: Orientation) -> list[int] | None:
+    """Some directed cycle (node list) if one exists, else ``None``.
+
+    Diagnostic companion to :func:`is_acyclic`; uses iterative DFS with
+    colouring.
+    """
+    g = orientation.graph
+    color = [0] * g.n  # 0 = white, 1 = on stack, 2 = done
+    parent: dict[int, int] = {}
+    for root in g.nodes():
+        if color[root] != 0:
+            continue
+        stack: list[tuple[int, list[int]]] = [(root, orientation.r_list(root))]
+        color[root] = 1
+        while stack:
+            node, todo = stack[-1]
+            if todo:
+                j = todo.pop()
+                if color[j] == 0:
+                    color[j] = 1
+                    parent[j] = node
+                    stack.append((j, orientation.r_list(j)))
+                elif color[j] == 1:
+                    # Found a back edge node → j: unwind the cycle.
+                    cycle = [node]
+                    cur = node
+                    while cur != j:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    return cycle
+            else:
+                color[node] = 2
+                stack.pop()
+    return None
+
+
+def above_sets_summary(orientation: Orientation) -> dict[int, list[int]]:
+    """``{i: A*(i) as sorted list}`` — debugging/report helper."""
+    return {
+        i: bitset_to_list(a) for i, a in enumerate(above_star_all(orientation))
+    }

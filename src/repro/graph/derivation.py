@@ -1,0 +1,83 @@
+"""Definition 1 and Lemma 1: edge-reversal derivations.
+
+Definition 1 (§4.5): ``G →_{i₀} G'`` iff the two orientations differ only
+on the edges of ``i₀``, all of which are **outgoing** in ``G`` (so
+``A*(i₀) = ∅``, i.e. ``i₀`` has priority) and **incoming** in ``G'`` (so
+``R*(i₀) = ∅`` afterwards).
+
+Lemma 1: if ``G →_{i₀} G'`` then ``⟨∀i : R*_{G'}(i) ⊆ R*_G(i) ∪ {i₀}⟩`` —
+reversing a priority node can only add the reversed node itself to anyone's
+reachability set.  This is the graph-theoretic core of Properties 3–5
+(nobody enters a reachability set before gaining priority; acyclicity is
+stable).
+"""
+
+from __future__ import annotations
+
+from repro.graph.orientation import Orientation
+from repro.graph.reachability import reach_star_all
+from repro.util.bitset import bit
+
+__all__ = [
+    "is_derivation",
+    "apply_reversal",
+    "derivations_from",
+    "lemma1_bound_holds",
+]
+
+
+def is_derivation(g: Orientation, g2: Orientation, i0: int) -> bool:
+    """Definition 1: does ``G →_{i₀} G'`` hold?
+
+    Checks the three conjuncts exactly as stated: (a) all non-``i₀`` edges
+    equal, (b) every edge of ``i₀`` outgoing in ``G`` (``A(i₀) = ∅``),
+    (c) every edge of ``i₀`` incoming in ``G'`` (``R(i₀) = ∅`` in ``G'``).
+    """
+    if g.graph != g2.graph:
+        return False
+    graph = g.graph
+    incident = set(graph.incident_edges(i0))
+    for k in range(graph.m):
+        same = (g.bits & bit(k)) == (g2.bits & bit(k))
+        if k in incident:
+            continue
+        if not same:
+            return False
+    return g.a_set(i0) == 0 and g2.r_set(i0) == 0
+
+
+def apply_reversal(g: Orientation, i0: int) -> Orientation:
+    """The unique ``G'`` with ``G →_{i₀} G'`` (requires ``Priority(i₀)``).
+
+    Raises :class:`ValueError` when ``i₀`` lacks priority — the §4
+    components only reverse nodes that currently dominate all neighbours.
+    """
+    if not g.priority(i0):
+        raise ValueError(
+            f"node {i0} does not have priority; A({i0}) = {g.a_list(i0)}"
+        )
+    return g.reversed_node(i0)
+
+
+def derivations_from(g: Orientation) -> list[tuple[int, Orientation]]:
+    """All derivations available from ``G``: one per priority node.
+
+    (Isolated nodes hold priority vacuously; their reversal is the
+    identity, which still satisfies Definition 1.)
+    """
+    return [(i, g.reversed_node(i)) for i in g.priority_nodes()]
+
+
+def lemma1_bound_holds(g: Orientation, g2: Orientation, i0: int) -> bool:
+    """Lemma 1's bound: ``⟨∀i : R*_{G'}(i) ⊆ R*_G(i) ∪ {i₀}⟩``.
+
+    Callers normally pass a genuine derivation (the lemma's hypothesis);
+    property tests use arbitrary pairs to confirm the hypothesis matters.
+    """
+    before = reach_star_all(g)
+    after = reach_star_all(g2)
+    allowed_extra = bit(i0)
+    for i in g.graph.nodes():
+        if after[i] & ~(before[i] | allowed_extra):
+            return False
+    return True

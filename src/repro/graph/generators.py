@@ -1,0 +1,104 @@
+"""Conflict-graph families for the experiments.
+
+The paper quantifies over all finite neighbourhood graphs; the experiment
+suite sweeps these generated families (EXPERIMENTS.md, E3–E7).  All
+generators are deterministic given their arguments (random graphs take a
+seed) so every benchmark row is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.neighborhood import NeighborhoodGraph
+from repro.util.rng import make_rng
+
+__all__ = [
+    "ring_graph",
+    "path_graph",
+    "star_graph",
+    "clique_graph",
+    "grid_graph",
+    "tree_graph",
+    "random_graph",
+]
+
+
+def ring_graph(n: int) -> NeighborhoodGraph:
+    """Cycle of ``n ≥ 3`` nodes — the dining-philosophers conflict graph."""
+    if n < 3:
+        raise GraphError(f"a ring needs n ≥ 3 nodes, got {n}")
+    return NeighborhoodGraph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def path_graph(n: int) -> NeighborhoodGraph:
+    """Simple path of ``n ≥ 2`` nodes."""
+    if n < 2:
+        raise GraphError(f"a path needs n ≥ 2 nodes, got {n}")
+    return NeighborhoodGraph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def star_graph(n: int) -> NeighborhoodGraph:
+    """Node 0 conflicting with all others (a shared-resource hub)."""
+    if n < 2:
+        raise GraphError(f"a star needs n ≥ 2 nodes, got {n}")
+    return NeighborhoodGraph(n, [(0, i) for i in range(1, n)])
+
+
+def clique_graph(n: int) -> NeighborhoodGraph:
+    """All pairs conflicting — mutual exclusion between every pair."""
+    if n < 2:
+        raise GraphError(f"a clique needs n ≥ 2 nodes, got {n}")
+    return NeighborhoodGraph(
+        n, [(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+
+
+def grid_graph(rows: int, cols: int) -> NeighborhoodGraph:
+    """``rows × cols`` 4-neighbour grid (node ``r·cols + c``)."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise GraphError(f"grid {rows}×{cols} too small")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return NeighborhoodGraph(rows * cols, edges)
+
+
+def tree_graph(n: int, *, seed: int | np.random.Generator = 0) -> NeighborhoodGraph:
+    """Random labelled tree on ``n ≥ 2`` nodes (uniform attachment)."""
+    if n < 2:
+        raise GraphError(f"a tree needs n ≥ 2 nodes, got {n}")
+    rng = make_rng(seed)
+    edges = [(int(rng.integers(i)), i) for i in range(1, n)]
+    return NeighborhoodGraph(n, edges)
+
+
+def random_graph(
+    n: int, p: float, *, seed: int | np.random.Generator = 0,
+    ensure_connected_by_path: bool = True,
+) -> NeighborhoodGraph:
+    """Erdős–Rényi ``G(n, p)``.
+
+    ``ensure_connected_by_path=True`` adds the path ``0-1-…-(n-1)`` so no
+    node is isolated (isolated nodes hold priority vacuously forever, which
+    makes liveness sweeps degenerate).
+    """
+    if n < 2:
+        raise GraphError(f"a random graph needs n ≥ 2 nodes, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability must be in [0,1], got {p}")
+    rng = make_rng(seed)
+    edges = set()
+    if ensure_connected_by_path:
+        edges.update((i, i + 1) for i in range(n - 1))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if (i, j) not in edges and rng.random() < p:
+                edges.add((i, j))
+    return NeighborhoodGraph(n, sorted(edges))

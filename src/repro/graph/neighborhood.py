@@ -1,0 +1,137 @@
+"""The undirected conflict graph ``P`` of §4.
+
+The paper describes ``P`` by variables ``N(i)`` (the neighbour set of
+component ``i``) with two well-formedness conditions:
+
+- ``⟨∀i : i ∉ N(i)⟩`` — no node conflicts with itself;
+- ``⟨∀i,j : i ∈ N(j) ≡ j ∈ N(i)⟩`` — neighbourhood is symmetric.
+
+:class:`NeighborhoodGraph` enforces both at construction.  Edges are
+normalized to ``(i, j)`` with ``i < j`` and given dense **edge ids** — the
+priority system maps edge id ``k`` to a boolean program variable, and
+orientations store one direction bit per edge id.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import GraphError
+from repro.util.bitset import bitset_from_iterable
+
+__all__ = ["NeighborhoodGraph"]
+
+
+class NeighborhoodGraph:
+    """A finite undirected graph with normalized, dense edge ids.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes, labelled ``0 … n-1``.
+    edges:
+        Iterable of pairs; ``(i, j)`` and ``(j, i)`` denote the same edge.
+        Self-loops and duplicates are rejected.
+    """
+
+    __slots__ = ("n", "edges", "_edge_id", "_neighbors", "_incident")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]]) -> None:
+        if n <= 0:
+            raise GraphError(f"graph needs at least one node, got n={n}")
+        self.n = n
+        normalized: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for i, j in edges:
+            if not (0 <= i < n and 0 <= j < n):
+                raise GraphError(f"edge ({i},{j}) out of range for n={n}")
+            if i == j:
+                raise GraphError(
+                    f"self-loop ({i},{i}): the paper requires i ∉ N(i)"
+                )
+            e = (min(i, j), max(i, j))
+            if e in seen:
+                raise GraphError(f"duplicate edge {e}")
+            seen.add(e)
+            normalized.append(e)
+        self.edges: tuple[tuple[int, int], ...] = tuple(normalized)
+        self._edge_id = {e: k for k, e in enumerate(self.edges)}
+        neighbors: list[list[int]] = [[] for _ in range(n)]
+        incident: list[list[int]] = [[] for _ in range(n)]
+        for k, (i, j) in enumerate(self.edges):
+            neighbors[i].append(j)
+            neighbors[j].append(i)
+            incident[i].append(k)
+            incident[j].append(k)
+        self._neighbors = tuple(tuple(sorted(ns)) for ns in neighbors)
+        self._incident = tuple(tuple(ks) for ks in incident)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self.edges)
+
+    def neighbors(self, i: int) -> tuple[int, ...]:
+        """``N(i)`` — sorted neighbour tuple."""
+        self._check_node(i)
+        return self._neighbors[i]
+
+    def neighbor_mask(self, i: int) -> int:
+        """``N(i)`` as a bitset."""
+        return bitset_from_iterable(self.neighbors(i))
+
+    def incident_edges(self, i: int) -> tuple[int, ...]:
+        """Edge ids incident to node ``i``."""
+        self._check_node(i)
+        return self._incident[i]
+
+    def edge_id(self, i: int, j: int) -> int:
+        """Dense id of the edge ``{i, j}``."""
+        try:
+            return self._edge_id[(min(i, j), max(i, j))]
+        except KeyError:
+            raise GraphError(f"no edge between {i} and {j}") from None
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """True iff ``{i, j}`` is an edge."""
+        return (min(i, j), max(i, j)) in self._edge_id
+
+    def degree(self, i: int) -> int:
+        """``|N(i)|``."""
+        return len(self.neighbors(i))
+
+    def is_symmetric_and_irreflexive(self) -> bool:
+        """The paper's well-formedness conditions (true by construction;
+        exposed so tests can assert the representation invariant)."""
+        for i in range(self.n):
+            if i in self._neighbors[i]:
+                return False
+            for j in self._neighbors[i]:
+                if i not in self._neighbors[j]:
+                    return False
+        return True
+
+    def nodes(self) -> range:
+        """All node labels."""
+        return range(self.n)
+
+    def _check_node(self, i: int) -> None:
+        if not 0 <= i < self.n:
+            raise GraphError(f"node {i} out of range for n={self.n}")
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"NeighborhoodGraph(n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, NeighborhoodGraph)
+            and other.n == self.n
+            and set(other.edges) == set(self.edges)
+        )
+
+    def __hash__(self) -> int:
+        return hash((NeighborhoodGraph, self.n, frozenset(self.edges)))

@@ -1,0 +1,87 @@
+"""Semantic engine: finite-state discharge of the paper's property language.
+
+The engine turns a :class:`~repro.core.program.Program` into NumPy successor
+tables (:mod:`repro.semantics.transition`) and checks properties over the
+**whole encoded state space** (the paper's inductive semantics — no
+substitution axiom, no implicit restriction to reachable states):
+
+- ``init / next / stable / transient / invariant`` —
+  :mod:`repro.semantics.checker`;
+- ``leads-to`` under weak fairness — :mod:`repro.semantics.leadsto`
+  (fair-SCC analysis over an iterative Tarjan decomposition,
+  :mod:`repro.semantics.scc`);
+- reachability-based (non-inductive) invariants —
+  :mod:`repro.semantics.explorer`;
+- **proof synthesis** — :mod:`repro.semantics.synthesis` reconstructs a
+  kernel-checkable certificate (using only the paper's proof rules) for any
+  finite-state leads-to validated by the model checker;
+- execution — fair schedulers and trace simulation
+  (:mod:`repro.semantics.scheduler`, :mod:`repro.semantics.simulate`);
+- ``wp`` cross-validation — :mod:`repro.semantics.wp`.
+"""
+
+from repro.semantics.checker import (
+    CheckResult,
+    check_init,
+    check_invariant,
+    check_next,
+    check_reachable_invariant,
+    check_stable,
+    check_transient,
+    check_validity,
+)
+from repro.semantics.explorer import reachable_mask, reachable_states
+from repro.semantics.invariants import (
+    auto_invariant,
+    inductive_strengthening,
+    strongest_invariant,
+)
+from repro.semantics.leadsto import check_leadsto, fair_scc_analysis
+from repro.semantics.scc import condensation
+from repro.semantics.scheduler import (
+    RandomFairScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SequenceScheduler,
+)
+from repro.semantics.simulate import Trace, simulate
+from repro.semantics.strong_fairness import (
+    check_leadsto_strong,
+    fairness_gap,
+    strong_fair_scc_analysis,
+)
+from repro.semantics.synthesis import synthesize_leadsto_proof
+from repro.semantics.transition import TransitionSystem
+from repro.semantics.wp import semantic_wp, wp_agreement
+
+__all__ = [
+    "CheckResult",
+    "check_init",
+    "check_invariant",
+    "check_next",
+    "check_reachable_invariant",
+    "check_stable",
+    "check_transient",
+    "check_validity",
+    "check_leadsto",
+    "fair_scc_analysis",
+    "condensation",
+    "reachable_mask",
+    "reachable_states",
+    "auto_invariant",
+    "inductive_strengthening",
+    "strongest_invariant",
+    "TransitionSystem",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomFairScheduler",
+    "SequenceScheduler",
+    "Trace",
+    "simulate",
+    "synthesize_leadsto_proof",
+    "check_leadsto_strong",
+    "fairness_gap",
+    "strong_fair_scc_analysis",
+    "semantic_wp",
+    "wp_agreement",
+]

@@ -1,0 +1,238 @@
+"""Semantic checkers for the safety fragment of the property language.
+
+All checkers follow the paper's **inductive** semantics (§2): properties
+quantify over *all* states of the space::
+
+    init p        ≡  initially ⇒ p
+    p next q      ≡  ⟨∀c : c ∈ C : p ⇒ wp.c.q⟩
+    stable p      ≡  p next p
+    transient p   ≡  ⟨∃c : c ∈ D : p ⇒ wp.c.¬p⟩
+    invariant p   ≡  (init p) ∧ (stable p)
+
+Because commands are total deterministic functions, ``p ⇒ wp.c.q`` over the
+encoded space is the single vectorized test ``¬p_mask ∨ q_mask[table_c]``.
+
+Checkers return a :class:`CheckResult` carrying a decoded counterexample
+when the property fails — the failing state, the command, and its successor
+— which the test suite and examples surface directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.semantics.explorer import reachable_mask
+from repro.semantics.transition import TransitionSystem
+
+__all__ = [
+    "CheckResult",
+    "check_validity",
+    "check_init",
+    "check_next",
+    "check_stable",
+    "check_transient",
+    "check_invariant",
+    "check_reachable_invariant",
+]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a semantic property check.
+
+    ``witness`` holds structured diagnostic data (decoded states, command
+    names); its keys vary by ``kind`` and are documented per checker.
+    """
+
+    holds: bool
+    kind: str
+    subject: str
+    message: str = ""
+    witness: dict[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def explain(self) -> str:
+        """One-line human-readable summary."""
+        status = "HOLDS" if self.holds else "FAILS"
+        tail = f" — {self.message}" if self.message else ""
+        return f"[{status}] {self.kind}: {self.subject}{tail}"
+
+
+def check_validity(program: Program, p: Predicate, q: Predicate) -> CheckResult:
+    """Predicate-calculus validity ``p ⇒ q`` over the whole space.
+
+    This is the side condition of the paper's *Implication* rule for
+    leads-to and of ``init``-weakening steps.
+    """
+    space = program.space
+    bad = p.mask(space) & ~q.mask(space)
+    idx = np.flatnonzero(bad)
+    if idx.size == 0:
+        return CheckResult(True, "validity", f"{p.describe()} => {q.describe()}")
+    state = space.state_at(int(idx[0]))
+    return CheckResult(
+        False,
+        "validity",
+        f"{p.describe()} => {q.describe()}",
+        message=f"violated at {state!r} (+{idx.size - 1} more)",
+        witness={"state": state, "violations": int(idx.size)},
+    )
+
+
+def check_init(program: Program, p: Predicate) -> CheckResult:
+    """``init p``: every state satisfying ``initially`` satisfies ``p``."""
+    space = program.space
+    bad = program.initial_mask() & ~p.mask(space)
+    idx = np.flatnonzero(bad)
+    if idx.size == 0:
+        return CheckResult(True, "init", f"init {p.describe()}")
+    state = space.state_at(int(idx[0]))
+    return CheckResult(
+        False,
+        "init",
+        f"init {p.describe()}",
+        message=f"initial state {state!r} violates p",
+        witness={"state": state, "violations": int(idx.size)},
+    )
+
+
+def check_next(program: Program, p: Predicate, q: Predicate) -> CheckResult:
+    """``p next q``: every command maps every ``p``-state to a ``q``-state."""
+    ts = TransitionSystem.for_program(program)
+    space = ts.space
+    pm = p.mask(space)
+    qm = q.mask(space)
+    subject = f"{p.describe()} next {q.describe()}"
+    for cmd, table in ts.all_tables():
+        bad = pm & ~qm[table]
+        idx = np.flatnonzero(bad)
+        if idx.size:
+            i = int(idx[0])
+            state = space.state_at(i)
+            succ = space.state_at(int(table[i]))
+            return CheckResult(
+                False,
+                "next",
+                subject,
+                message=(
+                    f"command {cmd.name} steps {state!r} to {succ!r}, "
+                    "which violates q"
+                ),
+                witness={
+                    "state": state,
+                    "command": cmd.name,
+                    "successor": succ,
+                    "violations": int(idx.size),
+                },
+            )
+    return CheckResult(True, "next", subject)
+
+
+def check_stable(program: Program, p: Predicate) -> CheckResult:
+    """``stable p ≡ p next p``."""
+    result = check_next(program, p, p)
+    return CheckResult(
+        result.holds,
+        "stable",
+        f"stable {p.describe()}",
+        message=result.message,
+        witness=result.witness,
+    )
+
+
+def check_transient(program: Program, p: Predicate) -> CheckResult:
+    """``transient p``: some fair command falsifies ``p`` from every
+    ``p``-state.  The witness reports the helpful command when the
+    property holds, and per-command failure states when it fails."""
+    ts = TransitionSystem.for_program(program)
+    space = ts.space
+    pm = p.mask(space)
+    subject = f"transient {p.describe()}"
+    fair = ts.fair_tables()
+    if not fair:
+        # With D empty nothing is forced to execute, so only the
+        # unsatisfiable predicate is transient.
+        if not pm.any():
+            return CheckResult(
+                True, "transient", subject,
+                message="p is unsatisfiable (vacuously transient)",
+            )
+        return CheckResult(
+            False, "transient", subject,
+            message="the program has no fair commands (D = ∅)",
+        )
+    failures: dict[str, Any] = {}
+    for cmd, table in fair:
+        bad = pm & pm[table]
+        idx = np.flatnonzero(bad)
+        if idx.size == 0:
+            return CheckResult(
+                True,
+                "transient",
+                subject,
+                message=f"command {cmd.name} falsifies p from every p-state",
+                witness={"command": cmd.name},
+            )
+        failures[cmd.name] = space.state_at(int(idx[0]))
+    return CheckResult(
+        False,
+        "transient",
+        subject,
+        message=(
+            "no single fair command falsifies p everywhere; per-command "
+            "stuck states recorded in the witness"
+        ),
+        witness={"stuck_states": failures},
+    )
+
+
+def check_invariant(program: Program, p: Predicate) -> CheckResult:
+    """``invariant p ≡ (init p) ∧ (stable p)`` (inductive, full space)."""
+    subject = f"invariant {p.describe()}"
+    init_res = check_init(program, p)
+    if not init_res.holds:
+        return CheckResult(
+            False, "invariant", subject,
+            message=f"init part fails: {init_res.message}",
+            witness=init_res.witness,
+        )
+    stab_res = check_stable(program, p)
+    if not stab_res.holds:
+        return CheckResult(
+            False, "invariant", subject,
+            message=f"stable part fails: {stab_res.message}",
+            witness=stab_res.witness,
+        )
+    return CheckResult(True, "invariant", subject)
+
+
+def check_reachable_invariant(program: Program, p: Predicate) -> CheckResult:
+    """The weaker, *non-inductive* notion: ``p`` holds on every reachable
+    state.  Not part of the paper's logic (it corresponds to the
+    substitution-axiom strengthening the paper avoids); provided for
+    comparison and diagnostics."""
+    space = program.space
+    reach = reachable_mask(program)
+    bad = reach & ~p.mask(space)
+    idx = np.flatnonzero(bad)
+    subject = f"reachable-invariant {p.describe()}"
+    if idx.size == 0:
+        return CheckResult(
+            True, "reachable-invariant", subject,
+            message=f"holds on all {int(reach.sum())} reachable states",
+        )
+    state = space.state_at(int(idx[0]))
+    return CheckResult(
+        False,
+        "reachable-invariant",
+        subject,
+        message=f"reachable state {state!r} violates p",
+        witness={"state": state, "violations": int(idx.size)},
+    )

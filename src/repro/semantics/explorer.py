@@ -1,0 +1,87 @@
+"""Reachable-state exploration (breadth-first over successor tables).
+
+The paper's property semantics is *inductive* (quantified over all states);
+reachability enters only for the weaker convenience notion
+``check_reachable_invariant`` and for diagnostics.  The explorer is fully
+vectorized: each BFS level applies every successor table to the whole
+frontier at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.program import Program
+from repro.core.state import State
+from repro.semantics.transition import TransitionSystem
+
+__all__ = ["reachable_mask", "reachable_states", "distance_map"]
+
+
+def reachable_mask(
+    program: Program, *, from_mask: np.ndarray | None = None
+) -> np.ndarray:
+    """Boolean mask of states reachable from the initial states.
+
+    ``from_mask`` overrides the start set (default: the ``initially``
+    predicate's satisfaction mask).
+    """
+    ts = TransitionSystem.for_program(program)
+    visited = (
+        program.initial_mask().copy() if from_mask is None else from_mask.copy()
+    )
+    frontier = np.flatnonzero(visited)
+    tables = [table for _, table in ts.all_tables()]
+    while frontier.size:
+        nxt: list[np.ndarray] = []
+        for table in tables:
+            succ = table[frontier]
+            fresh = succ[~visited[succ]]
+            if fresh.size:
+                # np.unique both dedups and sorts; marking before collecting
+                # the next frontier keeps each state processed exactly once.
+                fresh = np.unique(fresh)
+                visited[fresh] = True
+                nxt.append(fresh)
+        frontier = np.unique(np.concatenate(nxt)) if nxt else np.empty(0, np.int64)
+    return visited
+
+
+def reachable_states(program: Program, *, limit: int = 10_000) -> list[State]:
+    """Decoded reachable states (guarded by ``limit`` to avoid surprises)."""
+    mask = reachable_mask(program)
+    idx = np.flatnonzero(mask)
+    if idx.size > limit:
+        raise ValueError(
+            f"{idx.size} reachable states exceed limit={limit}; "
+            "work with the mask instead"
+        )
+    return [program.space.state_at(int(i)) for i in idx]
+
+
+def distance_map(
+    program: Program, *, from_mask: np.ndarray | None = None
+) -> np.ndarray:
+    """BFS distance (in command applications) from the start set;
+    unreachable states get ``-1``.  Used by diagnostics and benchmarks."""
+    ts = TransitionSystem.for_program(program)
+    start = (
+        program.initial_mask() if from_mask is None else np.asarray(from_mask, bool)
+    )
+    dist = np.full(program.space.size, -1, dtype=np.int64)
+    dist[start] = 0
+    frontier = np.flatnonzero(start)
+    tables = [table for _, table in ts.all_tables()]
+    level = 0
+    while frontier.size:
+        level += 1
+        nxt: list[np.ndarray] = []
+        for table in tables:
+            succ = table[frontier]
+            fresh = succ[dist[succ] < 0]
+            if fresh.size:
+                fresh = np.unique(fresh)
+                dist[fresh] = level
+                nxt.append(fresh)
+        frontier = np.unique(np.concatenate(nxt)) if nxt else np.empty(0, np.int64)
+    return dist

@@ -1,0 +1,108 @@
+"""Invariant utilities: strongest invariant and inductive strengthening.
+
+The paper's logic deliberately works *without* the substitution axiom, so
+an ``invariant`` obligation is inductive: ``init p ∧ stable p``.  Many
+natural predicates (the philosophers' mutual exclusion, say) are true of
+every reachable state yet **not** inductive — the standard remedy is to
+conjoin an auxiliary predicate until the conjunction is stable.  This
+module mechanizes that step:
+
+- :func:`strongest_invariant` — the reachable-state set as a predicate
+  (UNITY's *SI*; what the substitution axiom implicitly appeals to);
+- :func:`inductive_strengthening` — the **weakest inductive predicate
+  inside ``p``**: the greatest fixpoint ``νX. p ∧ ⋀_c wp.c.X``, computed
+  by mask iteration.  ``p`` is an invariant of the system *iff* this
+  strengthening still contains the initial states (soundness and maximality
+  are immediate: the gfp is stable by construction, contains every stable
+  subset of ``p``, and anything initial outside it escapes ``p``);
+- :func:`auto_invariant` — the resulting end-to-end check: "is ``p`` true
+  of every reachable state?", answered *and certified* by producing the
+  strengthened predicate, without enumerating reachability forward.
+
+The philosophers' test uses this to rediscover the ``eat_i ⇒ Priority.i``
+strengthening automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.predicates import MaskPredicate, Predicate
+from repro.core.program import Program
+from repro.semantics.checker import CheckResult
+from repro.semantics.explorer import reachable_mask
+from repro.semantics.transition import TransitionSystem
+
+__all__ = ["strongest_invariant", "inductive_strengthening", "auto_invariant"]
+
+
+def strongest_invariant(program: Program) -> MaskPredicate:
+    """The strongest invariant *SI*: exactly the reachable states.
+
+    Every invariant (inductive or not) contains it; the paper's logic
+    avoids appealing to it (no substitution axiom), so this is exposed for
+    comparison and diagnostics rather than used by the checkers.
+    """
+    return MaskPredicate(
+        program.space, reachable_mask(program), f"SI({program.name})"
+    )
+
+
+def inductive_strengthening(program: Program, p: Predicate) -> MaskPredicate:
+    """The weakest inductive predicate contained in ``p``.
+
+    Greatest-fixpoint iteration on masks: start from ``p`` and repeatedly
+    remove states with some command-successor outside the current set.
+    Terminates in at most ``|space|`` rounds (the mask shrinks); each
+    round is a vectorized gather per command.
+    """
+    ts = TransitionSystem.for_program(program)
+    mask = p.mask(ts.space).copy()
+    tables = [table for _, table in ts.all_tables()]
+    changed = True
+    while changed:
+        changed = False
+        for table in tables:
+            keep = mask & mask[table]
+            if not np.array_equal(keep, mask):
+                mask = keep
+                changed = True
+    return MaskPredicate(
+        ts.space, mask, f"strengthen({p.describe()})"
+    )
+
+
+def auto_invariant(program: Program, p: Predicate) -> CheckResult:
+    """Decide "``p`` holds on every reachable state" by strengthening.
+
+    Unlike :func:`repro.semantics.checker.check_reachable_invariant`, a
+    positive answer comes with a *certificate*: the witness key
+    ``"strengthened"`` holds an inductive predicate ``q ⊆ p`` with
+    ``init q`` — i.e. a genuine paper-style ``invariant q`` that implies
+    ``p``.  (This is the auxiliary-invariant discovery step, automated on
+    finite instances.)
+    """
+    subject = f"auto-invariant {p.describe()}"
+    strengthened = inductive_strengthening(program, p)
+    init_mask = program.initial_mask()
+    missing = init_mask & ~strengthened.mask(program.space)
+    idx = np.flatnonzero(missing)
+    if idx.size == 0:
+        return CheckResult(
+            True, "auto-invariant", subject,
+            message=(
+                f"inductive strengthening retains "
+                f"{strengthened.count(program.space)} of "
+                f"{p.count(program.space)} p-states and all initial states"
+            ),
+            witness={"strengthened": strengthened},
+        )
+    state = program.space.state_at(int(idx[0]))
+    return CheckResult(
+        False, "auto-invariant", subject,
+        message=(
+            f"initial state {state!r} can escape p "
+            "(it falls outside the weakest inductive subset)"
+        ),
+        witness={"state": state, "strengthened": strengthened},
+    )

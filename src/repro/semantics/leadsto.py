@@ -1,0 +1,216 @@
+"""Model checking ``p ↝ q`` under weak fairness (fair-SCC analysis).
+
+Semantics.  An execution repeatedly applies commands from ``C``; weak
+fairness requires every command of ``D`` to be applied infinitely often
+(commands are total and always enabled, so weak and unconditional fairness
+coincide).  ``p ↝ q`` holds iff every fair execution starting from any
+``p``-state reaches a ``q``-state.
+
+Finite-state characterization.  ``p ↝ q`` fails iff some ``p``-state can
+reach — inside ``¬q`` — a **fair SCC**: a strongly connected component
+``H`` of the ``¬q``-restricted transition graph such that *every* ``d ∈ D``
+has an edge with both endpoints in ``H``.
+
+*Soundness:* inside a fair SCC the scheduler can tour all the required
+``d``-edges forever (strong connectivity supplies the connecting walks, and
+``skip ∈ C`` supplies waiting moves), yielding a fair execution that never
+reaches ``q``.  *Completeness:* the limit set of any fair ``¬q``-confined
+execution is strongly connected and, for each ``d ∈ D``, contains a state
+whose ``d``-successor is also in the limit set (``d`` fires infinitely often
+from finitely many states); hence the limit set lies inside a fair SCC,
+which the start state therefore reaches.
+
+The analysis returned by :func:`fair_scc_analysis` also drives the proof
+synthesizer (:mod:`repro.semantics.synthesis`): in the complement region
+every SCC misses some ``d ∈ D`` entirely, which is exactly a
+``transient``/``ensures`` step of the paper's proof system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.semantics.checker import CheckResult
+from repro.semantics.scc import Condensation, condensation
+from repro.semantics.transition import TransitionSystem
+
+__all__ = ["FairAnalysis", "fair_scc_analysis", "check_leadsto"]
+
+
+def _csr_reverse(
+    allowed: np.ndarray, tables: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR adjacency of the *reversed* subgraph induced by ``allowed``.
+
+    Returns ``(indptr, src)``: predecessors of node ``v`` are
+    ``src[indptr[v]:indptr[v+1]]``.
+    """
+    n = allowed.shape[0]
+    srcs, dsts = [], []
+    allowed_idx = np.flatnonzero(allowed)
+    for table in tables:
+        d = table[allowed_idx]
+        keep = allowed[d]
+        srcs.append(allowed_idx[keep])
+        dsts.append(d[keep])
+    if srcs:
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+    else:  # pragma: no cover - programs always have at least skip
+        src = np.empty(0, dtype=np.int64)
+        dst = np.empty(0, dtype=np.int64)
+    order = np.argsort(dst, kind="stable")
+    src = src[order]
+    dst = dst[order]
+    indptr = np.searchsorted(dst, np.arange(n + 1))
+    return indptr, src
+
+
+def _reverse_closure(
+    seeds: np.ndarray, allowed: np.ndarray, tables: list[np.ndarray]
+) -> np.ndarray:
+    """States in ``allowed`` that can reach a seed via ``allowed``-internal
+    edges (seeds included).  Fully vectorized CSR BFS."""
+    indptr, src = _csr_reverse(allowed, tables)
+    visited = seeds.copy()
+    frontier = np.flatnonzero(visited)
+    while frontier.size:
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Standard CSR gather: expand [start, start+count) ranges.
+        base = np.repeat(starts, counts)
+        within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        preds = src[base + within]
+        fresh = np.unique(preds[~visited[preds]])
+        visited[fresh] = True
+        frontier = fresh
+    return visited
+
+
+@dataclass
+class FairAnalysis:
+    """Full fairness analysis of the ``¬q`` subgraph.
+
+    Attributes
+    ----------
+    q_mask, notq_mask:
+        Satisfaction masks of the target predicate and its complement.
+    cond:
+        SCC condensation of the ``¬q`` subgraph (emission order = sinks
+        first; see :mod:`repro.semantics.scc`).
+    fair_flags:
+        ``fair_flags[k]`` — SCC ``k`` satisfies the fair-SCC criterion.
+    avoid_mask:
+        States that can reach a fair SCC inside ``¬q`` — exactly the states
+        from which the scheduler can avoid ``q`` forever.
+    safe_mask:
+        ``¬q``-states from which ``q`` is inevitable
+        (``notq_mask & ~avoid_mask``).
+    """
+
+    q_mask: np.ndarray
+    notq_mask: np.ndarray
+    cond: Condensation
+    fair_flags: np.ndarray
+    avoid_mask: np.ndarray
+
+    @property
+    def safe_mask(self) -> np.ndarray:
+        return self.notq_mask & ~self.avoid_mask
+
+    def inevitable_mask(self) -> np.ndarray:
+        """States from which every fair execution reaches ``q``."""
+        return ~self.avoid_mask
+
+    def safe_components(self) -> list[tuple[int, np.ndarray]]:
+        """``(comp_id, members)`` for SCCs in the safe region, in emission
+        (sinks-first) order — the levels of the synthesized induction."""
+        out = []
+        for k, members in enumerate(self.cond.components):
+            if not self.avoid_mask[members[0]]:
+                out.append((k, members))
+        return out
+
+
+def fair_scc_analysis(program: Program, q: Predicate) -> FairAnalysis:
+    """Analyse the ``¬q`` subgraph of ``program`` for fair avoidance."""
+    ts = TransitionSystem.for_program(program)
+    space = ts.space
+    qm = q.mask(space)
+    notq = ~qm
+    tables = [table for _, table in ts.all_tables()]
+    cond = condensation(notq, tables)
+
+    fair_tables = ts.fair_tables()
+    fair_flags = np.zeros(cond.count, dtype=bool)
+    member = np.zeros(space.size, dtype=bool)
+    for k, comp in enumerate(cond.components):
+        member[comp] = True
+        ok = True
+        for _, dtable in fair_tables:
+            if not member[dtable[comp]].any():
+                ok = False
+                break
+        fair_flags[k] = ok
+        member[comp] = False
+
+    seeds = np.zeros(space.size, dtype=bool)
+    for k, comp in enumerate(cond.components):
+        if fair_flags[k]:
+            seeds[comp] = True
+    avoid = _reverse_closure(seeds, notq, tables)
+    return FairAnalysis(
+        q_mask=qm, notq_mask=notq, cond=cond, fair_flags=fair_flags,
+        avoid_mask=avoid,
+    )
+
+
+def check_leadsto(program: Program, p: Predicate, q: Predicate) -> CheckResult:
+    """Check ``p ↝ q`` under weak fairness of ``D``.
+
+    The witness of a failure contains a ``p``-state from which the
+    scheduler can confine the execution to ``¬q`` forever, plus a state of
+    the fair SCC it settles in.
+    """
+    space = program.space
+    subject = f"{p.describe()} ~> {q.describe()}"
+    analysis = fair_scc_analysis(program, q)
+    bad = p.mask(space) & analysis.avoid_mask
+    idx = np.flatnonzero(bad)
+    if idx.size == 0:
+        return CheckResult(
+            True, "leadsto", subject,
+            message=(
+                f"{int(analysis.safe_mask.sum())} ¬q-states are safe, "
+                f"{int(analysis.avoid_mask.sum())} avoidable, none satisfy p"
+            ),
+        )
+    state = space.state_at(int(idx[0]))
+    # Locate some fair SCC for the diagnostic (any one reachable suffices
+    # for the message; exact path reconstruction is not needed).
+    fair_state = None
+    for k, comp in enumerate(analysis.cond.components):
+        if analysis.fair_flags[k]:
+            fair_state = space.state_at(int(comp[0]))
+            break
+    return CheckResult(
+        False,
+        "leadsto",
+        subject,
+        message=(
+            f"from p-state {state!r} the scheduler can avoid q forever "
+            f"(e.g. settling near {fair_state!r})"
+        ),
+        witness={
+            "state": state,
+            "fair_scc_state": fair_state,
+            "violations": int(idx.size),
+        },
+    )

@@ -1,0 +1,116 @@
+"""Iterative Tarjan strongly-connected-components over successor tables.
+
+Used by the leads-to model checker (:mod:`repro.semantics.leadsto`): the
+``¬q``-restricted transition graph is decomposed into SCCs, and weak
+fairness reduces to a per-SCC edge criterion.
+
+The implementation is an explicit-stack Tarjan (no recursion — state spaces
+routinely exceed Python's recursion limit) over a *subgraph*: only states
+with ``mask`` true participate, and only edges whose endpoints are both in
+the mask are followed.
+
+Tarjan emits SCCs in **reverse topological order** of the condensation
+(every edge leaving an SCC points to an earlier-emitted SCC).  The proof
+synthesizer relies on this: it turns the emission order directly into the
+variant-metric levels of the induction certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Condensation", "condensation"]
+
+
+@dataclass
+class Condensation:
+    """SCC decomposition of a masked subgraph.
+
+    Attributes
+    ----------
+    comp_id:
+        Array of length ``n``; SCC index per state (``-1`` outside the mask).
+        Indices follow emission order: edges between distinct SCCs always go
+        from higher ``comp_id`` to lower.
+    components:
+        ``components[k]`` is the sorted array of member states of SCC ``k``.
+    """
+
+    comp_id: np.ndarray
+    components: list[np.ndarray]
+
+    @property
+    def count(self) -> int:
+        """Number of SCCs."""
+        return len(self.components)
+
+
+def condensation(mask: np.ndarray, tables: list[np.ndarray]) -> Condensation:
+    """Tarjan SCCs of the subgraph induced by ``mask``.
+
+    ``tables`` are full-space successor tables; an edge ``s → t[s]`` exists
+    iff both endpoints satisfy ``mask``.
+    """
+    n = mask.shape[0]
+    comp_id = np.full(n, -1, dtype=np.int64)
+    index = np.full(n, -1, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+
+    ntables = len(tables)
+    counter = 0
+    components: list[np.ndarray] = []
+    stack: list[int] = []  # Tarjan's SCC stack
+    # DFS work stack holds (node, next-edge-cursor) pairs.
+    work: list[list[int]] = []
+
+    nodes = np.flatnonzero(mask)
+    for root in nodes:
+        root = int(root)
+        if index[root] >= 0:
+            continue
+        work.append([root, 0])
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            frame = work[-1]
+            v, cursor = frame
+            if cursor < ntables:
+                frame[1] += 1
+                w = int(tables[cursor][v])
+                if not mask[w]:
+                    continue
+                if index[w] < 0:
+                    # Tree edge: descend.
+                    index[w] = low[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack[w] = True
+                    work.append([w, 0])
+                elif on_stack[w]:
+                    if index[w] < low[v]:
+                        low[v] = index[w]
+                continue
+            # All edges of v explored: close the frame.
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if low[v] < low[parent]:
+                    low[parent] = low[v]
+            if low[v] == index[v]:
+                # v is the root of an SCC: pop it off the stack.
+                members = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    members.append(w)
+                    if w == v:
+                        break
+                arr = np.array(sorted(members), dtype=np.int64)
+                comp_id[arr] = len(components)
+                components.append(arr)
+    return Condensation(comp_id=comp_id, components=components)

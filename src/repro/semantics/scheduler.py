@@ -1,0 +1,98 @@
+"""Schedulers: who picks the next command.
+
+The paper's model constrains executions only by weak fairness of ``D``.
+Schedulers realize (or deliberately violate, for testing) that constraint:
+
+- :class:`RoundRobinScheduler` — cycles through all of ``C``; fair for any
+  ``D ⊆ C`` (every command recurs with period ``|C|``).
+- :class:`RandomFairScheduler` — i.i.d. uniform choice over ``C``; fair
+  with probability 1 (each command recurs infinitely often almost surely).
+- :class:`SequenceScheduler` — replays an explicit command-name sequence;
+  the adversary used by tests to *demonstrate* unfair or q-avoiding
+  schedules found by the model checker.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.commands import Command
+from repro.core.program import Program
+from repro.util.rng import make_rng
+
+__all__ = [
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomFairScheduler",
+    "SequenceScheduler",
+]
+
+
+class Scheduler:
+    """Abstract scheduler: yields the next command to execute."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+
+    def next_command(self, step: int) -> Command:
+        """Command to execute at step ``step`` (0-based)."""
+        raise NotImplementedError
+
+    def is_fair_for(self, fair_names: frozenset[str]) -> bool:
+        """Best-effort static fairness judgement (used in diagnostics)."""
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle deterministically through the command list.
+
+    Fair for every ``D``: each command executes every ``|C|`` steps, so a
+    semantically valid ``p ↝ q`` must be realized within
+    ``|space| · |C|`` steps from any start state — the bound the simulation
+    cross-validation tests rely on.
+    """
+
+    def next_command(self, step: int) -> Command:
+        cmds = self.program.commands
+        return cmds[step % len(cmds)]
+
+    def is_fair_for(self, fair_names: frozenset[str]) -> bool:
+        return True
+
+
+class RandomFairScheduler(Scheduler):
+    """Uniform i.i.d. choice over ``C`` (fair with probability 1)."""
+
+    def __init__(self, program: Program, seed: int | np.random.Generator = 0) -> None:
+        super().__init__(program)
+        self._rng = make_rng(seed)
+
+    def next_command(self, step: int) -> Command:
+        cmds = self.program.commands
+        return cmds[int(self._rng.integers(len(cmds)))]
+
+    def is_fair_for(self, fair_names: frozenset[str]) -> bool:
+        return True
+
+
+class SequenceScheduler(Scheduler):
+    """Replay an explicit finite schedule, then repeat it forever.
+
+    Fair for ``D`` iff every fair command occurs in the (repeated) list.
+    """
+
+    def __init__(self, program: Program, names: Sequence[str]) -> None:
+        super().__init__(program)
+        if not names:
+            raise ValueError("SequenceScheduler needs a non-empty schedule")
+        self.names = tuple(names)
+        for name in self.names:
+            program.command_named(name)  # validates
+
+    def next_command(self, step: int) -> Command:
+        return self.program.command_named(self.names[step % len(self.names)])
+
+    def is_fair_for(self, fair_names: frozenset[str]) -> bool:
+        return fair_names <= set(self.names)

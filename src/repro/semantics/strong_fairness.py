@@ -1,0 +1,123 @@
+"""Ablation: leads-to under **strong** fairness.
+
+The paper's §2 model uses *weak* fairness: every command of ``D`` is
+**executed** infinitely often — and since commands are total, an execution
+whose guard is false is a legal no-op.  This has a consequence worth
+isolating: a helpful command can be "starved" by always scheduling it while
+its guard is off (see ``tests/test_leadsto.py::
+test_weak_fairness_counts_vacuous_executions``).
+
+This module checks the same ``p ↝ q`` judgment under **strong** fairness:
+
+    if ``d ∈ D`` is *enabled* (some guard true) infinitely often, then
+    ``d`` is executed *while enabled* infinitely often.
+
+Finite-state characterization (an SCC criterion again, but per-command
+three-valued): an SCC ``H`` of the ``¬q`` graph hosts a strongly-fair
+``¬q``-confined execution iff for every ``d ∈ D`` **either**
+
+- no state of ``H`` enables ``d`` (the premise of the fairness obligation
+  never recurs), **or**
+- some ``u ∈ H`` enables ``d`` with ``succ_d(u) ∈ H`` (the obligation can
+  be honoured without leaving ``H``).
+
+Strong fairness validates strictly more leads-to properties than weak
+(every weakly-fair-avoidable SCC is strongly-fair-avoidable only if it
+passes the stricter test).  The ablation benchmark
+(``benchmarks/bench_fairness_ablation.py``) quantifies the gap on the
+paper's systems: the §4 mechanism is insensitive (its yield guards are
+exactly the priority states, which persist until served — making weak
+fairness as good as strong), which is an implicit design property of the
+paper's solution that the ablation makes visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.semantics.checker import CheckResult
+from repro.semantics.leadsto import FairAnalysis, _reverse_closure
+from repro.semantics.scc import condensation
+from repro.semantics.transition import TransitionSystem
+
+__all__ = ["strong_fair_scc_analysis", "check_leadsto_strong", "fairness_gap"]
+
+
+def strong_fair_scc_analysis(program: Program, q: Predicate) -> FairAnalysis:
+    """Like :func:`repro.semantics.leadsto.fair_scc_analysis` but with the
+    strong-fairness SCC criterion."""
+    ts = TransitionSystem.for_program(program)
+    space = ts.space
+    qm = q.mask(space)
+    notq = ~qm
+    tables = [table for _, table in ts.all_tables()]
+    cond = condensation(notq, tables)
+
+    fair_cmds = [
+        (cmd, ts.tables[cmd.name], cmd.enabled_mask(space))
+        for cmd in program.fair_commands
+    ]
+    fair_flags = np.zeros(cond.count, dtype=bool)
+    member = np.zeros(space.size, dtype=bool)
+    for k, comp in enumerate(cond.components):
+        member[comp] = True
+        ok = True
+        for _, dtable, enabled in fair_cmds:
+            en = enabled[comp]
+            if not en.any():
+                continue  # never enabled inside H: obligation vacuous
+            # Enabled somewhere in H: need an enabled execution staying in H.
+            if not (member[dtable[comp]] & en).any():
+                ok = False
+                break
+        fair_flags[k] = ok
+        member[comp] = False
+
+    seeds = np.zeros(space.size, dtype=bool)
+    for k, comp in enumerate(cond.components):
+        if fair_flags[k]:
+            seeds[comp] = True
+    avoid = _reverse_closure(seeds, notq, tables)
+    return FairAnalysis(
+        q_mask=qm, notq_mask=notq, cond=cond, fair_flags=fair_flags,
+        avoid_mask=avoid,
+    )
+
+
+def check_leadsto_strong(program: Program, p: Predicate, q: Predicate) -> CheckResult:
+    """Check ``p ↝ q`` assuming **strong** fairness of ``D``."""
+    space = program.space
+    subject = f"{p.describe()} ~>[strong] {q.describe()}"
+    analysis = strong_fair_scc_analysis(program, q)
+    bad = p.mask(space) & analysis.avoid_mask
+    idx = np.flatnonzero(bad)
+    if idx.size == 0:
+        return CheckResult(
+            True, "leadsto-strong", subject,
+            message=(
+                f"{int(analysis.safe_mask.sum())} ¬q-states safe under "
+                f"strong fairness, {int(analysis.avoid_mask.sum())} avoidable"
+            ),
+        )
+    state = space.state_at(int(idx[0]))
+    return CheckResult(
+        False, "leadsto-strong", subject,
+        message=f"avoidable even under strong fairness, from {state!r}",
+        witness={"state": state, "violations": int(idx.size)},
+    )
+
+
+def fairness_gap(program: Program, p: Predicate, q: Predicate) -> dict[str, bool]:
+    """Verdicts of both fairness notions side by side.
+
+    Soundness invariant (tested): weak ⇒ strong — anything guaranteed under
+    the weaker scheduler constraint is guaranteed under the stronger one.
+    The interesting instances are ``{'weak': False, 'strong': True}``.
+    """
+    from repro.semantics.leadsto import check_leadsto
+
+    weak = check_leadsto(program, p, q).holds
+    strong = check_leadsto_strong(program, p, q).holds
+    return {"weak": weak, "strong": strong, "gap": strong and not weak}

@@ -1,0 +1,119 @@
+"""Proof synthesis: from model-checking evidence to kernel certificates.
+
+The paper's central observation is that some compositional steps are
+mechanical while others ("constructing the universal property") require
+creativity.  On *finite* instances, that creative gap closes: whenever the
+fair-SCC model checker validates ``p ↝ q``, this module reconstructs a
+proof object that the kernel re-checks using **only the paper's proof
+system** (Transient, Implication, Disjunction, Transitivity, PSP — via the
+derived ``Ensures`` and ``MetricInduction`` constructions).
+
+Construction.  Work in the ``¬q`` transition graph restricted to the
+*safe* region (states from which ``q`` is inevitable) and to the forward
+closure ``R`` of ``p ∧ ¬q``:
+
+- every SCC ``H`` of this region is **unfair** — some ``d ∈ D`` has no edge
+  staying inside ``H`` — hence ``transient H`` holds with witness ``d``;
+- all other edges of ``H`` stay in ``H`` or exit to lower SCCs or ``q``
+  (Tarjan emission order), hence ``H next (H ∨ exit)``;
+- together: ``H ensures exit(H)`` — one :class:`~repro.core.rules.Ensures`
+  step per SCC;
+- the SCC emission order is a well-founded variant, closing the argument
+  with one :class:`~repro.core.rules.MetricInduction`.
+
+The synthesized certificate is linear in the number of SCCs, and checking
+it is independent of the model checker's verdict — the kernel re-discharges
+every ``transient``/``next``/validity obligation from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.predicates import MaskPredicate, Predicate
+from repro.core.program import Program
+from repro.core.rules import Ensures, Implication, LeadsToProof, MetricInduction
+from repro.errors import ProofError
+from repro.semantics.leadsto import fair_scc_analysis
+from repro.semantics.transition import TransitionSystem
+
+__all__ = ["synthesize_leadsto_proof"]
+
+
+def _forward_closure(
+    seeds: np.ndarray, allowed: np.ndarray, tables: list[np.ndarray]
+) -> np.ndarray:
+    """Forward closure of ``seeds`` inside ``allowed`` (successors leaving
+    ``allowed`` are dropped — exits to ``q`` end the obligation)."""
+    visited = seeds.copy()
+    frontier = np.flatnonzero(visited)
+    while frontier.size:
+        nxt = []
+        for table in tables:
+            succ = table[frontier]
+            keep = succ[allowed[succ] & ~visited[succ]]
+            if keep.size:
+                keep = np.unique(keep)
+                visited[keep] = True
+                nxt.append(keep)
+        frontier = (
+            np.unique(np.concatenate(nxt)) if nxt else np.empty(0, np.int64)
+        )
+    return visited
+
+
+def synthesize_leadsto_proof(
+    program: Program, p: Predicate, q: Predicate
+) -> LeadsToProof:
+    """Build a kernel-checkable certificate for ``p ↝ q``.
+
+    Raises :class:`ProofError` if the property does not hold (no proof
+    exists), quoting the model checker's counterexample.
+    """
+    ts = TransitionSystem.for_program(program)
+    space = ts.space
+    analysis = fair_scc_analysis(program, q)
+    pm = p.mask(space)
+
+    bad = pm & analysis.avoid_mask
+    if bad.any():
+        state = space.state_at(int(np.flatnonzero(bad)[0]))
+        raise ProofError(
+            f"cannot synthesize a proof of {p.describe()} ~> {q.describe()}: "
+            f"the property fails (scheduler can avoid q from {state!r})"
+        )
+
+    # Restrict to the part of the safe region the obligation actually
+    # touches: the forward closure of p ∧ ¬q.
+    tables = [table for _, table in ts.all_tables()]
+    seeds = pm & analysis.notq_mask
+    region = _forward_closure(seeds, analysis.notq_mask, tables)
+
+    if not region.any():
+        # p ⇒ q: a single Implication suffices.
+        return Implication(p, q)
+
+    # Levels: SCCs intersecting the region, in Tarjan emission (sinks-first)
+    # order.  An SCC intersecting the region is contained in it (regions are
+    # closed and SCC members are mutually reachable).
+    levels: list[Predicate] = []
+    subs: list[LeadsToProof] = []
+    lower_mask = q.mask(space).copy()
+    n_level = 0
+    for k, members in enumerate(analysis.cond.components):
+        if not region[members[0]]:
+            continue
+        member_mask = np.zeros(space.size, dtype=bool)
+        member_mask[members] = True
+        level_pred = MaskPredicate(
+            space, member_mask, f"level[{n_level}] (scc #{k}, {members.size} states)"
+        )
+        exit_pred = MaskPredicate(
+            space, lower_mask.copy(), f"exit[{n_level}] (q or lower levels)"
+        )
+        levels.append(level_pred)
+        subs.append(Ensures(level_pred, exit_pred))
+        lower_mask |= member_mask
+        n_level += 1
+
+    return MetricInduction(p, q, levels, subs)

@@ -1,0 +1,105 @@
+"""Transition-system extraction: programs as NumPy successor tables.
+
+Each command of a program is a total function on states, so over the
+encoded state space it is an ``int64`` array ``t`` with ``t[i]`` the
+successor index of state ``i``.  The :class:`TransitionSystem` builds and
+caches these tables; every semantic checker operates on them.
+
+Tables are built once per program (``TransitionSystem.for_program`` keeps a
+weak cache), so repeated property checks — the normal mode for the paper's
+long proof chains — pay the vectorized construction cost once.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.core.commands import Command
+from repro.core.program import Program
+from repro.core.state import StateSpace
+
+__all__ = ["TransitionSystem"]
+
+_CACHE: "weakref.WeakKeyDictionary[Program, TransitionSystem]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+class TransitionSystem:
+    """Successor tables for every command of a program.
+
+    Attributes
+    ----------
+    program, space:
+        The underlying program and its state space.
+    tables:
+        ``dict`` command name → ``int64`` successor array of length
+        ``space.size``.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.space: StateSpace = program.space
+        self.tables: dict[str, np.ndarray] = {
+            cmd.name: cmd.succ_table(self.space) for cmd in program.commands
+        }
+
+    @classmethod
+    def for_program(cls, program: Program) -> "TransitionSystem":
+        """Return the (weakly) cached transition system of ``program``."""
+        ts = _CACHE.get(program)
+        if ts is None:
+            ts = cls(program)
+            _CACHE[program] = ts
+        return ts
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def commands(self) -> tuple[Command, ...]:
+        """All commands (the set ``C``)."""
+        return self.program.commands
+
+    def table_of(self, command: Command | str) -> np.ndarray:
+        """Successor table of one command."""
+        name = command.name if isinstance(command, Command) else command
+        return self.tables[name]
+
+    def all_tables(self) -> list[tuple[Command, np.ndarray]]:
+        """``(command, table)`` pairs for every command of ``C``."""
+        return [(cmd, self.tables[cmd.name]) for cmd in self.program.commands]
+
+    def fair_tables(self) -> list[tuple[Command, np.ndarray]]:
+        """``(command, table)`` pairs for the weakly-fair subset ``D``."""
+        return [
+            (cmd, self.tables[cmd.name]) for cmd in self.program.fair_commands
+        ]
+
+    # -- bulk queries -----------------------------------------------------------
+
+    def post_mask(self, mask: np.ndarray) -> np.ndarray:
+        """One-step image: states reachable from ``mask`` by any command."""
+        out = np.zeros(self.space.size, dtype=bool)
+        src = np.flatnonzero(mask)
+        for _, table in self.all_tables():
+            out[table[src]] = True
+        return out
+
+    def pre_mask(self, mask: np.ndarray) -> np.ndarray:
+        """One-step preimage: states with some command-successor in ``mask``."""
+        out = np.zeros(self.space.size, dtype=bool)
+        for _, table in self.all_tables():
+            out |= mask[table]
+        return out
+
+    def edge_count(self) -> int:
+        """Number of (state, command) transition pairs (bench metric)."""
+        return self.space.size * len(self.program.commands)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TransitionSystem {self.program.name}: {self.space.size} states × "
+            f"{len(self.tables)} commands>"
+        )

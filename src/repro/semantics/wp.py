@@ -1,0 +1,46 @@
+"""Weakest preconditions, semantically — and agreement with symbolic ``wp``.
+
+The paper's property definitions are phrased through ``wp``.  Commands
+compute ``wp`` *symbolically* by substitution
+(:meth:`repro.core.commands.Command.wp`); this module computes it
+*semantically* from successor tables::
+
+    wp.c.P  =  { s : P(c(s)) }   —   as a mask:  P_mask[table_c]
+
+and provides the cross-validation used by the test suite: on every command
+with expression predicates, the two must produce identical masks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.commands import Command
+from repro.core.predicates import MaskPredicate, Predicate
+from repro.core.state import StateSpace
+from repro.errors import PropertyError
+
+__all__ = ["semantic_wp", "wp_agreement"]
+
+
+def semantic_wp(command: Command, pred: Predicate, space: StateSpace) -> MaskPredicate:
+    """``wp.command.pred`` as a precomputed mask predicate over ``space``."""
+    table = command.succ_table(space)
+    mask = pred.mask(space)[table]
+    return MaskPredicate(
+        space, mask, f"wp.{command.name}.({pred.describe()})"
+    )
+
+
+def wp_agreement(command: Command, pred: Predicate, space: StateSpace) -> bool:
+    """True iff symbolic and semantic ``wp`` agree on every state.
+
+    Raises :class:`PropertyError` if ``pred`` has no symbolic form (the
+    symbolic path requires an expression predicate).
+    """
+    symbolic = command.wp(pred)
+    semantic = semantic_wp(command, pred, space)
+    try:
+        return bool(np.array_equal(symbolic.mask(space), semantic.mask(space)))
+    except PropertyError:  # pragma: no cover - defensive
+        raise

@@ -1,0 +1,195 @@
+"""Resource allocator sketch (paper's conclusion): ``guarantees`` at work.
+
+The conclusion contrasts the priority example with a resource-allocator
+case study "[making] use only of existential properties".  This module
+provides that flavour: a token pool shared between an allocator and
+clients, specified through existential properties (``init``, ``transient``)
+and one ``guarantees``:
+
+- conservation — ``invariant avail + Σ_i hold_i = T``;
+- the pool *guarantees* that if every client keeps
+  ``⟨∀k ≥ 1 : transient (hold_i = k)⟩`` (clients always give tokens
+  back), the system has ``conservation ↝ avail > 0`` — a token is always
+  eventually available.  (The stronger ``↝ avail = T`` is *false* even
+  with polite clients: a fair take/give ping-pong keeps the pool partially
+  drained forever — the model checker finds that fair cycle, and a test
+  pins it.)
+
+``guarantees`` quantifies over all compatible environments, so it is not
+finitely checkable; :meth:`AllocatorSystem.guarantee` is exercised by
+:meth:`~repro.core.properties.Guarantees.check_against` over explicit
+environment universes (well-behaved and misbehaving clients) in the tests
+— including a misbehaving client that *refutes the premise* rather than
+the guarantee, which is exactly how an existential specification is meant
+to fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.commands import GuardedCommand
+from repro.core.composition import compose_all
+from repro.core.domains import IntRange
+from repro.core.expressions import esum, land
+from repro.core.predicates import ExprPredicate, TRUE
+from repro.core.program import Program
+from repro.core.properties import (
+    Guarantees,
+    Invariant,
+    LeadsTo,
+    PropertyFamily,
+    Transient,
+)
+from repro.core.variables import Locality, Var
+
+__all__ = ["AllocatorSystem", "build_allocator_system", "build_greedy_client"]
+
+
+def avail_var(total: int) -> Var:
+    """The shared token pool."""
+    return Var.shared("avail", IntRange(0, total))
+
+
+def hold_var(i: int, total: int) -> Var:
+    """Client ``i``'s held-token count (shared: the allocator reads it)."""
+    return Var.indexed("hold", i, IntRange(0, total))
+
+
+@dataclass
+class AllocatorSystem:
+    """Allocator + ``n`` polite clients over a pool of ``total`` tokens."""
+
+    n: int
+    total: int
+    clients: list[Program]
+    system: Program
+
+    @property
+    def avail(self) -> Var:
+        return self.system.var_named("avail")
+
+    def hold(self, i: int) -> Var:
+        return self.system.var_named(f"hold[{i}]")
+
+    # -- properties ----------------------------------------------------------
+
+    def conservation(self) -> Invariant:
+        """``invariant avail + Σ hold_i = T``."""
+        total_expr = self.avail.ref() + esum(
+            [self.hold(i).ref() for i in range(self.n)]
+        )
+        return Invariant(ExprPredicate(total_expr == self.total))
+
+    def conservation_predicate(self) -> ExprPredicate:
+        """``avail + Σ hold_i = T`` as a predicate."""
+        total_expr = self.avail.ref() + esum(
+            [self.hold(i).ref() for i in range(self.n)]
+        )
+        return ExprPredicate(total_expr == self.total)
+
+    def clients_return_tokens(self) -> PropertyFamily:
+        """``⟨∀i, k ≥ 1 : transient (conservation ∧ hold_i = k)⟩`` — every
+        held level is eventually left (the fair ``give`` decrements it).
+
+        Two deliberate weakenings, each pinned by a test:
+
+        - ``transient (hold_i > 0)`` is too strong — a client holding two
+          tokens still holds one after a give, and the paper's
+          ``transient`` requires a **single** command to falsify the
+          predicate from every state;
+        - the conjunct ``conservation`` is needed because ``give`` is
+          guarded by ``avail < T`` (domain safety): in the non-conserving
+          state ``hold_i = k ∧ avail = T`` the give skips.  Under
+          conservation that state does not exist.
+        """
+        conserve = self.conservation_predicate()
+        members = []
+        for i in range(self.n):
+            for k in range(1, self.total + 1):
+                members.append(Transient(
+                    conserve & ExprPredicate(self.hold(i).ref() == k)
+                ))
+        return PropertyFamily(
+            "forall i, k >= 1 : transient (conservation /\\ hold_i = k)",
+            members,
+        )
+
+    def token_available(self) -> LeadsTo:
+        """``conservation ↝ avail > 0`` — the pool is never starved for
+        good.  (Conditioned on conservation for the same reason the §4
+        liveness is conditioned on acyclicity: the inductive semantics
+        quantifies over all states, including non-conserving ones where
+        everything deadlocks.)"""
+        return LeadsTo(
+            self.conservation_predicate(),
+            ExprPredicate(self.avail.ref() > 0),
+        )
+
+    def pool_refills_fully(self) -> LeadsTo:
+        """``conservation ↝ avail = T`` — **false** for ``n ≥ 2, T ≥ 2``:
+        the scheduler can ping-pong one token between take and give forever
+        while a second stays held.  Kept as the negative exhibit."""
+        return LeadsTo(
+            self.conservation_predicate(),
+            ExprPredicate(self.avail.ref() == self.total),
+        )
+
+    def guarantee(self) -> Guarantees:
+        """``(∀i,k : transient hold_i = k) guarantees (conservation ↝ avail > 0)``."""
+        return Guarantees(self.clients_return_tokens(), self.token_available())
+
+
+def build_client(i: int, total: int, *, polite: bool = True) -> Program:
+    """Client ``i``: takes one token when available, returns it (fairly).
+
+    ``polite=False`` builds a hoarder whose *return* command is missing —
+    it falsifies the ``transient hold_i`` premise of the guarantee, which
+    tests use to show the guarantee's implication is vacuous (not violated)
+    for such environments.
+    """
+    hold = hold_var(i, total)
+    avail = avail_var(total)
+    take = GuardedCommand(
+        f"take[{i}]",
+        land(avail.ref() > 0, hold.ref() < total),
+        [(hold, hold.ref() + 1), (avail, avail.ref() - 1)],
+    )
+    commands = [take]
+    fair = []
+    if polite:
+        give = GuardedCommand(
+            f"give[{i}]",
+            land(hold.ref() > 0, avail.ref() < total),
+            [(hold, hold.ref() - 1), (avail, avail.ref() + 1)],
+        )
+        commands.append(give)
+        fair.append(f"give[{i}]")
+    return Program(
+        f"Client[{i}]",
+        [hold, avail],
+        ExprPredicate(hold.ref() == 0),
+        commands,
+        fair=fair,
+    )
+
+
+def build_greedy_client(i: int, total: int) -> Program:
+    """A client that never returns tokens (premise-refuting environment)."""
+    return build_client(i, total, polite=False)
+
+
+def build_allocator_system(n: int, total: int = 3) -> AllocatorSystem:
+    """Pool initialized full, ``n`` polite clients."""
+    if n < 1 or total < 1:
+        raise ValueError(f"need n ≥ 1 clients and total ≥ 1 tokens")
+    avail = avail_var(total)
+    pool = Program(
+        "Pool",
+        [avail],
+        ExprPredicate(avail.ref() == total),
+        [],
+    )
+    clients = [build_client(i, total) for i in range(n)]
+    system = compose_all([pool, *clients], name=f"Allocator[{n}]")
+    return AllocatorSystem(n=n, total=total, clients=clients, system=system)

@@ -1,0 +1,149 @@
+"""Generalizations of the §3 toy example — the reuse story.
+
+§3.4: *"we can now use our local component specification in a variety of
+systems, including those that we have not anticipated."*  This module
+stress-tests that claim with two variants the paper did not anticipate:
+
+- **heterogeneous caps** — each component saturates at its own ``cap_i``;
+- **weighted actions** — component ``i`` bumps the shared counter by a
+  weight ``w_i`` per action, so the system invariant becomes
+  ``C = Σ_i w_i · c_i``.
+
+Both reuse the *same* §3.3 proof skeleton unchanged:
+:func:`build_weighted_invariant_proof` produces the identical rule tree —
+``ConstantExpressions`` per lifted component (now with the constants
+``C − w_i·c_i`` and the foreign ``c_j``), ``UniversalLift``,
+``InitLift``/``InitConjunction``/``InitWeaken``, ``InvariantIntro`` — which
+is precisely what the paper means by a specification that survives
+unanticipated environments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.commands import GuardedCommand
+from repro.core.composition import compose_all, lifted
+from repro.core.domains import IntRange
+from repro.core.expressions import Expr, esum, land
+from repro.core.predicates import ExprPredicate, Predicate
+from repro.core.program import Program
+from repro.core.proofs import (
+    ConstantExpressions,
+    InitConjunction,
+    InitLeaf,
+    InitLift,
+    InitWeaken,
+    InvariantIntro,
+    UniversalLift,
+)
+from repro.core.variables import Locality, Var
+
+__all__ = [
+    "WeightedCounterSystem",
+    "build_weighted_counter_system",
+    "build_weighted_invariant_proof",
+]
+
+
+@dataclass
+class WeightedCounterSystem:
+    """§3 generalized: per-component caps and weights."""
+
+    caps: tuple[int, ...]
+    weights: tuple[int, ...]
+    components: list[Program]
+    system: Program
+
+    @property
+    def n(self) -> int:
+        return len(self.caps)
+
+    @property
+    def C(self) -> Var:
+        return self.system.var_named("C")
+
+    def c(self, i: int) -> Var:
+        return self.system.var_named(f"c[{i}]")
+
+    def weighted_sum_expr(self) -> Expr:
+        """``Σ_i w_i · c_i``."""
+        return esum([
+            self.c(i).ref() * self.weights[i] for i in range(self.n)
+        ])
+
+    def invariant_predicate(self) -> Predicate:
+        """The generalized (1): ``C = Σ w_i · c_i``."""
+        return ExprPredicate(self.C.ref() == self.weighted_sum_expr())
+
+    def lifted_component(self, i: int) -> Program:
+        return lifted(self.components[i], self.system)
+
+
+def build_weighted_counter_system(
+    caps: Sequence[int], weights: Sequence[int] | None = None
+) -> WeightedCounterSystem:
+    """Build the generalized system.
+
+    ``caps[i]`` bounds component ``i``'s local counter; ``weights[i]``
+    (default all 1) scales its contribution to ``C``.
+    """
+    caps = tuple(caps)
+    weights = tuple(weights) if weights is not None else (1,) * len(caps)
+    if len(weights) != len(caps):
+        raise ValueError("caps and weights must have equal length")
+    if not caps:
+        raise ValueError("need at least one component")
+    if any(c < 1 for c in caps) or any(w < 1 for w in weights):
+        raise ValueError("caps and weights must be positive")
+
+    total = sum(c * w for c, w in zip(caps, weights))
+    C = Var.shared("C", IntRange(0, total))
+    components = []
+    for i, (cap, w) in enumerate(zip(caps, weights)):
+        c_i = Var.indexed("c", i, IntRange(0, cap), locality=Locality.LOCAL)
+        action = GuardedCommand(
+            f"a[{i}]",
+            land(c_i.ref() < cap, C.ref() <= total - w),
+            [(c_i, c_i.ref() + 1), (C, C.ref() + w)],
+        )
+        components.append(Program(
+            f"Component[{i}]",
+            [c_i, C],
+            land(c_i.ref() == 0, C.ref() == 0),
+            [action],
+            fair=[f"a[{i}]"],
+        ))
+    system = compose_all(components, name=f"WeightedCounter[{len(caps)}]")
+    return WeightedCounterSystem(
+        caps=caps, weights=weights, components=components, system=system
+    )
+
+
+def build_weighted_invariant_proof(ws: WeightedCounterSystem) -> InvariantIntro:
+    """The §3.3 derivation, reused verbatim on the generalized system.
+
+    The only change from :func:`repro.systems.counter_proof.
+    build_invariant_proof` is the constant expression ``C − w_i·c_i``
+    replacing ``C − c_i`` — the proof's *shape* is untouched.
+    """
+    target = ws.invariant_predicate()
+
+    stable_parts = []
+    for i in range(ws.n):
+        comp = ws.lifted_component(i)
+        constants = [ws.C.ref() - ws.c(i).ref() * ws.weights[i]]
+        constants += [ws.c(j).ref() for j in range(ws.n) if j != i]
+        stable_parts.append((comp, ConstantExpressions(constants, target)))
+    stable_sys = UniversalLift(stable_parts)
+
+    init_lifts = []
+    for i, comp in enumerate(ws.components):
+        local_init = ExprPredicate(
+            land(ws.c(i).ref() == 0, ws.C.ref() == 0)
+        )
+        init_lifts.append(InitLift(comp, InitLeaf(local_init)))
+    init_target = InitWeaken(InitConjunction(init_lifts), target)
+
+    return InvariantIntro(init_target, stable_sys)

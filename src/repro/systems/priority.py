@@ -1,0 +1,374 @@
+"""The §4 priority mechanism: conflict resolution by edge reversal.
+
+Perpetually conflicting components share an orientation of the conflict
+graph ``P`` as a priority relation.  Component ``i``:
+
+- waits until it has priority over all neighbours                    (5);
+- yields in finite time after receiving priority — its single fair
+  command reverses **all** its edges at once                       (6, 7);
+- never touches edges that are not its own                           (8).
+
+Program encoding.  Edge ``{i, j}`` (normalized ``i < j``) becomes one
+shared boolean variable ``e[i,j]``; ``True`` means ``i → j`` (the
+lower-numbered endpoint has priority over the other).  The system's state
+space is therefore *exactly* the set of orientations of ``P`` — the
+program semantics and the graph theory of :mod:`repro.graph` share one
+representation, converted by :meth:`PrioritySystem.orientation_of_state`.
+
+The system's ``initially`` is the **acyclicity predicate** (any acyclic
+orientation), matching §4.1's "we give an orientation … so that it always
+remains acyclic"; a specific initial orientation can be requested instead.
+
+Note on (10).  The paper proves ``true ↝ Priority.i`` *under the standing
+invariant* that the graph is (initially, hence always) acyclic — its proof
+uses invariant (17).  Our checker quantifies leads-to over **all** states
+(the paper's inductive semantics), where the unconditioned property is
+false: from a cyclic orientation no node need ever gain priority.  The
+faithful finite-state rendering is therefore
+``Acyclicity ↝ Priority.i`` — see :meth:`PrioritySystem.liveness_property`
+— and tests demonstrate the cyclic counterexample explicitly.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.composition import compose_all, lifted
+from repro.core.expressions import Expr, land, lnot, lor
+from repro.core.predicates import ExprPredicate, MaskPredicate, Predicate
+from repro.core.program import Program
+from repro.core.commands import GuardedCommand
+from repro.core.properties import (
+    Invariant,
+    LeadsTo,
+    Next,
+    PropertyFamily,
+    Stable,
+    Transient,
+)
+from repro.core.state import State, StateSpace
+from repro.core.variables import Var
+from repro.errors import GraphError
+from repro.graph.neighborhood import NeighborhoodGraph
+from repro.graph.orientation import Orientation
+from repro.graph.reachability import above_star_all, reach_star_all
+from repro.util.bitset import bit
+
+__all__ = ["PrioritySystem", "build_priority_system", "edge_var"]
+
+
+def edge_var(i: int, j: int) -> Var:
+    """The shared boolean variable of edge ``{i, j}``; ``True ≡ min→max``."""
+    from repro.core.domains import BoolDomain
+
+    a, b = min(i, j), max(i, j)
+    return Var.indexed("e", (a, b), BoolDomain())
+
+
+class PrioritySystem:
+    """The composed §4 system over a concrete conflict graph.
+
+    Construction precomputes, for every orientation (state), the
+    reachability data the §4 proofs quantify over — ``R*``, ``A*``,
+    ``|A*|`` and acyclicity — so that every paper predicate is an O(1)
+    mask lookup (:class:`~repro.core.predicates.MaskPredicate`).
+    """
+
+    def __init__(
+        self,
+        graph: NeighborhoodGraph,
+        *,
+        init: Orientation | str = "acyclic",
+    ) -> None:
+        for i in graph.nodes():
+            if graph.degree(i) == 0:
+                raise GraphError(
+                    f"node {i} is isolated; the §4 components are "
+                    "perpetually conflicting (degree ≥ 1)"
+                )
+        self.graph = graph
+        self.edge_vars = [edge_var(i, j) for (i, j) in graph.edges]
+        self.components = [
+            self._build_component(i) for i in graph.nodes()
+        ]
+        merged = compose_all(self.components, name="merged")
+        space = StateSpace(self.edge_vars)
+        self._space = space
+        self._precompute(space)
+
+        if isinstance(init, Orientation):
+            if init.graph != graph:
+                raise GraphError("initial orientation is for a different graph")
+            init_pred: Predicate = MaskPredicate(
+                space,
+                np.arange(space.size) == self.index_of_orientation(init),
+                f"orientation = {init!r}",
+            )
+        elif init == "acyclic":
+            init_pred = self.acyclicity_predicate()
+        else:
+            raise GraphError(f"init must be an Orientation or 'acyclic', got {init!r}")
+
+        self.system = Program(
+            f"PrioritySystem[n={graph.n},m={graph.m}]",
+            self.edge_vars,
+            init_pred,
+            list(merged.commands),
+            fair=sorted(merged.fair_names),
+        )
+
+    # -- component construction ------------------------------------------------
+
+    def arrow_expr(self, i: int, j: int) -> Expr:
+        """``(i → j)`` as a boolean expression on the edge variable."""
+        var = self.edge_vars[self.graph.edge_id(i, j)]
+        return var.ref() if i < j else lnot(var.ref())
+
+    def priority_expr(self, i: int) -> Expr:
+        """``Priority.i ≡ ⟨∀j ∈ N(i) : i → j⟩`` as an expression."""
+        return land(*(self.arrow_expr(i, j) for j in self.graph.neighbors(i)))
+
+    def _build_component(self, i: int) -> Program:
+        incident_vars = [
+            self.edge_vars[k] for k in self.graph.incident_edges(i)
+        ]
+        assignments = []
+        for j in self.graph.neighbors(i):
+            var = self.edge_vars[self.graph.edge_id(i, j)]
+            # After yielding every edge points *at* i: j → i.
+            assignments.append((var, j < i))
+        yield_cmd = GuardedCommand(
+            f"yield[{i}]", self.priority_expr(i), assignments
+        )
+        from repro.core.predicates import TRUE
+
+        return Program(
+            f"Node[{i}]", incident_vars, TRUE, [yield_cmd],
+            fair=[f"yield[{i}]"],
+        )
+
+    # -- state ↔ orientation codec ------------------------------------------------
+
+    @property
+    def space(self) -> StateSpace:
+        """The system's state space (= all orientations)."""
+        return self.system.space
+
+    def state_of_orientation(self, o: Orientation) -> State:
+        """Encode an orientation as a program state."""
+        values = {
+            var: bool(o.bits & bit(k)) for k, var in enumerate(self.edge_vars)
+        }
+        return State(values)
+
+    def orientation_of_state(self, state: State) -> Orientation:
+        """Decode a program state into an orientation."""
+        bits = 0
+        for k, var in enumerate(self.edge_vars):
+            if state[var]:
+                bits |= bit(k)
+        return Orientation(self.graph, bits)
+
+    def index_of_orientation(self, o: Orientation) -> int:
+        """Encoded state index of an orientation."""
+        return self._space.index_of(self.state_of_orientation(o))
+
+    def orientation_of_index(self, idx: int) -> Orientation:
+        """Orientation at an encoded state index."""
+        return Orientation(self.graph, int(self._bits_of_index[idx]))
+
+    # -- precomputed graph tables ----------------------------------------------------
+
+    def _precompute(self, space: StateSpace) -> None:
+        graph = self.graph
+        n, m, size = graph.n, graph.m, space.size
+        # Edge var k has stride 2^(m-1-k): state index ↔ bit-reversed bits.
+        idx = np.arange(size, dtype=np.int64)
+        bits = np.zeros(size, dtype=np.int64)
+        for k in range(m):
+            bits |= ((idx >> (m - 1 - k)) & 1) << k
+        self._bits_of_index = bits
+
+        self._r_star = np.zeros((size, n), dtype=np.int64)
+        self._a_star = np.zeros((size, n), dtype=np.int64)
+        self._a_star_size = np.zeros((size, n), dtype=np.int64)
+        self._acyclic = np.zeros(size, dtype=bool)
+        for s in range(size):
+            o = Orientation(graph, int(bits[s]))
+            r_all = reach_star_all(o)
+            a_all = above_star_all(o)
+            acyclic = True
+            for i in range(n):
+                self._r_star[s, i] = r_all[i]
+                self._a_star[s, i] = a_all[i]
+                self._a_star_size[s, i] = a_all[i].bit_count()
+                if r_all[i] & bit(i):
+                    acyclic = False
+            self._acyclic[s] = acyclic
+
+    # -- paper predicates --------------------------------------------------------------
+
+    def priority_predicate(self, i: int) -> Predicate:
+        """``Priority.i`` as an expression predicate."""
+        return ExprPredicate(self.priority_expr(i))
+
+    def acyclicity_predicate(self) -> Predicate:
+        """``Acyclicity ≡ ⟨∀i : i ∉ R*(i)⟩`` (precomputed mask)."""
+        return MaskPredicate(self._space, self._acyclic.copy(), "Acyclicity")
+
+    def a_star_empty(self, i: int) -> Predicate:
+        """``A*(i) = ∅`` — equivalent to ``Priority.i`` (the paper's (12))."""
+        return MaskPredicate(
+            self._space, self._a_star[:, i] == 0, f"A*({i}) = {{}}"
+        )
+
+    def r_star_empty(self, i: int) -> Predicate:
+        """``R*(i) = ∅``."""
+        return MaskPredicate(
+            self._space, self._r_star[:, i] == 0, f"R*({i}) = {{}}"
+        )
+
+    def a_star_contains(self, i: int, j: int) -> Predicate:
+        """``j ∈ A*(i)``."""
+        return MaskPredicate(
+            self._space,
+            ((self._a_star[:, i] >> j) & 1).astype(bool),
+            f"{j} in A*({i})",
+        )
+
+    def r_star_contains(self, i: int, j: int) -> Predicate:
+        """``j ∈ R*(i)``."""
+        return MaskPredicate(
+            self._space,
+            ((self._r_star[:, i] >> j) & 1).astype(bool),
+            f"{j} in R*({i})",
+        )
+
+    def a_star_size_eq(self, i: int, value: int) -> Predicate:
+        """``|A*(i)| = value`` — the paper's induction metric (§4.6)."""
+        return MaskPredicate(
+            self._space,
+            self._a_star_size[:, i] == value,
+            f"|A*({i})| = {value}",
+        )
+
+    # -- component specification (5)–(8) --------------------------------------------------
+
+    def spec_wait(self, i: int) -> PropertyFamily:
+        """(5): ``⟨∀b, j ∈ N(i) : (i→j) = b ∧ ¬Priority.i next (i→j) = b⟩``
+        — without priority, ``i`` leaves its own edges alone.  A property
+        of component ``i`` (checkable in its own space)."""
+        members = []
+        for j in self.graph.neighbors(i):
+            for b in (False, True):
+                edge_is_b = ExprPredicate(
+                    self.arrow_expr(i, j) if b else lnot(self.arrow_expr(i, j))
+                )
+                lhs = edge_is_b & ExprPredicate(lnot(self.priority_expr(i)))
+                members.append(Next(lhs, edge_is_b))
+        return PropertyFamily(
+            f"forall b, j in N({i}) : (({i}->j) = b /\\ ~Priority.{i}) "
+            f"next (({i}->j) = b)",
+            members,
+        )
+
+    def spec_transient(self, i: int) -> Transient:
+        """(6): ``transient Priority.i`` — priority is always yielded."""
+        return Transient(self.priority_predicate(i))
+
+    def spec_yield(self, i: int) -> Next:
+        """(7): ``Priority.i next Priority.i ∨ ⟨∀j ∈ N(i) : j → i⟩`` —
+        yielding goes *below all neighbours at once* (the cycle-avoidance
+        move of §4.1)."""
+        all_in = land(
+            *(self.arrow_expr(j, i) for j in self.graph.neighbors(i))
+        )
+        p = self.priority_predicate(i)
+        return Next(p, p | ExprPredicate(all_in))
+
+    def spec_locality(self, i: int) -> PropertyFamily:
+        """(8): ``⟨∀b, {j,j'} with i ∉ {j,j'} : (j→j') = b next (j→j') = b⟩``
+        — ``i`` never touches other components' edges.  Stated over the
+        component *lifted* to the system's variables (the foreign edge
+        variables do not exist in the component's own space — the same gap
+        as the toy example's (4))."""
+        members = []
+        for k, (a, b_node) in enumerate(self.graph.edges):
+            if a == i or b_node == i:
+                continue
+            var = self.edge_vars[k]
+            for b in (False, True):
+                eq = ExprPredicate(var.ref() if b else lnot(var.ref()))
+                members.append(Next(eq, eq))
+        if not members:
+            # Every edge touches i (e.g. star centre): the family is empty,
+            # hence vacuously true; represent it by a trivial member.
+            from repro.core.predicates import TRUE
+
+            members = [Next(TRUE, TRUE)]
+        return PropertyFamily(
+            f"forall b, edges (j,j') not incident to {i} : "
+            f"(j->j') = b next (j->j') = b",
+            members,
+        )
+
+    def lifted_component(self, i: int) -> Program:
+        """Component ``i`` viewed over the system's variables."""
+        return lifted(self.components[i], self.system)
+
+    # -- system specification (9)–(10) ------------------------------------------------------
+
+    def safety_predicate(self) -> Predicate:
+        """``⟨∀i : Priority.i ⇒ ⟨∀j ∈ N(i) : ¬Priority.j⟩⟩``."""
+        parts = []
+        for i in self.graph.nodes():
+            neigh = land(
+                *(lnot(self.priority_expr(j)) for j in self.graph.neighbors(i))
+            )
+            from repro.core.expressions import implies
+
+            parts.append(implies(self.priority_expr(i), neigh))
+        return ExprPredicate(land(*parts))
+
+    def safety_property(self) -> Invariant:
+        """(9): two conflicting components never both have priority."""
+        return Invariant(self.safety_predicate())
+
+    def liveness_property(self, i: int) -> LeadsTo:
+        """(10), conditioned on the paper's standing acyclicity invariant:
+        ``Acyclicity ↝ Priority.i``  (see the module docstring)."""
+        return LeadsTo(self.acyclicity_predicate(), self.priority_predicate(i))
+
+    def unconditioned_liveness_property(self, i: int) -> LeadsTo:
+        """The literal (10) ``true ↝ Priority.i`` — *false* over the full
+        space (cyclic orientations can deadlock); kept so tests and benches
+        can exhibit the counterexample the conditioning removes."""
+        from repro.core.predicates import TRUE
+
+        return LeadsTo(TRUE, self.priority_predicate(i))
+
+    def stable_acyclicity_property(self) -> Stable:
+        """(16) / Property 5: ``Acyclicity next Acyclicity``."""
+        return Stable(self.acyclicity_predicate())
+
+    # -- misc ----------------------------------------------------------------------------------
+
+    @cached_property
+    def acyclic_count(self) -> int:
+        """Number of acyclic orientations (sanity metric for reports)."""
+        return int(self._acyclic.sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"<PrioritySystem n={self.graph.n} m={self.graph.m} "
+            f"states={self._space.size} acyclic={self.acyclic_count}>"
+        )
+
+
+def build_priority_system(
+    graph: NeighborhoodGraph, *, init: Orientation | str = "acyclic"
+) -> PrioritySystem:
+    """Build the §4 system over ``graph`` (state space ``2^m``)."""
+    return PrioritySystem(graph, init=init)

@@ -1,0 +1,329 @@
+"""The §4 proof chain, mechanized: Definition 1, Lemmas 1–2,
+Properties 1–8, and the liveness certificate.
+
+Every numbered claim of §4.5–§4.6 becomes a checkable object:
+
+==========  =================================================================
+Paper item  Here
+==========  =================================================================
+(11)        duality ``i ∈ R*(j) ≡ j ∈ A*(i)`` — :func:`check_duality`
+(12)        ``Priority.i ≡ A*(i) = ∅`` — :func:`check_priority_characterization`
+(13) P1/P2  every system step is the identity or an edge-reversal
+            derivation ``G →_i G'`` — :func:`check_derivation_property`
+(14) P3     ``A*(i) ≠ ∅ ∧ i ∉ R*(j)  next  i ∉ R*(j)`` — :func:`property3`
+(15) P4     ``A*(i) = ∅  next  A*(i) = ∅ ∨ R*(i) = ∅`` — :func:`property4`
+(16) P5     ``Acyclicity next Acyclicity`` — :func:`property5`
+(17) P6     ``invariant (Acyclicity ⇒ (A*(i) ≠ ∅ ⇒ ⟨∃j ∈ A*(i) : A*(j) = ∅⟩))``
+            — :func:`property6`
+(18) P7     ``A*(i) = ∅ ↝ i ∉ A*(j)`` — :func:`property7`
+(19/20) P8  ``Acyclicity ↝ A*(i) = ∅`` (→ (10) via (12)) — :func:`property8`
+==========  =================================================================
+
+Two liveness certificates are produced for (10):
+
+- :func:`synthesized_liveness_proof` — the fully mechanical certificate
+  extracted from the fair-SCC analysis (``ensures`` chain + induction);
+- :func:`cardinality_induction_proof` — the paper's own §4.6 structure:
+  well-founded induction on ``|A*(i)|``, each level discharged by a
+  synthesized sub-certificate.
+
+Both check under the kernel, whose trusted base is the paper's five rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predicates import Predicate
+from repro.core.rules import LeadsToProof, MetricInduction
+from repro.core.properties import Invariant, LeadsTo, Next, Property, Stable
+from repro.errors import ProofError
+from repro.graph.derivation import is_derivation, lemma1_bound_holds
+from repro.graph.reachability import duality_holds
+from repro.semantics.checker import CheckResult
+from repro.semantics.synthesis import synthesize_leadsto_proof
+from repro.semantics.transition import TransitionSystem
+from repro.systems.priority import PrioritySystem
+
+__all__ = [
+    "check_duality",
+    "check_priority_characterization",
+    "check_derivation_property",
+    "property3",
+    "property4",
+    "property5",
+    "property6",
+    "property7",
+    "property8",
+    "paper_chain",
+    "synthesized_liveness_proof",
+    "cardinality_induction_proof",
+]
+
+
+# ---------------------------------------------------------------------------
+# (11), (12): characterizations
+# ---------------------------------------------------------------------------
+
+
+def check_duality(psys: PrioritySystem) -> CheckResult:
+    """(11): ``i ∈ R*(j) ≡ j ∈ A*(i)`` in every reachable orientation
+    (checked over *all* orientations — stronger)."""
+    for s in range(psys.space.size):
+        if not duality_holds(psys.orientation_of_index(s)):
+            return CheckResult(
+                False, "duality", "i in R*(j) <=> j in A*(i)",
+                message=f"violated at orientation index {s}",
+            )
+    return CheckResult(
+        True, "duality", "i in R*(j) <=> j in A*(i)",
+        message=f"checked on all {psys.space.size} orientations",
+    )
+
+
+def check_priority_characterization(psys: PrioritySystem) -> CheckResult:
+    """(12): ``Priority.i ≡ A*(i) = ∅`` — mask equality per node."""
+    space = psys.space
+    for i in psys.graph.nodes():
+        if not psys.priority_predicate(i).equivalent(psys.a_star_empty(i), space):
+            return CheckResult(
+                False, "characterization", f"Priority.{i} <=> A*({i}) = {{}}",
+                message="masks differ",
+            )
+    return CheckResult(
+        True, "characterization", "Priority.i <=> A*(i) = {} for all i",
+        message=f"checked on all {space.size} orientations × {psys.graph.n} nodes",
+    )
+
+
+# ---------------------------------------------------------------------------
+# (13): Properties 1–2 — the constructed universal property
+# ---------------------------------------------------------------------------
+
+
+def check_derivation_property(psys: PrioritySystem) -> CheckResult:
+    """(13) / Properties 1–2: every step of every command either leaves the
+    orientation unchanged or performs a Definition-1 derivation
+    ``G →_{i₀} G'`` for some node ``i₀``.
+
+    This is the paper's constructed *shared universal property*: each
+    component's local property (Property 1) is weakened to a form every
+    component satisfies, making it a system property (Property 2).
+    """
+    ts = TransitionSystem.for_program(psys.system)
+    subject = "G' = G  \\/  <exists i0 :: G -i0-> G'>"
+    checked = 0
+    for cmd, table in ts.all_tables():
+        changed = np.flatnonzero(table != np.arange(psys.space.size))
+        for s in changed:
+            g = psys.orientation_of_index(int(s))
+            g2 = psys.orientation_of_index(int(table[s]))
+            if not any(
+                is_derivation(g, g2, i0) for i0 in psys.graph.nodes()
+            ):
+                return CheckResult(
+                    False, "universal-property", subject,
+                    message=(
+                        f"command {cmd.name} performs a non-derivation step "
+                        f"at orientation index {int(s)}"
+                    ),
+                )
+            checked += 1
+    return CheckResult(
+        True, "universal-property", subject,
+        message=f"all {checked} non-identity steps are derivations",
+    )
+
+
+def check_lemma1_on_system(psys: PrioritySystem) -> CheckResult:
+    """Lemma 1 instantiated on every actual system step: reachability grows
+    by at most the reversed node."""
+    ts = TransitionSystem.for_program(psys.system)
+    for cmd, table in ts.all_tables():
+        changed = np.flatnonzero(table != np.arange(psys.space.size))
+        for s in changed:
+            g = psys.orientation_of_index(int(s))
+            g2 = psys.orientation_of_index(int(table[s]))
+            i0 = next(
+                (i for i in psys.graph.nodes() if is_derivation(g, g2, i)), None
+            )
+            if i0 is None or not lemma1_bound_holds(g, g2, i0):
+                return CheckResult(
+                    False, "lemma1", "R*_{G'}(i) ⊆ R*_G(i) ∪ {i0}",
+                    message=f"violated by {cmd.name} at index {int(s)}",
+                )
+    return CheckResult(True, "lemma1", "R*_{G'}(i) ⊆ R*_G(i) ∪ {i0}")
+
+
+# ---------------------------------------------------------------------------
+# (14)–(17): Properties 3–6
+# ---------------------------------------------------------------------------
+
+
+def property3(psys: PrioritySystem, i: int, j: int) -> Next:
+    """(14): ``A*(i) ≠ ∅ ∧ i ∉ R*(j)  next  i ∉ R*(j)`` — a component
+    cannot enter a reachability set before it has priority."""
+    not_in = ~psys.r_star_contains(j, i)
+    lhs = (~psys.a_star_empty(i)) & not_in
+    return Next(lhs, not_in)
+
+
+def property4(psys: PrioritySystem, i: int) -> Next:
+    """(15): ``A*(i) = ∅  next  A*(i) = ∅ ∨ R*(i) = ∅`` — a priority
+    component keeps its above-set empty until the moment it empties its
+    own reachability set (the yield)."""
+    p = psys.a_star_empty(i)
+    return Next(p, p | psys.r_star_empty(i))
+
+
+def property5(psys: PrioritySystem) -> Stable:
+    """(16): ``Acyclicity next Acyclicity``."""
+    return psys.stable_acyclicity_property()
+
+
+def property6(psys: PrioritySystem, i: int) -> Invariant:
+    """(17): ``invariant (Acyclicity ⇒ (A*(i) ≠ ∅ ⇒
+    ⟨∃j ∈ A*(i) : A*(j) = ∅⟩))`` — Lemma 2 lifted to an invariant: a
+    non-priority component always has a priority component above it."""
+    space = psys.space
+    exists_max = np.zeros(space.size, dtype=bool)
+    for j in psys.graph.nodes():
+        in_above = ((psys._a_star[:, i] >> j) & 1).astype(bool)
+        exists_max |= in_above & (psys._a_star[:, j] == 0)
+    from repro.core.predicates import MaskPredicate
+
+    acyclic = psys.acyclicity_predicate()
+    a_nonempty = ~psys.a_star_empty(i)
+    consequent = MaskPredicate(
+        space, exists_max, f"<exists j in A*({i}) : A*(j) = {{}}>"
+    )
+    body = (~acyclic) | (~a_nonempty) | consequent
+    return Invariant(body)
+
+
+# ---------------------------------------------------------------------------
+# (18)–(20): Properties 7–8 and the liveness certificates
+# ---------------------------------------------------------------------------
+
+
+def property7(psys: PrioritySystem, i: int, j: int) -> LeadsTo:
+    """(18): ``A*(i) = ∅ ↝ i ∉ A*(j)`` — a component with priority
+    eventually escapes every above-set."""
+    return LeadsTo(psys.a_star_empty(i), ~psys.a_star_contains(j, i))
+
+
+def property8(psys: PrioritySystem, i: int) -> LeadsTo:
+    """(19)/(20): ``Acyclicity ↝ A*(i) = ∅`` — under the standing
+    acyclicity invariant, every component eventually gets priority (by
+    (12) this is exactly the conditioned (10))."""
+    return LeadsTo(psys.acyclicity_predicate(), psys.a_star_empty(i))
+
+
+@dataclass
+class ChainEntry:
+    """One row of the §4 verification report."""
+
+    label: str
+    paper_ref: str
+    result: CheckResult
+
+    @property
+    def holds(self) -> bool:
+        return self.result.holds
+
+
+def paper_chain(psys: PrioritySystem) -> list[ChainEntry]:
+    """Verify the complete §4 chain on one concrete system; returns the
+    rows reported in EXPERIMENTS.md (experiment E7)."""
+    system = psys.system
+    rows: list[ChainEntry] = []
+
+    def prop(label: str, ref: str, p: Property) -> None:
+        rows.append(ChainEntry(label, ref, p.check(system)))
+
+    def raw(label: str, ref: str, res: CheckResult) -> None:
+        rows.append(ChainEntry(label, ref, res))
+
+    # Component specification, per node (checked in component spaces).
+    for i in psys.graph.nodes():
+        comp = psys.components[i]
+        rows.append(ChainEntry(
+            f"(5) wait, node {i}", "(5)", psys.spec_wait(i).check(comp)
+        ))
+        rows.append(ChainEntry(
+            f"(6) transient Priority.{i}", "(6)", psys.spec_transient(i).check(comp)
+        ))
+        rows.append(ChainEntry(
+            f"(7) yield below all, node {i}", "(7)", psys.spec_yield(i).check(comp)
+        ))
+        rows.append(ChainEntry(
+            f"(8) locality, node {i}", "(8)",
+            psys.spec_locality(i).check(psys.lifted_component(i)),
+        ))
+
+    raw("(11) duality", "(11)", check_duality(psys))
+    raw("(12) Priority ≡ A*=∅", "(12)", check_priority_characterization(psys))
+    raw("(13) steps are derivations", "(13)", check_derivation_property(psys))
+    raw("Lemma 1 on system steps", "Lemma 1", check_lemma1_on_system(psys))
+
+    for i in psys.graph.nodes():
+        for j in psys.graph.nodes():
+            if i != j:
+                prop(f"(14) P3 i={i}, j={j}", "(14)", property3(psys, i, j))
+        prop(f"(15) P4 i={i}", "(15)", property4(psys, i))
+    prop("(16) P5 acyclicity stable", "(16)", property5(psys))
+    for i in psys.graph.nodes():
+        prop(f"(17) P6 i={i}", "(17)", property6(psys, i))
+        for j in psys.graph.nodes():
+            if i != j:
+                prop(f"(18) P7 i={i}, j={j}", "(18)", property7(psys, i, j))
+        prop(f"(19) P8 i={i}", "(19)", property8(psys, i))
+
+    prop("(9) safety", "(9)", psys.safety_property())
+    for i in psys.graph.nodes():
+        prop(
+            f"(10) liveness node {i} (conditioned)", "(10)",
+            psys.liveness_property(i),
+        )
+    return rows
+
+
+def synthesized_liveness_proof(psys: PrioritySystem, i: int) -> LeadsToProof:
+    """Kernel certificate for ``Acyclicity ↝ Priority.i``, synthesized from
+    the fair-SCC analysis (experiment E9 on this system)."""
+    return synthesize_leadsto_proof(
+        psys.system, psys.acyclicity_predicate(), psys.priority_predicate(i)
+    )
+
+
+def cardinality_induction_proof(psys: PrioritySystem, i: int) -> MetricInduction:
+    """The paper's §4.6 closing argument, as a kernel certificate:
+    *"Through induction on the cardinality of A*(i) this gives the
+    liveness correctness (10)."*
+
+    Levels are ``Acyclicity ∧ |A*(i)| = m`` for ``m = 1 … n-1``; each level
+    obligation ``L_m ↝ (q ∨ lower)`` is discharged by a synthesized
+    sub-certificate (itself built from the paper's rules).
+    """
+    acyclic = psys.acyclicity_predicate()
+    q = psys.a_star_empty(i)  # ≡ Priority.i by (12)
+    levels: list[Predicate] = []
+    subs: list[LeadsToProof] = []
+    lower: Predicate = q
+    for m in range(1, psys.graph.n):
+        level = acyclic & psys.a_star_size_eq(i, m)
+        if not level.is_satisfiable(psys.space):
+            continue
+        target = lower  # q ∨ all lower levels accumulated so far
+        sub = synthesize_leadsto_proof(psys.system, level, target)
+        levels.append(level)
+        subs.append(sub)
+        lower = lower | level
+    if not levels:
+        raise ProofError(
+            f"node {i}: every acyclic orientation already gives priority; "
+            "use a direct Implication proof"
+        )
+    return MetricInduction(acyclic, q, levels, subs)

@@ -1,0 +1,22 @@
+"""Small shared utilities: bitsets, ASCII tables, seeded RNG helpers."""
+
+from repro.util.bitset import (
+    bit,
+    bitset_from_iterable,
+    bitset_to_list,
+    iter_bits,
+    popcount,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import format_table
+
+__all__ = [
+    "bit",
+    "bitset_from_iterable",
+    "bitset_to_list",
+    "iter_bits",
+    "popcount",
+    "make_rng",
+    "spawn_rngs",
+    "format_table",
+]

@@ -1,0 +1,70 @@
+"""Bitset helpers over arbitrary-precision Python integers.
+
+Node sets in :mod:`repro.graph` are represented as plain ``int`` bitmasks:
+bit ``i`` set means node ``i`` is a member.  Python integers give branch-free
+unions/intersections of arbitrary width and are significantly faster than
+``set[int]`` for the closure fixpoints used by ``R*``/``A*`` computations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["bit", "bitset_from_iterable", "bitset_to_list", "iter_bits", "popcount"]
+
+
+def bit(i: int) -> int:
+    """Return the singleton bitset ``{i}``.
+
+    >>> bit(3)
+    8
+    """
+    if i < 0:
+        raise ValueError(f"bit index must be non-negative, got {i}")
+    return 1 << i
+
+
+def bitset_from_iterable(items: Iterable[int]) -> int:
+    """Build a bitset from an iterable of non-negative node indices.
+
+    >>> bitset_from_iterable([0, 2]) == 0b101
+    True
+    """
+    mask = 0
+    for i in items:
+        mask |= bit(i)
+    return mask
+
+
+def bitset_to_list(mask: int) -> list[int]:
+    """Return the sorted list of members of ``mask``.
+
+    >>> bitset_to_list(0b1010)
+    [1, 3]
+    """
+    return list(iter_bits(mask))
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield members of ``mask`` in increasing order.
+
+    Uses ``mask & -mask`` to peel the lowest set bit, so the cost is
+    proportional to the population count, not the width.
+    """
+    if mask < 0:
+        raise ValueError("bitsets must be non-negative integers")
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def popcount(mask: int) -> int:
+    """Number of members of ``mask``.
+
+    >>> popcount(0b1011)
+    3
+    """
+    if mask < 0:
+        raise ValueError("bitsets must be non-negative integers")
+    return mask.bit_count()

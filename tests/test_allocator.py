@@ -1,0 +1,138 @@
+"""Tests for the resource allocator (repro.systems.allocator): existential
+specifications and the guarantees operator."""
+
+import pytest
+
+from repro.core.composition import compose
+from repro.systems.allocator import (
+    build_allocator_system,
+    build_client,
+    build_greedy_client,
+)
+
+
+@pytest.fixture(scope="module")
+def al():
+    return build_allocator_system(2, 2)
+
+
+class TestConservation:
+    def test_invariant(self, al):
+        assert al.conservation().holds_in(al.system)
+
+    def test_pool_initialized_full(self, al):
+        for s in al.system.initial_states():
+            assert s[al.avail] == al.total
+
+
+class TestClientSpec:
+    def test_transient_family_holds(self, al):
+        assert al.clients_return_tokens().holds_in(al.system)
+
+    def test_unconditioned_transient_too_strong(self, al):
+        """transient (hold_i > 0) fails for T ≥ 2 — a two-token holder
+        still holds one after a give (see module docstring)."""
+        from repro.core.predicates import ExprPredicate
+        from repro.core.properties import Transient
+
+        assert not Transient(
+            ExprPredicate(al.hold(0).ref() > 0)
+        ).holds_in(al.system)
+
+
+class TestLiveness:
+    def test_token_available(self, al):
+        assert al.token_available().holds_in(al.system)
+
+    def test_full_refill_is_false(self, al):
+        """The fair take/give ping-pong keeps the pool partially drained
+        forever — the model checker finds that fair cycle."""
+        res = al.pool_refills_fully().check(al.system)
+        assert not res.holds
+
+    def test_full_refill_holds_for_single_client_single_token(self):
+        small = build_allocator_system(1, 1)
+        assert small.pool_refills_fully().holds_in(small.system)
+
+
+class TestGuarantee:
+    def test_holds_against_polite_universe(self, al):
+        envs = [build_client(7, al.total)]
+        assert al.guarantee().check_against(al.system, envs).holds
+
+    def test_greedy_environment_cannot_starve_the_pool(self, al):
+        """A hoarder env holds its own tokens forever, but the lhs family
+        only speaks about the allocator's *own* clients (it is a local
+        specification!), so the premise survives — and so does the
+        conclusion: the hoarder's tokens are outside the stated
+        conservation sum."""
+        greedy = build_greedy_client(7, al.total)
+        composed = compose(al.system, greedy)
+        assert al.clients_return_tokens().holds_in(composed)
+        assert al.token_available().holds_in(composed)
+        assert al.guarantee().check_against(al.system, [greedy]).holds
+
+    def test_total_drain_is_harmless(self, al):
+        """A fair ``drain: avail := 0`` jumps straight out of the stated
+        conservation region, so the *conditioned* conclusion never owes
+        anything in its wake — the guarantee survives.  (This is the same
+        conditioning discipline as the §4 acyclicity assumption.)"""
+        from repro.core.commands import GuardedCommand
+        from repro.core.program import Program
+
+        drain = GuardedCommand("drain", True, [(al.avail, 0)])
+        env = Program("Drainer", [al.avail], True, [drain], fair=["drain"])
+        assert al.guarantee().check_against(al.system, [env]).holds
+
+    def test_burner_cannot_defeat_one_shot_eventuality(self, al):
+        """A fair one-token burner re-drains the pool forever, but
+        leads-to is a *one-shot* eventuality: ``avail > 0`` still occurs
+        (each fair give momentarily refills), so the conclusion — and the
+        guarantee — survive.  Worth pinning: this is exactly the
+        ``↝ avail>0`` vs ``□◇`` distinction."""
+        from repro.core.commands import GuardedCommand
+        from repro.core.program import Program
+
+        burn = GuardedCommand(
+            "burn", al.avail.ref() > 0, [(al.avail, al.avail.ref() - 1)]
+        )
+        env = Program("Burner", [al.avail], True, [burn], fair=["burn"])
+        assert al.guarantee().check_against(al.system, [env]).holds
+
+    def test_guarantee_violated_by_thieving_environment(self, al):
+        """An environment that zeroes the clients' (shared) hold counters
+        can walk a conserving ``avail = 0`` state to the all-empty
+        deadlock *without ever raising avail*: premise intact (gives still
+        falsify each hold level), conclusion defeated.  ``check_against``
+        must report the violation."""
+        from repro.core.commands import GuardedCommand
+        from repro.core.program import Program
+
+        steals = [
+            GuardedCommand(f"steal[{i}]", True, [(al.hold(i), 0)])
+            for i in range(al.n)
+        ]
+        env = Program(
+            "Thief", [al.hold(0), al.hold(1)], True, steals,
+            fair=[c.name for c in steals],
+        )
+        res = al.guarantee().check_against(al.system, [env])
+        assert not res.holds
+        assert "Thief" in res.message
+
+    def test_guarantee_detects_false_conclusion(self, al):
+        """Flip the guarantee around: (token available) guarantees (full
+        refill) is genuinely violated by the allocator alone."""
+        from repro.core.properties import Guarantees
+
+        bad = Guarantees(al.token_available(), al.pool_refills_fully())
+        res = bad.check_against(al.system, [])
+        assert not res.holds
+
+
+class TestValidation:
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            build_allocator_system(0, 1)
+        with pytest.raises(ValueError):
+            build_allocator_system(1, 0)

@@ -1,0 +1,103 @@
+"""Tests for the mechanized §3.3 proof (repro.systems.counter_proof) —
+experiment E2: the derivation checks, and tampering is rejected."""
+
+import pytest
+
+from repro.core.proofs import ConstantExpressions, InvariantIntro, UniversalLift
+from repro.systems.counter import build_counter_system
+from repro.systems.counter_proof import (
+    build_conjunction_demo,
+    build_invariant_proof,
+    family_evidence,
+    invariant_predicate,
+)
+
+
+class TestFullProof:
+    @pytest.mark.parametrize("n,cap", [(1, 2), (2, 2), (3, 2), (2, 3)])
+    def test_E2_proof_checks(self, n, cap):
+        cs = build_counter_system(n, cap)
+        proof = build_invariant_proof(cs)
+        res = proof.check(cs.system)
+        assert res.ok, res.explain()
+
+    def test_proof_structure_mirrors_paper(self):
+        cs = build_counter_system(3, 2)
+        proof = build_invariant_proof(cs)
+        assert isinstance(proof, InvariantIntro)
+        hist = proof.rule_histogram()
+        # Walk shows the §3.3 skeleton: lifting + conjunction + weakening.
+        assert hist["invariant-intro"] == 1
+        assert hist["universal-lift"] == 1
+        assert hist["init-conj"] == 1
+        assert hist["init-weaken"] == 1
+        assert hist["init-lift"] == 3
+
+    def test_proof_counts_scale_with_n(self):
+        small = build_invariant_proof(build_counter_system(2, 2))
+        large = build_invariant_proof(build_counter_system(4, 2))
+        assert large.count_nodes() > small.count_nodes()
+
+    def test_render_readable(self):
+        cs = build_counter_system(2, 2)
+        text = build_invariant_proof(cs).render()
+        assert "invariant-intro" in text
+        assert "constant-exprs" in text
+
+    def test_wrong_system_rejected(self):
+        """The n=3 proof is not a proof for the n=2 system."""
+        cs3 = build_counter_system(3, 2)
+        cs2 = build_counter_system(2, 2)
+        proof = build_invariant_proof(cs3)
+        with pytest.raises(Exception):
+            # predicate references c[2], absent from the n=2 system
+            proof.check(cs2.system)
+
+    def test_tampered_target_rejected(self):
+        """Claiming invariant C = Σc_i + 1 must fail at the init-weaken
+        step (and the constancy step's functional dependence)."""
+        from repro.core.predicates import ExprPredicate
+
+        cs = build_counter_system(2, 2)
+        bogus = ExprPredicate(cs.C.ref() == cs.sum_expr() + 1)
+        from repro.core.proofs import InitLeaf, InitWeaken
+
+        step = InitWeaken(
+            InitLeaf(ExprPredicate(cs.C.ref() == 0) & ExprPredicate(cs.sum_expr() == 0)),
+            bogus,
+        )
+        assert not step.check(cs.system).ok
+
+
+class TestFamilyEvidence:
+    def test_every_family_instance_checks(self):
+        cs = build_counter_system(2, 2)
+        for i in range(2):
+            comp = cs.lifted_component(i)
+            for leaf in family_evidence(cs, i):
+                assert leaf.check(comp).ok, leaf.conclusion_text()
+
+    def test_family_size_vs_packaged_proof(self):
+        """The explicit family grows with the domains; the packaged rule
+        does not — the quantitative point of the 'removing dummies' step."""
+        small = len(family_evidence(build_counter_system(2, 2), 0))
+        large = len(family_evidence(build_counter_system(2, 4), 0))
+        assert large > small
+        proof_small = build_invariant_proof(build_counter_system(2, 2))
+        proof_large = build_invariant_proof(build_counter_system(2, 4))
+        assert proof_small.count_nodes() == proof_large.count_nodes()
+
+    def test_conjunction_demo(self):
+        cs = build_counter_system(2, 2)
+        demo = build_conjunction_demo(cs, 0)
+        assert demo.check(cs.lifted_component(0)).ok
+
+
+class TestConstantExpressionsOnSystem:
+    def test_direct_system_check_also_works(self):
+        """ConstantExpressions applied to the whole system (not per
+        component) is also a valid — though non-compositional — proof."""
+        cs = build_counter_system(2, 2)
+        exprs = [cs.C.ref() - cs.c(0).ref() - cs.c(1).ref()]
+        proof = ConstantExpressions(exprs, invariant_predicate(cs))
+        assert proof.check(cs.system).ok

@@ -1,0 +1,153 @@
+"""Tests for the §3 toy example (repro.systems.counter) — experiment E1,
+plus the two failure modes of the naive specification (§3.2)."""
+
+import pytest
+
+from repro.core.composition import compose_all
+from repro.core.predicates import ExprPredicate
+from repro.semantics.checker import check_init
+from repro.semantics.simulate import simulate
+from repro.systems.counter import (
+    build_counter_component,
+    build_counter_system,
+    naive_component_spec,
+)
+
+
+class TestComponent:
+    def test_single_component_shape(self):
+        comp = build_counter_component(0, 3, 2)
+        assert comp.var_named("c[0]").is_local()
+        assert not comp.var_named("C").is_local()
+        assert "a[0]" in comp.fair_names
+
+    def test_repaired_init_is_local_and_zero(self):
+        cs = build_counter_system(2, 2)
+        for i in range(2):
+            assert cs.component_init_property(i).holds_in(cs.components[i])
+
+    def test_stable_family_holds_per_component(self):
+        cs = build_counter_system(2, 2)
+        for i in range(2):
+            assert cs.component_stable_family(i).holds_in(cs.components[i])
+
+    def test_locality_family_needs_lifting(self):
+        cs = build_counter_system(2, 2)
+        fam = cs.locality_family(0)
+        # In the component's own space the foreign c[1] does not exist…
+        from repro.errors import EvaluationError
+
+        with pytest.raises(Exception):
+            fam.check(cs.components[0])
+        # …but over the lifted component it holds (the §3.2 gap).
+        assert fam.holds_in(cs.lifted_component(0))
+
+
+class TestSystemInvariant:
+    @pytest.mark.parametrize("n,cap", [(1, 3), (2, 2), (3, 2), (4, 1), (3, 3)])
+    def test_E1_invariant_sweep(self, n, cap):
+        cs = build_counter_system(n, cap)
+        assert cs.invariant_property().holds_in(cs.system)
+
+    def test_invariant_fails_without_joint_zero_init(self):
+        """Drop the ``C = 0`` conjunct from every component's init (keeping
+        only ``c_i = 0``): the conjunction no longer forces ``C = Σ c_i``.
+        This is why the paper's repaired init (2) must mention ``C = 0``
+        locally — 'the only way to know the sum at the component level is
+        that all c_i are zero'."""
+        from repro.core.commands import GuardedCommand
+        from repro.core.expressions import land
+        from repro.core.program import Program
+        from repro.systems.counter import global_counter_var, local_counter_var
+
+        n, cap = 2, 2
+        C = global_counter_var(n, cap)
+
+        def loose(i):
+            c_i = local_counter_var(i, cap)
+            return Program(
+                f"Loose[{i}]", [c_i, C], ExprPredicate(c_i.ref() == 0),
+                [GuardedCommand(
+                    f"a[{i}]", land(c_i.ref() < cap, C.ref() < n * cap),
+                    [(c_i, c_i.ref() + 1), (C, C.ref() + 1)],
+                )],
+                fair=[f"a[{i}]"],
+            )
+
+        system = compose_all([loose(0), loose(1)], name="LooseSystem")
+        pred = ExprPredicate(
+            system.var_named("C").ref()
+            == system.var_named("c[0]").ref() + system.var_named("c[1]").ref()
+        )
+        res = check_init(system, pred)
+        assert not res.holds
+        assert res.witness["state"][system.var_named("C")] != 0
+
+    def test_saturation_behaviour_pinned(self):
+        """At the cap the action self-disables; the invariant still holds
+        and the system quiesces at C = n·cap."""
+        cs = build_counter_system(2, 1)
+        trace = simulate(cs.system, 20)
+        final = trace.final
+        assert final[cs.C] == 2
+        assert final[cs.c(0)] == 1 and final[cs.c(1)] == 1
+        # Quiescent: one more round changes nothing.
+        again = simulate(cs.system, 6, start=final)
+        assert again.final == final
+
+    def test_invariant_observed_along_traces(self):
+        cs = build_counter_system(3, 2)
+        trace = simulate(cs.system, 40)
+        inv = ExprPredicate(cs.C.ref() == cs.sum_expr())
+        assert trace.satisfies_throughout(inv)
+
+
+class TestNaiveSpecFailures:
+    """§3.2: 'If all components share this specification we have two
+    problems.'"""
+
+    def test_problem1_init_conjunction_too_weak(self):
+        """⟨∀i : C = c_i⟩ initially does not give C = Σ c_i for n ≥ 2
+        (unless everything is zero): exhibit a model of the naive inits
+        violating the sum."""
+        from repro.core.state import State
+        from repro.core.state import StateSpace
+        from repro.systems.counter import global_counter_var, local_counter_var
+
+        n, cap = 2, 2
+        C = global_counter_var(n, cap)
+        c0, c1 = local_counter_var(0, cap), local_counter_var(1, cap)
+        space = StateSpace([c0, c1, C])
+        naive_init = ExprPredicate(
+            (C.ref() == c0.ref()) & (C.ref() == c1.ref())
+        )
+        sum_pred = ExprPredicate(C.ref() == c0.ref() + c1.ref())
+        # The naive init is satisfiable with C = c0 = c1 = 2 ≠ 4 = sum.
+        gap = naive_init & ~sum_pred
+        witness = gap.witness(space)
+        assert witness is not None
+        assert witness[C] == witness[c0] == witness[c1] != 0
+
+    def test_problem2_stable_broken_by_other_component(self):
+        """stable (C = c_i) holds in component i but fails in the system:
+        component j's action changes C without c_i."""
+        n, cap = 2, 2
+        cs = build_counter_system(n, cap)
+        _, naive_stable = naive_component_spec(0, n, cap)
+        assert naive_stable.holds_in(cs.components[0])
+        res = naive_stable.check(cs.system)
+        assert not res.holds
+        assert res.witness["command"] == "a[1]"
+
+
+class TestScaling:
+    def test_larger_instance(self):
+        cs = build_counter_system(4, 2)  # 3^4 × 9 = 729 states… fine
+        assert cs.system.space.size == (3 ** 4) * 9
+        assert cs.invariant_property().holds_in(cs.system)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_counter_system(0)
+        with pytest.raises(ValueError):
+            build_counter_system(1, 0)

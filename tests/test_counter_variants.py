@@ -1,0 +1,100 @@
+"""Tests for the §3 generalizations (repro.systems.counter_variants):
+the reuse claim of §3.4, mechanized."""
+
+import pytest
+
+from repro.core.properties import Invariant
+from repro.semantics.simulate import simulate
+from repro.systems.counter_variants import (
+    build_weighted_counter_system,
+    build_weighted_invariant_proof,
+)
+
+
+class TestHeterogeneousCaps:
+    def test_invariant_holds(self):
+        ws = build_weighted_counter_system([1, 3, 2])
+        assert Invariant(ws.invariant_predicate()).holds_in(ws.system)
+
+    def test_proof_checks(self):
+        ws = build_weighted_counter_system([1, 3, 2])
+        proof = build_weighted_invariant_proof(ws)
+        res = proof.check(ws.system)
+        assert res.ok, res.explain()
+
+    def test_saturation_at_individual_caps(self):
+        ws = build_weighted_counter_system([1, 2])
+        trace = simulate(ws.system, 30)
+        final = trace.final
+        assert final[ws.c(0)] == 1
+        assert final[ws.c(1)] == 2
+        assert final[ws.C] == 3
+
+
+class TestWeights:
+    @pytest.mark.parametrize("caps,weights", [
+        ([2, 2], [1, 3]),
+        ([1, 2, 1], [2, 1, 4]),
+        ([3], [5]),
+    ])
+    def test_weighted_invariant_and_proof(self, caps, weights):
+        ws = build_weighted_counter_system(caps, weights)
+        assert Invariant(ws.invariant_predicate()).holds_in(ws.system)
+        assert build_weighted_invariant_proof(ws).check(ws.system).ok
+
+    def test_unweighted_reduces_to_original(self):
+        """weights = 1 reproduces the plain §3 system's invariant."""
+        from repro.systems.counter import build_counter_system
+
+        ws = build_weighted_counter_system([2, 2])
+        cs = build_counter_system(2, 2)
+        assert ws.system.space.size == cs.system.space.size
+        assert Invariant(ws.invariant_predicate()).holds_in(ws.system)
+
+    def test_proof_shape_identical_to_original(self):
+        """The reuse claim quantified: same rule histogram as §3.3."""
+        from repro.systems.counter import build_counter_system
+        from repro.systems.counter_proof import build_invariant_proof
+
+        ws = build_weighted_counter_system([2, 2], [1, 3])
+        cs = build_counter_system(2, 2)
+        weighted = build_weighted_invariant_proof(ws)
+        plain = build_invariant_proof(cs)
+        assert weighted.rule_histogram() == plain.rule_histogram()
+
+    def test_wrong_weight_detected(self):
+        """Claiming the unweighted sum on a weighted system fails at the
+        functional-dependence obligation."""
+        from repro.core.expressions import esum
+        from repro.core.predicates import ExprPredicate
+        from repro.core.proofs import ConstantExpressions
+
+        ws = build_weighted_counter_system([2, 2], [1, 3])
+        wrong = ExprPredicate(
+            ws.C.ref() == esum([ws.c(0).ref(), ws.c(1).ref()])
+        )
+        proof = ConstantExpressions(
+            [ws.C.ref() - ws.c(0).ref()], wrong
+        )
+        assert not proof.check(ws.lifted_component(0)).ok
+
+
+class TestValidation:
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            build_weighted_counter_system([])
+        with pytest.raises(ValueError):
+            build_weighted_counter_system([2], [1, 2])
+        with pytest.raises(ValueError):
+            build_weighted_counter_system([0])
+        with pytest.raises(ValueError):
+            build_weighted_counter_system([2], [0])
+
+    def test_liveness_to_saturation(self):
+        from repro.core.predicates import ExprPredicate
+        from repro.core.properties import LeadsTo
+
+        ws = build_weighted_counter_system([1, 1], [2, 3])
+        conserve = ws.invariant_predicate()
+        full = ExprPredicate(ws.C.ref() == 5)
+        assert LeadsTo(conserve, full).holds_in(ws.system)

@@ -1,0 +1,134 @@
+"""Tests for repro.semantics.explorer and repro.semantics.scc."""
+
+import numpy as np
+import pytest
+
+from repro.core.commands import GuardedCommand
+from repro.core.domains import IntRange
+from repro.core.expressions import ite
+from repro.core.predicates import ExprPredicate, TRUE
+from repro.core.program import Program
+from repro.core.variables import Var
+from repro.semantics.explorer import distance_map, reachable_mask, reachable_states
+from repro.semantics.scc import condensation
+
+X = Var.shared("x", IntRange(0, 7))
+
+
+def prog(commands, init):
+    return Program("P", [X], init, commands)
+
+
+class TestExplorer:
+    def test_saturating_reaches_upward_only(self):
+        inc = GuardedCommand("inc", X.ref() < 7, [(X, X.ref() + 1)])
+        p = prog([inc], ExprPredicate(X.ref() == 3))
+        mask = reachable_mask(p)
+        assert [int(i) for i in np.flatnonzero(mask)] == [3, 4, 5, 6, 7]
+
+    def test_wraparound_reaches_everything(self):
+        inc = GuardedCommand("inc", True, [(X, ite(X.ref() < 7, X.ref() + 1, 0))])
+        p = prog([inc], ExprPredicate(X.ref() == 5))
+        assert reachable_mask(p).all()
+
+    def test_from_mask_override(self):
+        inc = GuardedCommand("inc", X.ref() < 7, [(X, X.ref() + 1)])
+        p = prog([inc], ExprPredicate(X.ref() == 0))
+        start = np.zeros(p.space.size, dtype=bool)
+        start[6] = True
+        mask = reachable_mask(p, from_mask=start)
+        assert [int(i) for i in np.flatnonzero(mask)] == [6, 7]
+
+    def test_no_initial_states(self):
+        p = prog([], ExprPredicate(X.ref() > 7))
+        assert not reachable_mask(p).any()
+
+    def test_reachable_states_decoded(self):
+        inc = GuardedCommand("inc", X.ref() < 2, [(X, X.ref() + 1)])
+        p = prog([inc], ExprPredicate(X.ref() == 0))
+        states = reachable_states(p)
+        assert sorted(s[X] for s in states) == [0, 1, 2]
+
+    def test_reachable_states_limit(self):
+        p = prog([], TRUE)
+        with pytest.raises(ValueError):
+            reachable_states(p, limit=3)
+
+    def test_distance_map(self):
+        inc = GuardedCommand("inc", X.ref() < 7, [(X, X.ref() + 1)])
+        p = prog([inc], ExprPredicate(X.ref() == 0))
+        dist = distance_map(p)
+        assert [int(dist[k]) for k in range(8)] == list(range(8))
+
+    def test_distance_unreachable_is_minus_one(self):
+        inc = GuardedCommand("inc", X.ref() < 7, [(X, X.ref() + 1)])
+        p = prog([inc], ExprPredicate(X.ref() == 5))
+        dist = distance_map(p)
+        assert int(dist[0]) == -1 and int(dist[7]) == 2
+
+
+class TestCondensation:
+    def _tables(self, succ):
+        """Build a one-command successor table from a dict."""
+        n = len(succ)
+        return [np.array([succ[i] for i in range(n)], dtype=np.int64)]
+
+    def test_simple_cycle_is_one_scc(self):
+        tables = self._tables({0: 1, 1: 2, 2: 0})
+        mask = np.ones(3, dtype=bool)
+        cond = condensation(mask, tables)
+        assert cond.count == 1
+        assert len(cond.components[0]) == 3
+
+    def test_chain_gives_singletons_reverse_topological(self):
+        tables = self._tables({0: 1, 1: 2, 2: 2})
+        cond = condensation(np.ones(3, bool), tables)
+        assert cond.count == 3
+        # Emission order: sinks first — every edge goes to a lower comp_id.
+        for i, t in enumerate([1, 2, 2]):
+            if i != t:
+                assert cond.comp_id[i] > cond.comp_id[t]
+
+    def test_mask_excludes_states(self):
+        tables = self._tables({0: 1, 1: 0, 2: 2})
+        mask = np.array([True, False, True])
+        cond = condensation(mask, tables)
+        assert cond.comp_id[1] == -1
+        # 0's cycle through 1 is cut: 0 is its own SCC.
+        assert cond.count == 2
+
+    def test_multiple_tables_union_edges(self):
+        a = np.array([1, 1, 2], dtype=np.int64)
+        b = np.array([0, 0, 2], dtype=np.int64)
+        cond = condensation(np.ones(3, bool), [a, b])
+        # 0 ↔ 1 via the two tables: one SCC; 2 separate.
+        assert cond.count == 2
+        assert cond.comp_id[0] == cond.comp_id[1] != cond.comp_id[2]
+
+    def test_self_loop_singleton(self):
+        tables = self._tables({0: 0, 1: 0})
+        cond = condensation(np.ones(2, bool), tables)
+        assert cond.count == 2
+
+    def test_two_cycles_bridge(self):
+        # 0↔1 cycle → 2↔3 cycle (bridge from 1 to 2 via second table).
+        a = np.array([1, 0, 3, 2], dtype=np.int64)
+        b = np.array([0, 2, 2, 3], dtype=np.int64)
+        cond = condensation(np.ones(4, bool), [a, b])
+        assert cond.count == 2
+        # Edge 1→2 must go from higher comp_id to lower (reverse topo).
+        assert cond.comp_id[1] > cond.comp_id[2]
+
+    def test_large_random_against_networkx_style_check(self):
+        rng = np.random.default_rng(0)
+        n = 300
+        tables = [rng.integers(0, n, size=n).astype(np.int64) for _ in range(2)]
+        cond = condensation(np.ones(n, bool), tables)
+        # Internal consistency: comp ids partition; edges non-increasing.
+        assert sorted(np.concatenate(cond.components).tolist()) == list(range(n))
+        for t in tables:
+            assert (cond.comp_id[np.arange(n)] >= cond.comp_id[t]).all()
+
+    def test_empty_mask(self):
+        cond = condensation(np.zeros(3, bool), self._tables({0: 0, 1: 1, 2: 2}))
+        assert cond.count == 0

@@ -1,0 +1,174 @@
+"""Failure injection: seed specific bugs into the paper's systems and
+assert the checkers catch each one with the *expected* diagnosis.
+
+A verifier that never fires on broken systems proves nothing; each test
+here mutates one aspect of a correct system (fairness dropped, a guard
+weakened, an edge touched without priority, an initial condition loosened)
+and pins which property breaks and how it is reported.
+"""
+
+import pytest
+
+from repro.core.commands import GuardedCommand
+from repro.core.expressions import land, lnot
+from repro.core.predicates import ExprPredicate
+from repro.core.program import Program
+from repro.graph.generators import ring_graph
+from repro.systems.counter import build_counter_system
+from repro.systems.priority import build_priority_system
+
+
+def rebuild_with(system, *, commands=None, fair=None, init=None):
+    """Clone a Program with selected pieces replaced."""
+    return Program(
+        system.name + "'",
+        list(system.variables),
+        system.init if init is None else init,
+        list(system.commands) if commands is None else commands,
+        fair=sorted(system.fair_names) if fair is None else fair,
+    )
+
+
+class TestCounterInjections:
+    def test_drop_shared_increment(self):
+        """A component that bumps c_i without C breaks the invariant's
+        stable part, blamed on the mutated command."""
+        cs = build_counter_system(2, 2)
+        c0 = cs.c(0)
+        broken_cmd = GuardedCommand(
+            "a[0]", land(c0.ref() < 2, cs.C.ref() < 4),
+            [(c0, c0.ref() + 1)],  # forgot C := C + 1
+        )
+        others = [c for c in cs.system.commands if c.name != "a[0]"]
+        broken = rebuild_with(cs.system, commands=[broken_cmd, *others])
+        res = cs.invariant_property().check(broken)
+        assert not res.holds
+        assert res.witness["command"] == "a[0]"
+
+    def test_double_increment_detected(self):
+        cs = build_counter_system(2, 2)
+        c0 = cs.c(0)
+        eager = GuardedCommand(
+            "a[0]", land(c0.ref() < 2, cs.C.ref() < 3),
+            [(c0, c0.ref() + 1), (cs.C, cs.C.ref() + 2)],  # C jumps by 2
+        )
+        others = [c for c in cs.system.commands if c.name != "a[0]"]
+        broken = rebuild_with(cs.system, commands=[eager, *others])
+        assert not cs.invariant_property().check(broken).holds
+
+    def test_loosened_init_detected_at_init_part(self):
+        cs = build_counter_system(2, 2)
+        loose = rebuild_with(cs.system, init=ExprPredicate(cs.c(0).ref() == 0))
+        res = cs.invariant_property().check(loose)
+        assert not res.holds
+        assert "init part" in res.message
+
+    def test_dropped_fairness_kills_liveness_only(self):
+        from repro.core.properties import LeadsTo
+
+        cs = build_counter_system(2, 2)
+        lazy = rebuild_with(cs.system, fair=[])
+        # Safety unaffected…
+        assert cs.invariant_property().check(lazy).holds
+        # …liveness gone.  (Conditioned on conservation: from
+        # non-conserving full-space states the counters saturate before C
+        # reaches n·cap even in the correct system — same conditioning
+        # discipline as everywhere else.)
+        conserve = ExprPredicate(cs.C.ref() == cs.sum_expr())
+        done = ExprPredicate(cs.C.ref() == 4)
+        assert LeadsTo(conserve, done).holds_in(cs.system)
+        assert not LeadsTo(conserve, done).holds_in(lazy)
+
+
+class TestPriorityInjections:
+    def _with_rogue(self, psys, rogue):
+        return rebuild_with(
+            psys.system, commands=[*psys.system.commands, rogue]
+        )
+
+    def test_edge_flip_without_priority_breaks_13_and_16(self):
+        from repro.systems.priority_proof import check_derivation_property
+        import copy
+
+        psys = build_priority_system(ring_graph(4))
+        var = psys.edge_vars[0]
+        rogue = GuardedCommand("rogue", True, [(var, lnot(var.ref()))])
+        tampered = copy.copy(psys)
+        tampered.system = self._with_rogue(psys, rogue)
+        # (13) the constructed universal property fails…
+        assert not check_derivation_property(tampered).holds
+        # …and so does acyclicity stability (16): a single flip can close
+        # a cycle.
+        assert not psys.stable_acyclicity_property().holds_in(tampered.system)
+
+    def test_partial_yield_breaks_derivation_shape(self):
+        """A node that yields only ONE of its edges violates (7)'s
+        'below all neighbours at once' — caught by the next-check."""
+        psys = build_priority_system(ring_graph(4))
+        i = 0
+        one_edge = psys.edge_vars[psys.graph.incident_edges(i)[0]]
+        lazy_yield = GuardedCommand(
+            f"yield[{i}]", psys.priority_expr(i),
+            [(one_edge, lnot(one_edge.ref()))],
+        )
+        others = [c for c in psys.system.commands if c.name != f"yield[{i}]"]
+        broken = rebuild_with(psys.system, commands=[lazy_yield, *others])
+        res = psys.spec_yield(i).check(broken)
+        assert not res.holds
+
+    def test_unfair_node_starves(self):
+        psys = build_priority_system(ring_graph(4))
+        fair = sorted(psys.system.fair_names - {"yield[1]"})
+        lazy = rebuild_with(psys.system, fair=fair)
+        # Node 1 can sit on its priority forever, so node 2 starves.
+        assert not psys.liveness_property(2).holds_in(lazy)
+        # Safety is untouched (it is a state property).
+        assert psys.safety_property().holds_in(lazy)
+
+    def test_single_rogue_starves_third_parties(self):
+        """A rogue that keeps asserting ``0 → 1`` does *not* starve node 1
+        (leads-to is one-shot: 1 still stumbles into priority at yield
+        moments) — it starves nodes **0 and 2**, whose service depends on
+        the edge settling.  Interference damages third parties; the model
+        checker pins exactly who."""
+        psys = build_priority_system(ring_graph(3))
+        e01 = psys.edge_vars[psys.graph.edge_id(0, 1)]
+        steal = GuardedCommand("steal", lnot(e01.ref()), [(e01, True)])
+        tampered = rebuild_with(
+            psys.system, commands=[*psys.system.commands, steal],
+        )
+        assert psys.liveness_property(1).holds_in(tampered)
+        assert not psys.liveness_property(0).holds_in(tampered)
+        assert not psys.liveness_property(2).holds_in(tampered)
+
+    def test_rogue_pair_starves_a_node(self):
+        """Two coordinated rogues — one keeps ``0 → 1`` asserted, the
+        other keeps tearing down ``1 → 2`` — deny node 1 both conjuncts of
+        its priority forever.  The scheduler interleaves them between the
+        (still fair) yields."""
+        psys = build_priority_system(ring_graph(3))
+        e01 = psys.edge_vars[psys.graph.edge_id(0, 1)]
+        e12 = psys.edge_vars[psys.graph.edge_id(1, 2)]
+        rogue_a = GuardedCommand("rogue_a", lnot(e01.ref()), [(e01, True)])
+        rogue_b = GuardedCommand("rogue_b", e12.ref(), [(e12, False)])
+        tampered = rebuild_with(
+            psys.system, commands=[*psys.system.commands, rogue_a, rogue_b],
+        )
+        assert not psys.liveness_property(1).holds_in(tampered)
+        # Safety is a state property: untouched.
+        assert psys.safety_property().holds_in(tampered)
+
+    def test_proof_checker_localizes_the_bug(self):
+        """The synthesized certificate for the CORRECT system must fail on
+        the tampered one — and the failure message names a real obligation."""
+        from repro.systems.priority_proof import synthesized_liveness_proof
+
+        psys = build_priority_system(ring_graph(4))
+        proof = synthesized_liveness_proof(psys, 2)
+        assert proof.check(psys.system).ok
+
+        fair = sorted(psys.system.fair_names - {"yield[1]"})
+        lazy = rebuild_with(psys.system, fair=fair)
+        res = proof.check(lazy)
+        assert not res.ok
+        assert any("transient" in str(f) for f in res.failures)

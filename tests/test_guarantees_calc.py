@@ -1,0 +1,149 @@
+"""Tests for the guarantees calculus (repro.core.guarantees_calc)."""
+
+import pytest
+
+from repro.core.guarantees_calc import (
+    PropertyEntailment,
+    conj_property,
+    g_conjunction,
+    g_eliminate,
+    g_transitivity,
+    g_weaken,
+)
+from repro.core.predicates import ExprPredicate, TRUE
+from repro.core.properties import Guarantees, Init, Invariant, LeadsTo, Stable
+from repro.errors import PropertyError
+from repro.systems.allocator import build_allocator_system, build_client
+
+
+@pytest.fixture(scope="module")
+def al():
+    return build_allocator_system(2, 2)
+
+
+@pytest.fixture(scope="module")
+def envs(al):
+    return [build_client(7, al.total)]
+
+
+def _avail_pred(al, k):
+    return ExprPredicate(al.avail.ref() >= k)
+
+
+class TestConjProperty:
+    def test_holds_iff_both(self, al):
+        good = Invariant(ExprPredicate(al.avail.ref() >= 0))
+        conj = conj_property(al.conservation(), good)
+        assert conj.holds_in(al.system)
+        bad = Invariant(ExprPredicate(al.avail.ref() == al.total))
+        assert not conj_property(al.conservation(), bad).holds_in(al.system)
+
+    def test_single_passthrough(self, al):
+        p = al.conservation()
+        assert conj_property(p) is p
+
+    def test_empty_rejected(self):
+        with pytest.raises(PropertyError):
+            conj_property()
+
+
+class TestTransitivity:
+    def test_chains(self, al, envs):
+        mid = al.token_available()
+        g1 = Guarantees(al.clients_return_tokens(), mid)
+        g2 = Guarantees(mid, LeadsTo(al.conservation_predicate(),
+                                     ExprPredicate(al.avail.ref() >= 1)))
+        chained = g_transitivity(g1, g2)
+        assert chained.lhs is g1.lhs
+        assert chained.rhs is g2.rhs
+        # Instance soundness: premises pass ⇒ conclusion passes.
+        assert g1.check_against(al.system, envs).holds
+        assert g2.check_against(al.system, envs).holds
+        assert chained.check_against(al.system, envs).holds
+
+    def test_middle_mismatch_rejected(self, al):
+        g1 = Guarantees(Init(TRUE), Stable(TRUE))
+        g2 = Guarantees(Init(TRUE), Stable(TRUE))
+        with pytest.raises(PropertyError, match="middle"):
+            g_transitivity(g1, g2)
+
+
+class TestConjunction:
+    def test_combines(self, al, envs):
+        g1 = al.guarantee()
+        # Note Init (not Invariant) on the right: a foreign client breaks
+        # the two-client conservation *invariant* (it moves tokens the sum
+        # does not see) but never its initial condition.
+        g2 = Guarantees(Init(ExprPredicate(al.avail.ref() == al.total)),
+                        Init(al.conservation_predicate()))
+        combined = g_conjunction(g1, g2)
+        assert g1.check_against(al.system, envs).holds
+        assert g2.check_against(al.system, envs).holds
+        assert combined.check_against(al.system, envs).holds
+
+    def test_conclusion_fails_when_a_premise_fails(self, al, envs):
+        """Instance contrapositive: a failing premise shows up in the
+        conjunction (the rule transports validity, not magic)."""
+        g1 = al.guarantee()
+        bad = Guarantees(Init(ExprPredicate(al.avail.ref() == al.total)),
+                         al.conservation())  # invariant: broken by envs
+        assert not bad.check_against(al.system, envs).holds
+        assert not g_conjunction(g1, bad).check_against(al.system, envs).holds
+
+    def test_description_mentions_both(self, al):
+        g1 = al.guarantee()
+        g2 = Guarantees(Init(TRUE), Init(TRUE))
+        combined = g_conjunction(g1, g2)
+        assert "/\\" in combined.lhs.describe()
+
+
+class TestWeaken:
+    def test_rhs_weakening(self, al, envs):
+        g = al.guarantee()  # … guarantees (conservation ↝ avail > 0)
+        weaker_rhs = LeadsTo(
+            al.conservation_predicate(), _avail_pred(al, 0)  # avail ≥ 0: weaker
+        )
+        ent = PropertyEntailment(stronger=g.rhs, weaker=weaker_rhs)
+        assert ent.spot_check([al.system])
+        out = g_weaken(g, new_rhs=weaker_rhs, rhs_entailment=ent)
+        assert out.check_against(al.system, envs).holds
+
+    def test_lhs_strengthening(self, al, envs):
+        g = al.guarantee()
+        stronger_lhs = conj_property(
+            al.clients_return_tokens(), al.conservation()
+        )
+        ent = PropertyEntailment(stronger=stronger_lhs, weaker=g.lhs)
+        assert ent.spot_check([al.system])
+        out = g_weaken(g, new_lhs=stronger_lhs, lhs_entailment=ent)
+        assert out.check_against(al.system, envs).holds
+
+    def test_orientation_validated(self, al):
+        g = al.guarantee()
+        wrong = PropertyEntailment(stronger=g.rhs, weaker=g.rhs)
+        with pytest.raises(PropertyError):
+            g_weaken(g, new_lhs=g.lhs, lhs_entailment=wrong)
+        with pytest.raises(PropertyError):
+            g_weaken(g, new_rhs=g.rhs)  # missing entailment
+
+    def test_spot_check_catches_false_entailment(self, al):
+        false_ent = PropertyEntailment(
+            stronger=Init(TRUE),
+            weaker=Invariant(ExprPredicate(al.avail.ref() == al.total)),
+        )
+        assert not false_ent.spot_check([al.system])
+
+
+class TestElimination:
+    def test_premise_absent(self, al):
+        g = Guarantees(Init(ExprPredicate(al.avail.ref() == 0)), Init(TRUE))
+        assert g_eliminate(g, al.system) is False
+
+    def test_valid_elimination(self, al):
+        g = al.guarantee()
+        assert g_eliminate(g, al.system) is True
+
+    def test_refutation_detected(self, al):
+        g = Guarantees(al.clients_return_tokens(), al.pool_refills_fully())
+        with pytest.raises(PropertyError, match="refutes"):
+            g_eliminate(g, al.system)

@@ -1,0 +1,158 @@
+"""Tests for repro.semantics.invariants: strongest invariant and automatic
+inductive strengthening."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.commands import GuardedCommand
+from repro.core.domains import IntRange
+from repro.core.expressions import land, lnot
+from repro.core.predicates import ExprPredicate, FALSE, TRUE
+from repro.core.program import Program
+from repro.core.properties import Invariant
+from repro.core.variables import Var
+from repro.semantics.checker import check_reachable_invariant, check_stable
+from repro.semantics.invariants import (
+    auto_invariant,
+    inductive_strengthening,
+    strongest_invariant,
+)
+
+from tests.conftest import predicate_strategy, program_strategy
+
+X = Var.shared("x", IntRange(0, 3))
+
+
+def pred(e):
+    return ExprPredicate(e)
+
+
+def sat_counter():
+    inc = GuardedCommand("inc", X.ref() < 3, [(X, X.ref() + 1)])
+    return Program("Sat", [X], pred(X.ref() == 0), [inc], fair=["inc"])
+
+
+class TestStrongestInvariant:
+    def test_equals_reachable_set(self):
+        p = sat_counter()
+        si = strongest_invariant(p)
+        assert si.count(p.space) == 4  # 0..3 all reachable
+
+    def test_is_inductive(self):
+        p = sat_counter()
+        si = strongest_invariant(p)
+        assert check_stable(p, si).holds
+        assert Invariant(si).holds_in(p)
+
+    def test_contained_in_every_invariant(self):
+        p = sat_counter()
+        si_mask = strongest_invariant(p).mask(p.space)
+        inv = pred(X.ref() <= 3)
+        assert Invariant(inv).holds_in(p)
+        assert (si_mask <= inv.mask(p.space)).all()
+
+
+class TestInductiveStrengthening:
+    def test_already_inductive_is_fixed_point(self):
+        p = sat_counter()
+        q = pred(X.ref() >= 2)
+        assert check_stable(p, q).holds
+        out = inductive_strengthening(p, q)
+        assert np.array_equal(out.mask(p.space), q.mask(p.space))
+
+    def test_strengthens_non_inductive(self):
+        """x ≠ 2 is not stable (1 → 2); the weakest inductive subset must
+        remove every state that can reach 2 while inside the predicate."""
+        p = sat_counter()
+        q = pred(X.ref() != 2)
+        assert not check_stable(p, q).holds
+        out = inductive_strengthening(p, q)
+        # Only x = 3 survives: 0 and 1 march into 2.
+        assert [i for i in range(4) if out.mask(p.space)[i]] == [3]
+        assert check_stable(p, out).holds
+
+    def test_result_is_weakest(self):
+        """Any stable subset of p is contained in the strengthening."""
+        p = sat_counter()
+        q = pred(X.ref() != 2)
+        out_mask = inductive_strengthening(p, q).mask(p.space)
+        candidate = pred(X.ref() == 3)  # a stable subset of q
+        assert check_stable(p, candidate).holds
+        assert (candidate.mask(p.space) <= out_mask).all()
+
+    def test_false_maps_to_false(self):
+        p = sat_counter()
+        out = inductive_strengthening(p, FALSE)
+        assert not out.mask(p.space).any()
+
+    @settings(max_examples=30, deadline=None)
+    @given(program_strategy("IS"), predicate_strategy())
+    def test_gfp_properties_random(self, program, q):
+        out = inductive_strengthening(program, q)
+        space = program.space
+        # contained in q, and stable
+        assert (out.mask(space) <= q.mask(space)).all()
+        assert check_stable(program, out).holds
+
+
+class TestAutoInvariant:
+    def test_agrees_with_reachability_checker(self):
+        p = sat_counter()
+        for q in [pred(X.ref() <= 3), pred(X.ref() != 2), pred(X.ref() >= 0)]:
+            assert (
+                auto_invariant(p, q).holds
+                == check_reachable_invariant(p, q).holds
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(program_strategy("AI"), predicate_strategy())
+    def test_agreement_random(self, program, q):
+        assert (
+            auto_invariant(program, q).holds
+            == check_reachable_invariant(program, q).holds
+        )
+
+    def test_certificate_is_a_real_invariant(self):
+        p = sat_counter()
+        res = auto_invariant(p, pred(X.ref() <= 3))
+        assert res.holds
+        cert = res.witness["strengthened"]
+        assert Invariant(cert).holds_in(p)
+
+    def test_failure_names_escaping_initial_state(self):
+        p = sat_counter()
+        res = auto_invariant(p, pred(X.ref() != 2))
+        assert not res.holds
+        assert res.witness["state"][X] == 0
+
+    def test_rediscovers_philosophers_auxiliary(self):
+        """The automatic strengthening of bare mutual exclusion implies the
+        hand-written auxiliary invariant's content on reachable states —
+        auxiliary-invariant discovery, mechanized."""
+        from repro.graph.generators import ring_graph
+        from repro.systems.philosophers import build_philosopher_system
+
+        ph = build_philosopher_system(ring_graph(3))
+        parts = []
+        for (i, j) in ph.graph.edges:
+            parts.append(lnot(land(
+                ph.phase(i).ref() == "eat", ph.phase(j).ref() == "eat"
+            )))
+        bare = ExprPredicate(land(*parts))
+        assert not check_stable(ph.system, bare).holds  # not inductive
+
+        res = auto_invariant(ph.system, bare)
+        assert res.holds
+        cert = res.witness["strengthened"]
+        assert Invariant(cert).holds_in(ph.system)
+        # The certificate is at least as strong as the hand-written
+        # strengthened invariant on its own region:
+        hand = ph.mutual_exclusion().p
+        space = ph.system.space
+        assert (cert.mask(space) <= bare.mask(space)).all()
+        # and the hand invariant contains the certificate (both inductive
+        # subsets of bare; the certificate is the weakest such).
+        assert (hand.mask(space) <= cert.mask(space)).all() or True
+        # The certificate, being weakest, contains the hand-written one:
+        assert (hand.mask(space) <= cert.mask(space)).all()

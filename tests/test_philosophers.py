@@ -1,0 +1,97 @@
+"""Tests for the dining-philosophers application (repro.systems.philosophers)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import path_graph, ring_graph
+from repro.semantics.simulate import run_until, simulate
+from repro.systems.philosophers import build_philosopher_system
+
+
+@pytest.fixture(scope="module")
+def ring3():
+    return build_philosopher_system(ring_graph(3))
+
+
+class TestConstruction:
+    def test_space_size(self, ring3):
+        # 2^3 phases × 2^3 edges
+        assert ring3.system.space.size == 8 * 8
+
+    def test_phase_vars_local(self, ring3):
+        for i in range(3):
+            assert ring3.phase(i).is_local()
+
+    def test_isolated_rejected(self):
+        from repro.graph.neighborhood import NeighborhoodGraph
+
+        with pytest.raises(GraphError):
+            build_philosopher_system(NeighborhoodGraph(3, [(0, 1)]))
+
+    def test_initially_all_thinking(self, ring3):
+        for s in ring3.system.initial_states():
+            for i in range(3):
+                assert s[ring3.phase(i)] == "think"
+
+
+class TestSafety:
+    def test_eat_implies_priority_invariant(self, ring3):
+        assert ring3.eat_implies_priority().holds_in(ring3.system)
+
+    def test_mutual_exclusion_invariant(self, ring3):
+        assert ring3.mutual_exclusion().holds_in(ring3.system)
+
+    def test_plain_mutual_exclusion_not_inductive(self, ring3):
+        """Without the auxiliary strengthening, bare mutual exclusion is
+        not stable over the full space — the classic inductive-invariant
+        gap, worth pinning."""
+        from repro.core.expressions import land, lnot
+        from repro.core.predicates import ExprPredicate
+        from repro.core.properties import Stable
+
+        parts = []
+        for (i, j) in ring3.graph.edges:
+            parts.append(lnot(land(
+                ring3.phase(i).ref() == "eat", ring3.phase(j).ref() == "eat"
+            )))
+        bare = ExprPredicate(land(*parts))
+        assert not Stable(bare).holds_in(ring3.system)
+
+    def test_exclusion_observed_in_simulation(self, ring3):
+        from repro.core.predicates import FnPredicate
+
+        def excl(state):
+            return all(
+                not (state[ring3.phase(i)] == "eat" and state[ring3.phase(j)] == "eat")
+                for (i, j) in ring3.graph.edges
+            )
+
+        start = next(
+            s for s in ring3.system.initial_states()
+            if ring3.acyclicity_predicate().holds(s)
+        )
+        trace = simulate(ring3.system, 120, start=start)
+        assert trace.satisfies_throughout(FnPredicate(excl, "exclusion"))
+
+
+class TestLiveness:
+    def test_everyone_eats(self, ring3):
+        for i in range(3):
+            assert ring3.liveness(i).holds_in(ring3.system), f"phil {i}"
+
+    def test_everyone_eats_on_path(self):
+        ph = build_philosopher_system(path_graph(3))
+        for i in range(3):
+            assert ph.liveness(i).holds_in(ph.system)
+
+    def test_simulation_reaches_eating(self, ring3):
+        start = next(
+            s for s in ring3.system.initial_states()
+            if ring3.acyclicity_predicate().holds(s)
+        )
+        for i in range(3):
+            _, reached = run_until(
+                ring3.system, ring3.eating(i), start=start,
+                max_steps=ring3.system.space.size * 10,
+            )
+            assert reached

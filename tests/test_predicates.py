@@ -1,0 +1,162 @@
+"""Tests for repro.core.predicates: flavours, combinators, semantic relations."""
+
+import numpy as np
+import pytest
+
+from repro.core.domains import IntRange
+from repro.core.expressions import land, lnot
+from repro.core.predicates import (
+    FALSE,
+    TRUE,
+    ExprPredicate,
+    FnPredicate,
+    MaskPredicate,
+    exists_range,
+    forall_range,
+)
+from repro.core.state import State, StateSpace
+from repro.core.variables import Var
+from repro.errors import PropertyError
+
+X = Var.shared("x", IntRange(0, 3))
+B = Var.boolean("b")
+SPACE = StateSpace([X, B])
+
+
+def xb(x, b):
+    return State({X: x, B: b})
+
+
+class TestExprPredicate:
+    def test_holds(self):
+        p = ExprPredicate(X.ref() > 1)
+        assert p.holds(xb(2, False))
+        assert not p.holds(xb(1, False))
+
+    def test_mask_matches_holds(self):
+        p = ExprPredicate(land(X.ref() > 0, B.ref()))
+        mask = p.mask(SPACE)
+        for i in range(SPACE.size):
+            assert mask[i] == p.holds(SPACE.state_at(i))
+
+    def test_constant_mask_broadcast(self):
+        assert TRUE.mask(SPACE).all()
+        assert not FALSE.mask(SPACE).any()
+
+    def test_requires_bool_expr(self):
+        with pytest.raises(PropertyError):
+            ExprPredicate(X.ref() + 1)
+
+    def test_as_expr(self):
+        p = ExprPredicate(X.ref() == 2)
+        assert p.as_expr().same_as(X.ref() == 2)
+
+    def test_variables(self):
+        assert ExprPredicate(land(B.ref(), X.ref() > 0)).variables() == {X, B}
+
+
+class TestFnPredicate:
+    def test_holds_and_mask(self):
+        p = FnPredicate(lambda s: s[X] % 2 == 0, "x even")
+        assert p.holds(xb(2, True))
+        mask = p.mask(SPACE)
+        for i in range(SPACE.size):
+            assert mask[i] == (SPACE.state_at(i)[X] % 2 == 0)
+
+    def test_no_expr_form(self):
+        with pytest.raises(PropertyError):
+            FnPredicate(lambda s: True, "t").as_expr()
+
+    def test_describe(self):
+        assert FnPredicate(lambda s: True, "x even").describe() == "x even"
+
+
+class TestMaskPredicate:
+    def test_holds_via_index(self):
+        mask = np.zeros(SPACE.size, dtype=bool)
+        mask[SPACE.index_of(xb(3, True))] = True
+        p = MaskPredicate(SPACE, mask, "only (3,true)")
+        assert p.holds(xb(3, True))
+        assert not p.holds(xb(3, False))
+
+    def test_wrong_space_rejected(self):
+        other = StateSpace([X])
+        p = MaskPredicate(SPACE, np.zeros(SPACE.size, bool), "z")
+        with pytest.raises(PropertyError):
+            p.mask(other)
+
+    def test_shape_checked(self):
+        with pytest.raises(PropertyError):
+            MaskPredicate(SPACE, np.zeros(3, bool), "bad")
+
+
+class TestCombinators:
+    def test_expr_and_expr_stays_symbolic(self):
+        p = ExprPredicate(X.ref() > 0) & ExprPredicate(B.ref())
+        assert p.as_expr() is not None  # no exception
+
+    def test_mixed_flavours(self):
+        p = ExprPredicate(X.ref() > 0) & FnPredicate(lambda s: s[B], "b")
+        assert p.holds(xb(1, True))
+        assert not p.holds(xb(1, False))
+        mask = p.mask(SPACE)
+        assert mask[SPACE.index_of(xb(1, True))]
+
+    def test_or_and_not(self):
+        p = ExprPredicate(X.ref() == 0) | FnPredicate(lambda s: s[B], "b")
+        assert p.holds(xb(0, False))
+        assert p.holds(xb(3, True))
+        q = ~p
+        assert q.holds(xb(3, False))
+
+    def test_double_negation_unwraps(self):
+        f = FnPredicate(lambda s: s[B], "b")
+        assert (~(~f)) is f
+
+    def test_implies(self):
+        p = ExprPredicate(X.ref() > 2).implies(ExprPredicate(X.ref() > 0))
+        assert p.mask(SPACE).all()
+
+    def test_de_morgan_masks(self):
+        a = ExprPredicate(X.ref() > 1)
+        b = ExprPredicate(B.ref())
+        lhs = (~(a & b)).mask(SPACE)
+        rhs = ((~a) | (~b)).mask(SPACE)
+        assert (lhs == rhs).all()
+
+
+class TestSemanticRelations:
+    def test_entails(self):
+        assert ExprPredicate(X.ref() == 3).entails(ExprPredicate(X.ref() > 1), SPACE)
+        assert not ExprPredicate(X.ref() > 1).entails(ExprPredicate(X.ref() == 3), SPACE)
+
+    def test_equivalent(self):
+        a = ExprPredicate(lnot(lnot(B.ref())))
+        assert a.equivalent(ExprPredicate(B.ref()), SPACE)
+
+    def test_satisfiable_and_witness(self):
+        p = ExprPredicate(land(X.ref() == 2, B.ref()))
+        assert p.is_satisfiable(SPACE)
+        w = p.witness(SPACE)
+        assert w is not None and w[X] == 2 and w[B]
+        assert FALSE.witness(SPACE) is None
+
+    def test_count(self):
+        assert ExprPredicate(B.ref()).count(SPACE) == 4
+        assert TRUE.count(SPACE) == SPACE.size
+
+
+class TestQuantifiers:
+    def test_forall_range(self):
+        p = forall_range(range(4), lambda k: ExprPredicate((X.ref() == k).__or__(X.ref() != k)))
+        assert p.mask(SPACE).all()
+
+    def test_forall_empty_is_true(self):
+        assert forall_range([], lambda k: FALSE).mask(SPACE).all()
+
+    def test_exists_range(self):
+        p = exists_range(range(4), lambda k: ExprPredicate(X.ref() == k))
+        assert p.mask(SPACE).all()
+
+    def test_exists_empty_is_false(self):
+        assert not exists_range([], lambda k: TRUE).mask(SPACE).any()

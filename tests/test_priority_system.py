@@ -1,0 +1,168 @@
+"""Tests for the §4 priority mechanism (repro.systems.priority) —
+experiments E3 (safety) and E4 (liveness) across graph families."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    clique_graph,
+    grid_graph,
+    path_graph,
+    random_graph,
+    ring_graph,
+    star_graph,
+)
+from repro.graph.orientation import Orientation
+from repro.semantics.simulate import run_until, simulate
+from repro.systems.priority import build_priority_system
+
+FAMILIES = [
+    ("ring5", lambda: ring_graph(5)),
+    ("path4", lambda: path_graph(4)),
+    ("star5", lambda: star_graph(5)),
+    ("clique4", lambda: clique_graph(4)),
+    ("grid2x3", lambda: grid_graph(2, 3)),
+    ("random7", lambda: random_graph(7, 0.25, seed=2)),
+]
+
+
+class TestConstruction:
+    def test_state_space_is_orientations(self):
+        psys = build_priority_system(ring_graph(4))
+        assert psys.space.size == 2 ** 4
+
+    def test_codec_roundtrip_all_orientations(self):
+        psys = build_priority_system(path_graph(4))
+        for idx in range(psys.space.size):
+            o = psys.orientation_of_index(idx)
+            assert psys.index_of_orientation(o) == idx
+            state = psys.state_of_orientation(o)
+            assert psys.orientation_of_state(state) == o
+
+    def test_acyclic_count_matches_graph_theory(self):
+        # A tree/path has no undirected cycles: every orientation acyclic.
+        psys = build_priority_system(path_graph(4))
+        assert psys.acyclic_count == psys.space.size
+        # A triangle has exactly 2 cyclic orientations out of 8.
+        psys3 = build_priority_system(ring_graph(3))
+        assert psys3.acyclic_count == 6
+
+    def test_isolated_node_rejected(self):
+        from repro.graph.neighborhood import NeighborhoodGraph
+
+        g = NeighborhoodGraph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            build_priority_system(g)
+
+    def test_initial_states_are_acyclic_orientations(self):
+        psys = build_priority_system(ring_graph(3))
+        for s in psys.system.initial_states():
+            from repro.graph.acyclicity import is_acyclic
+
+            assert is_acyclic(psys.orientation_of_state(s))
+
+    def test_specific_initial_orientation(self):
+        g = ring_graph(4)
+        o = Orientation.from_ranking(g)
+        psys = build_priority_system(g, init=o)
+        initials = psys.system.initial_states()
+        assert len(initials) == 1
+        assert psys.orientation_of_state(initials[0]) == o
+
+
+class TestComponentSpec:
+    @pytest.mark.parametrize("name,build", FAMILIES[:4])
+    def test_spec_5_to_8(self, name, build):
+        psys = build_priority_system(build())
+        for i in psys.graph.nodes():
+            comp = psys.components[i]
+            assert psys.spec_wait(i).holds_in(comp), f"(5) fails at {i}"
+            assert psys.spec_transient(i).holds_in(comp), f"(6) fails at {i}"
+            assert psys.spec_yield(i).holds_in(comp), f"(7) fails at {i}"
+            assert psys.spec_locality(i).holds_in(
+                psys.lifted_component(i)
+            ), f"(8) fails at {i}"
+
+    def test_yield_goes_below_all_neighbors(self):
+        psys = build_priority_system(ring_graph(4))
+        o = Orientation.from_ranking(psys.graph)
+        state = psys.state_of_orientation(o)
+        assert o.priority(0)
+        succ = psys.system.command_named("yield[0]").apply(state)
+        o2 = psys.orientation_of_state(succ)
+        assert o2.a_list(0) == sorted(psys.graph.neighbors(0))
+
+    def test_yield_noop_without_priority(self):
+        psys = build_priority_system(ring_graph(4))
+        o = Orientation.from_ranking(psys.graph)
+        state = psys.state_of_orientation(o)
+        assert not o.priority(2)
+        assert psys.system.command_named("yield[2]").apply(state) == state
+
+
+class TestSystemProperties:
+    @pytest.mark.parametrize("name,build", FAMILIES)
+    def test_E3_safety(self, name, build):
+        psys = build_priority_system(build())
+        assert psys.safety_property().holds_in(psys.system), name
+
+    @pytest.mark.parametrize("name,build", FAMILIES)
+    def test_E4_liveness_conditioned(self, name, build):
+        psys = build_priority_system(build())
+        for i in psys.graph.nodes():
+            assert psys.liveness_property(i).holds_in(psys.system), (name, i)
+
+    def test_unconditioned_liveness_fails_on_cyclic_graphs(self):
+        """From a cyclic orientation nobody need ever get priority — the
+        counterexample the acyclicity conditioning removes."""
+        psys = build_priority_system(ring_graph(3))
+        res = psys.unconditioned_liveness_property(0).check(psys.system)
+        assert not res.holds
+        from repro.graph.acyclicity import is_acyclic
+
+        bad = psys.orientation_of_state(res.witness["state"])
+        assert not is_acyclic(bad)
+
+    def test_unconditioned_liveness_holds_on_trees(self):
+        """Trees have no cycles at all, so the conditioning is vacuous and
+        the literal (10) holds."""
+        psys = build_priority_system(path_graph(4))
+        for i in psys.graph.nodes():
+            assert psys.unconditioned_liveness_property(i).holds_in(psys.system)
+
+    def test_acyclicity_stable_property5(self):
+        psys = build_priority_system(random_graph(6, 0.3, seed=5))
+        assert psys.stable_acyclicity_property().holds_in(psys.system)
+
+    def test_priority_equiv_a_star_empty(self):
+        psys = build_priority_system(ring_graph(5))
+        for i in psys.graph.nodes():
+            assert psys.priority_predicate(i).equivalent(
+                psys.a_star_empty(i), psys.space
+            )
+
+
+class TestOperational:
+    def test_every_node_eventually_served_in_simulation(self):
+        psys = build_priority_system(ring_graph(5))
+        g = psys.graph
+        o = Orientation.from_ranking(g)
+        start = psys.state_of_orientation(o)
+        for i in g.nodes():
+            _, reached = run_until(
+                psys.system, psys.priority_predicate(i), start=start,
+                max_steps=psys.space.size * (len(psys.system.commands) + 1),
+            )
+            assert reached, f"node {i} starved under round-robin"
+
+    def test_simulation_preserves_acyclicity(self):
+        psys = build_priority_system(clique_graph(4))
+        o = Orientation.from_ranking(psys.graph)
+        trace = simulate(psys.system, 60, start=psys.state_of_orientation(o))
+        assert trace.satisfies_throughout(psys.acyclicity_predicate())
+
+    def test_safety_observed_along_trace(self):
+        psys = build_priority_system(grid_graph(2, 3))
+        o = Orientation.from_ranking(psys.graph)
+        trace = simulate(psys.system, 80, start=psys.state_of_orientation(o))
+        assert trace.satisfies_throughout(psys.safety_predicate())

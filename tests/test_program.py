@@ -1,0 +1,132 @@
+"""Tests for repro.core.program: the §2 program model."""
+
+import pytest
+
+from repro.core.commands import GuardedCommand, Skip
+from repro.core.domains import IntRange
+from repro.core.expressions import lnot
+from repro.core.predicates import ExprPredicate, TRUE
+from repro.core.program import Program
+from repro.core.variables import Var
+from repro.errors import ProgramError
+
+X = Var.shared("x", IntRange(0, 3))
+B = Var.boolean("b")
+
+
+def inc(name="inc"):
+    return GuardedCommand(name, X.ref() < 3, [(X, X.ref() + 1)])
+
+
+class TestConstruction:
+    def test_skip_added_automatically(self):
+        p = Program("P", [X], TRUE, [inc()])
+        names = {c.name for c in p.commands}
+        assert "skip" in names  # §2: C contains at least skip
+
+    def test_skip_not_duplicated(self):
+        p = Program("P", [X], TRUE, [Skip(), inc()])
+        assert sum(1 for c in p.commands if c.is_skip()) == 1
+
+    def test_structural_union_of_commands(self):
+        # Two structurally identical commands are ONE element of C.
+        p = Program("P", [X], TRUE, [inc("a"), inc("a")])
+        non_skip = [c for c in p.commands if not c.is_skip()]
+        assert len(non_skip) == 1
+
+    def test_union_merges_origins(self):
+        a = inc("a").with_origins(frozenset({"F"}))
+        b = inc("a").with_origins(frozenset({"G"}))
+        p = Program("P", [X], TRUE, [a, b])
+        cmd = [c for c in p.commands if not c.is_skip()][0]
+        assert cmd.origins == {"F", "G"}
+
+    def test_default_origin_is_program(self):
+        p = Program("P", [X], TRUE, [inc()])
+        assert p.command_named("inc").origins == {"P"}
+
+    def test_duplicate_var_names_rejected(self):
+        with pytest.raises(ProgramError):
+            Program("P", [X, Var.shared("x", IntRange(0, 1))], TRUE, [])
+
+    def test_undeclared_in_command_rejected(self):
+        with pytest.raises(ProgramError):
+            Program("P", [B], TRUE, [inc()])
+
+    def test_undeclared_in_init_rejected(self):
+        with pytest.raises(ProgramError):
+            Program("P", [B], ExprPredicate(X.ref() == 0), [])
+
+    def test_fair_must_be_in_C(self):
+        with pytest.raises(ProgramError):
+            Program("P", [X], TRUE, [inc()], fair=["nope"])
+
+    def test_duplicate_names_distinct_bodies_rejected(self):
+        other = GuardedCommand("inc", X.ref() < 2, [(X, X.ref() + 1)])
+        with pytest.raises(ProgramError):
+            Program("P", [X], TRUE, [inc(), other])
+
+    def test_unnamed_program_rejected(self):
+        with pytest.raises(ProgramError):
+            Program("", [X], TRUE, [])
+
+    def test_init_coercion_from_expr_and_bool(self):
+        p1 = Program("P", [X], X.ref() == 0, [])
+        assert p1.initial_mask().sum() == 1
+        p2 = Program("P", [X], True, [])
+        assert p2.initial_mask().all()
+
+
+class TestViews:
+    def setup_method(self):
+        self.p = Program(
+            "P", [X, B], ExprPredicate(X.ref() == 0), [inc()], fair=["inc"]
+        )
+
+    def test_space_cached(self):
+        assert self.p.space is self.p.space
+
+    def test_fair_commands(self):
+        assert [c.name for c in self.p.fair_commands] == ["inc"]
+
+    def test_command_lookup(self):
+        assert self.p.command_named("inc").name == "inc"
+        with pytest.raises(ProgramError):
+            self.p.command_named("zap")
+
+    def test_var_lookup(self):
+        assert self.p.var_named("b") is B
+        with pytest.raises(ProgramError):
+            self.p.var_named("zz")
+
+    def test_local_shared_split(self):
+        q = Program("Q", [Var.local("l", IntRange(0, 1)), X], TRUE, [])
+        assert [v.name for v in q.local_vars] == ["l"]
+        assert [v.name for v in q.shared_vars] == ["x"]
+
+    def test_initial_states(self):
+        initials = self.p.initial_states()
+        assert len(initials) == 2  # x = 0, b free
+        assert all(s[X] == 0 for s in initials)
+
+    def test_has_initial_state(self):
+        assert self.p.has_initial_state()
+        q = Program("Q", [X], ExprPredicate(X.ref() > 5), [])  # unsat over domain?
+        # x ranges 0..3 so x > 5 is unsatisfiable
+        assert not q.has_initial_state()
+
+    def test_writes_of(self):
+        assert [c.name for c in self.p.writes_of(X)] == ["inc"]
+        assert self.p.writes_of(B) == ()
+
+    def test_state_builder(self):
+        s = self.p.state(x=1, b=True)
+        assert s[X] == 1 and s[B] is True
+        with pytest.raises(ProgramError):
+            self.p.state(x=1)  # missing b
+
+    def test_describe_listing(self):
+        text = self.p.describe()
+        assert "program P" in text
+        assert "fair inc" in text
+        assert "skip" in text

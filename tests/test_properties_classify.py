@@ -1,0 +1,205 @@
+"""Tests for repro.core.properties and repro.core.classify: the property
+language and the existential/universal composition theorems."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.classify import (
+    check_existential_on,
+    check_universal_on,
+    classification_table,
+    paper_classification,
+)
+from repro.core.commands import GuardedCommand
+from repro.core.composition import compose
+from repro.core.domains import IntRange
+from repro.core.expressions import lnot
+from repro.core.predicates import ExprPredicate, TRUE
+from repro.core.program import Program
+from repro.core.properties import (
+    Guarantees,
+    Init,
+    Invariant,
+    LeadsTo,
+    Next,
+    PropertyFamily,
+    Stable,
+    Transient,
+    forall_values,
+)
+from repro.core.variables import Var
+from repro.errors import PropertyError
+
+from tests.conftest import SHARED_B, SHARED_X, predicate_strategy, program_pair_strategy
+
+X = Var.shared("x", IntRange(0, 3))
+
+
+def pred(e):
+    return ExprPredicate(e)
+
+
+def sat_counter():
+    inc = GuardedCommand("inc", X.ref() < 3, [(X, X.ref() + 1)])
+    return Program("Sat", [X], pred(X.ref() == 0), [inc], fair=["inc"])
+
+
+class TestPropertyObjects:
+    def test_each_type_checks(self):
+        p = sat_counter()
+        assert Init(pred(X.ref() == 0)).holds_in(p)
+        assert Stable(pred(X.ref() >= 1)).holds_in(p)
+        assert Next(pred(X.ref() == 0), pred(X.ref() <= 1)).holds_in(p)
+        assert Transient(pred(X.ref() == 1)).holds_in(p)
+        assert Invariant(pred(X.ref() <= 3)).holds_in(p)
+        assert LeadsTo(TRUE, pred(X.ref() == 3)).holds_in(p)
+
+    def test_describe_strings(self):
+        assert Init(pred(X.ref() == 0)).describe() == "init x = 0"
+        assert "next" in Next(TRUE, TRUE).describe()
+        assert "~>" in LeadsTo(TRUE, TRUE).describe()
+        assert "guarantees" in Guarantees(Init(TRUE), Init(TRUE)).describe()
+
+    def test_classification_flags(self):
+        assert Init(TRUE).classification == "both"
+        assert Transient(TRUE).classification == "existential"
+        assert Stable(TRUE).classification == "universal"
+        assert LeadsTo(TRUE, TRUE).classification == "neither"
+
+    def test_family_all_members(self):
+        p = sat_counter()
+        fam = forall_values(range(4), lambda k: Stable(pred(X.ref() >= k)))
+        assert fam.holds_in(p)
+        assert len(fam) == 4
+
+    def test_family_reports_failing_member(self):
+        p = sat_counter()
+        fam = forall_values(range(4), lambda k: Stable(pred(X.ref() == k)))
+        res = fam.check(p)
+        assert not res.holds
+        assert "member fails" in res.message
+
+    def test_family_empty_rejected(self):
+        with pytest.raises(PropertyError):
+            PropertyFamily("empty", [])
+
+    def test_guarantees_needs_environments(self):
+        g = Guarantees(Init(TRUE), Init(TRUE))
+        with pytest.raises(PropertyError):
+            g.check(sat_counter())
+
+    def test_guarantees_check_against(self):
+        p = sat_counter()
+        g = Guarantees(Init(pred(X.ref() == 0)), Invariant(pred(X.ref() <= 3)))
+        res = g.check_against(p, [])
+        assert res.holds
+
+    def test_guarantees_detects_violation(self):
+        p = sat_counter()
+        # X guarantees stable(x = 0) is false: p itself breaks it.
+        g = Guarantees(Init(pred(X.ref() == 0)), Stable(pred(X.ref() == 0)))
+        assert not g.check_against(p, []).holds
+
+
+class TestPaperClassificationTable:
+    def test_matches_paper(self):
+        assert paper_classification(Init) == "existential"
+        assert paper_classification(Transient) == "existential"
+        assert paper_classification(Guarantees) == "existential"
+        assert paper_classification(Next) == "universal"
+        assert paper_classification(Stable) == "universal"
+        assert paper_classification(Invariant) == "universal"
+        assert paper_classification(LeadsTo) == "neither"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(PropertyError):
+            paper_classification(int)
+
+    def test_table_rows_consistent_with_flags(self):
+        for name, paper, is_e, is_u in classification_table():
+            if paper == "existential":
+                assert is_e, name
+            if paper == "universal":
+                assert is_u, name
+
+
+class TestCompositionTheorems:
+    """The defining implications on randomized compatible pairs (E8)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(program_pair_strategy(), predicate_strategy())
+    def test_stable_universal(self, pair, p):
+        f, g = pair
+        assert check_universal_on(Stable(p), f, g).consistent
+
+    @settings(max_examples=30, deadline=None)
+    @given(program_pair_strategy(), predicate_strategy(), predicate_strategy())
+    def test_next_universal(self, pair, p, q):
+        f, g = pair
+        assert check_universal_on(Next(p, q), f, g).consistent
+
+    @settings(max_examples=30, deadline=None)
+    @given(program_pair_strategy(), predicate_strategy())
+    def test_invariant_universal(self, pair, p):
+        f, g = pair
+        assert check_universal_on(Invariant(p), f, g).consistent
+
+    @settings(max_examples=30, deadline=None)
+    @given(program_pair_strategy(), predicate_strategy())
+    def test_init_existential(self, pair, p):
+        f, g = pair
+        assert check_existential_on(Init(p), f, g).consistent
+
+    @settings(max_examples=30, deadline=None)
+    @given(program_pair_strategy(), predicate_strategy())
+    def test_transient_existential(self, pair, p):
+        f, g = pair
+        assert check_existential_on(Transient(p), f, g).consistent
+
+    def test_stable_not_existential_concrete(self):
+        """The paper's central point: one component's stable predicate is
+        not a system property — exactly the toy example's failure."""
+        inc = GuardedCommand("inc", SHARED_X.ref() < 2, [(SHARED_X, SHARED_X.ref() + 1)])
+        f = Program("F", [SHARED_X, SHARED_B], TRUE, [])          # F: stable trivially
+        g = Program("G", [SHARED_X, SHARED_B], TRUE, [inc])       # G increments
+        prop = Stable(pred(SHARED_X.ref() == 0))
+        assert prop.holds_in(f)
+        assert not prop.holds_in(compose(f, g))
+
+    def test_leadsto_not_universal_concrete(self):
+        """The paper: leads-to is in general neither existential nor
+        universal.  Concrete witness: F progresses when ``b`` holds (and
+        can set ``b``); G progresses when ``¬b`` holds (and can clear
+        ``b``).  Each alone satisfies ``x=1 ↝ x=2``; composed, the
+        scheduler executes each component's step exactly while its phase
+        guard is false — every fair command still runs infinitely often,
+        yet ``x`` stays at 1."""
+        from repro.core.expressions import land
+
+        x, b = SHARED_X, SHARED_B
+        f_set = GuardedCommand("setb", True, [(b, True)])
+        f_step = GuardedCommand("fstep", land(b.ref(), x.ref() == 1), [(x, 2)])
+        f = Program("F", [x, b], TRUE, [f_set, f_step], fair=["setb", "fstep"])
+
+        g_clear = GuardedCommand("clearb", True, [(b, False)])
+        g_step = GuardedCommand("gstep", land(lnot(b.ref()), x.ref() == 1), [(x, 2)])
+        g = Program("G", [x, b], TRUE, [g_clear, g_step], fair=["clearb", "gstep"])
+
+        prop = LeadsTo(pred(x.ref() == 1), pred(x.ref() == 2))
+        assert prop.holds_in(f)
+        assert prop.holds_in(g)
+        assert not prop.holds_in(compose(f, g))
+
+    def test_incompatible_pair_rejected(self):
+        f = Program("F", [Var.local("z", IntRange(0, 1)), SHARED_X, SHARED_B], TRUE, [])
+        g = Program("G", [Var.local("z", IntRange(0, 1)), SHARED_X, SHARED_B], TRUE, [])
+        with pytest.raises(PropertyError):
+            check_universal_on(Stable(TRUE), f, g)
+
+    def test_outcome_flags(self):
+        f = Program("F", [SHARED_X, SHARED_B], TRUE, [])
+        g = Program("G", [SHARED_X, SHARED_B], TRUE, [])
+        out = check_universal_on(Stable(pred(SHARED_X.ref() == 0)), f, g)
+        assert out.premise_held and out.conclusion_held and bool(out)
+        out2 = check_existential_on(Transient(TRUE), f, g)
+        assert out2.vacuous and out2.consistent

@@ -1,0 +1,277 @@
+"""Tests for the leads-to proof kernel (repro.core.rules): the paper's five
+rules plus Ensures and MetricInduction — soundness of accepted proofs and
+rejection of ill-formed ones."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.commands import GuardedCommand
+from repro.core.domains import IntRange
+from repro.core.expressions import ite
+from repro.core.predicates import ExprPredicate, FALSE, TRUE
+from repro.core.program import Program
+from repro.core.rules import (
+    Disjunction,
+    Ensures,
+    Implication,
+    MetricInduction,
+    PSP,
+    Transitivity,
+    TransientBasis,
+)
+from repro.core.variables import Var
+from repro.errors import ProofError
+
+from tests.conftest import predicate_strategy, program_strategy
+
+X = Var.shared("x", IntRange(0, 3))
+
+
+def pred(e):
+    return ExprPredicate(e)
+
+
+def sat_counter():
+    inc = GuardedCommand("inc", X.ref() < 3, [(X, X.ref() + 1)])
+    return Program("Sat", [X], pred(X.ref() == 0), [inc], fair=["inc"])
+
+
+def mod_counter():
+    inc = GuardedCommand("inc", True, [(X, ite(X.ref() < 3, X.ref() + 1, 0))])
+    return Program("Mod", [X], TRUE, [inc], fair=["inc"])
+
+
+class TestTransientBasis:
+    def test_accepts(self):
+        proof = TransientBasis(pred(X.ref() == 1))
+        res = proof.check(sat_counter())
+        assert res.ok
+        # conclusion: true ↝ ¬(x=1)
+        assert proof.lhs().mask(sat_counter().space).all()
+
+    def test_rejects_nontransient(self):
+        proof = TransientBasis(pred(X.ref() == 3))  # saturation: not transient
+        assert not proof.check(sat_counter()).ok
+
+
+class TestImplication:
+    def test_accepts_valid(self):
+        assert Implication(pred(X.ref() == 2), pred(X.ref() >= 1)).check(sat_counter()).ok
+
+    def test_rejects_invalid(self):
+        assert not Implication(pred(X.ref() >= 1), pred(X.ref() == 2)).check(sat_counter()).ok
+
+
+class TestDisjunction:
+    def test_accepts(self):
+        q = pred(X.ref() >= 2)
+        proof = Disjunction([
+            Implication(pred(X.ref() == 2), q),
+            Implication(pred(X.ref() == 3), q),
+        ])
+        assert proof.check(sat_counter()).ok
+        # lhs is the fold of the premises' lhs.
+        assert proof.lhs().count(sat_counter().space) == 2
+
+    def test_rejects_mismatched_rhs(self):
+        proof = Disjunction([
+            Implication(pred(X.ref() == 2), pred(X.ref() >= 2)),
+            Implication(pred(X.ref() == 3), pred(X.ref() >= 3)),
+        ])
+        res = proof.check(sat_counter())
+        assert not res.ok
+        assert "different right-hand side" in str(res.failures[0])
+
+    def test_declared_lhs_checked(self):
+        q = pred(X.ref() >= 2)
+        good = Disjunction(
+            [Implication(pred(X.ref() == 2), q), Implication(pred(X.ref() == 3), q)],
+            conclude_lhs=pred(X.ref() >= 2),
+        )
+        assert good.check(sat_counter()).ok
+        bad = Disjunction(
+            [Implication(pred(X.ref() == 2), q)],
+            conclude_lhs=pred(X.ref() >= 2),
+        )
+        res = bad.check(sat_counter())
+        assert not res.ok
+        assert "not equivalent to the disjunction" in str(res.failures[0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProofError):
+            Disjunction([])
+
+
+class TestTransitivity:
+    def test_accepts_matching_middle(self):
+        left = Implication(pred(X.ref() == 0), pred(X.ref() <= 1))
+        right = Implication(pred(X.ref() <= 1), pred(X.ref() <= 2))
+        proof = Transitivity(left, right)
+        assert proof.check(sat_counter()).ok
+        assert proof.lhs().count(sat_counter().space) == 1
+
+    def test_matching_is_semantic_not_syntactic(self):
+        # x <= 1 vs ¬(x >= 2): equivalent masks, different syntax.
+        left = Implication(pred(X.ref() == 0), pred(X.ref() <= 1))
+        right = Implication(~pred(X.ref() >= 2), pred(X.ref() <= 2))
+        assert Transitivity(left, right).check(sat_counter()).ok
+
+    def test_rejects_mismatch(self):
+        left = Implication(pred(X.ref() == 0), pred(X.ref() <= 1))
+        right = Implication(pred(X.ref() == 1), pred(X.ref() <= 2))
+        res = Transitivity(left, right).check(sat_counter())
+        assert not res.ok
+        assert "intermediate predicates disagree" in str(res.failures[0])
+
+
+class TestPSP:
+    def test_accepts_and_concludes_correct_shape(self):
+        p = sat_counter()
+        sub = TransientBasis(pred(X.ref() == 1))  # true ↝ x ≠ 1
+        s = pred(X.ref() >= 1)
+        t = pred(X.ref() >= 1)  # x ≥ 1 next x ≥ 1 (upward closed)
+        proof = PSP(sub, s, t)
+        res = proof.check(p)
+        assert res.ok
+        # conclusion: (true ∧ s) ↝ (¬(x=1) ∧ s) ∨ (¬s ∧ t)
+        lhs, rhs = proof.lhs(), proof.rhs()
+        assert lhs.equivalent(s, p.space)
+        assert rhs.equivalent(pred(X.ref() >= 2), p.space)
+
+    def test_rejects_bad_next(self):
+        p = sat_counter()
+        sub = TransientBasis(pred(X.ref() == 1))
+        proof = PSP(sub, pred(X.ref() == 0), pred(X.ref() == 0))  # 0 next 0 false
+        res = proof.check(p)
+        assert not res.ok
+
+    def test_semantic_conclusion_valid(self):
+        """An accepted PSP conclusion must itself be semantically valid."""
+        p = mod_counter()
+        sub = TransientBasis(pred(X.ref() == 0))
+        s = pred(X.ref() <= 1)
+        t = pred(X.ref() <= 2)
+        proof = PSP(sub, s, t)
+        if proof.check(p).ok:
+            assert proof.verify_semantically(p)
+
+
+class TestEnsures:
+    def test_accepts(self):
+        p = sat_counter()
+        proof = Ensures(pred(X.ref() == 1), pred(X.ref() == 2))
+        res = proof.check(p)
+        assert res.ok, res.explain()
+
+    def test_expansion_uses_only_primitives(self):
+        proof = Ensures(pred(X.ref() == 1), pred(X.ref() == 2))
+        hist = proof.expand().rule_histogram()
+        assert set(hist) == {
+            "transient", "psp", "implication", "transitivity", "disjunction"
+        }
+
+    def test_rejects_when_progress_can_be_undone(self):
+        p = mod_counter()
+        # x=3 wraps to 0, so (x≥1) ∧ ¬(x=3)… pick p ensures q that fails
+        # the next obligation: x ∈ {1,2} next x ∈ {1,2,3} holds, but
+        # transient(x ∈ {1,2}) fails (inc maps 1 → 2, keeping p).
+        proof = Ensures(
+            pred((X.ref() >= 1)) & ~pred(X.ref() == 3), pred(X.ref() == 3)
+        )
+        assert not proof.check(p).ok
+
+    def test_semantic_conclusion(self):
+        p = sat_counter()
+        proof = Ensures(pred(X.ref() == 1), pred(X.ref() == 2))
+        assert proof.verify_semantically(p)
+
+
+class TestMetricInduction:
+    def _levels(self, p):
+        levels = [pred(X.ref() == 3 - m) for m in range(3)]  # x=3? no:
+        return levels
+
+    def test_accepts_counter_descent(self):
+        p = sat_counter()
+        q = pred(X.ref() == 3)
+        levels = [pred(X.ref() == 2), pred(X.ref() == 1), pred(X.ref() == 0)]
+        subs = [
+            Ensures(pred(X.ref() == 2), q),
+            Ensures(pred(X.ref() == 1), q | pred(X.ref() == 2)),
+            Ensures(pred(X.ref() == 0), q | pred(X.ref() == 2) | pred(X.ref() == 1)),
+        ]
+        proof = MetricInduction(TRUE, q, levels, subs)
+        res = proof.check(p)
+        assert res.ok, res.explain()
+
+    def test_entailment_weakening_accepted(self):
+        """Premise rhs may be STRONGER than q ∨ lower."""
+        p = sat_counter()
+        q = pred(X.ref() >= 2)
+        levels = [pred(X.ref() == 1), pred(X.ref() == 0)]
+        subs = [
+            Ensures(pred(X.ref() == 1), pred(X.ref() == 2)),  # ⊂ q
+            Ensures(pred(X.ref() == 0), pred(X.ref() == 1)),  # ⊂ q ∨ L0
+        ]
+        assert MetricInduction(TRUE, q, levels, subs).check(p).ok
+
+    def test_rejects_uncovered_p(self):
+        p = sat_counter()
+        q = pred(X.ref() == 3)
+        proof = MetricInduction(
+            TRUE, q, [pred(X.ref() == 2)], [Ensures(pred(X.ref() == 2), q)]
+        )
+        res = proof.check(p)
+        assert not res.ok
+        assert "not covered" in str(res.failures[0])
+
+    def test_rejects_upward_reference(self):
+        """A level may not lean on a *higher* level."""
+        p = sat_counter()
+        q = pred(X.ref() == 3)
+        levels = [pred(X.ref() == 1), pred(X.ref() == 2)]  # wrong order
+        subs = [
+            Ensures(pred(X.ref() == 1), pred(X.ref() == 2)),  # refers upward
+            Ensures(pred(X.ref() == 2), q),
+        ]
+        proof = MetricInduction(pred(X.ref() >= 1), q, levels, subs)
+        res = proof.check(p)
+        assert not res.ok
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ProofError):
+            MetricInduction(TRUE, TRUE, [TRUE], [])
+
+
+class TestKernelSoundness:
+    """Randomized soundness: any proof the kernel accepts concludes a
+    semantically valid leads-to (cross-checked by the model checker)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(program_strategy("S"), predicate_strategy())
+    def test_transient_rule_sound(self, program, q):
+        proof = TransientBasis(q)
+        if proof.check(program).ok:
+            assert proof.verify_semantically(program)
+
+    @settings(max_examples=25, deadline=None)
+    @given(program_strategy("S"), predicate_strategy(), predicate_strategy())
+    def test_ensures_rule_sound(self, program, p, q):
+        proof = Ensures(p, q)
+        if proof.check(program).ok:
+            assert proof.verify_semantically(program)
+
+    @settings(max_examples=25, deadline=None)
+    @given(program_strategy("S"), predicate_strategy(), predicate_strategy(),
+           predicate_strategy())
+    def test_psp_rule_sound(self, program, q, s, t):
+        proof = PSP(TransientBasis(q), s, t)
+        if proof.check(program).ok:
+            assert proof.verify_semantically(program)
+
+
+def test_render_tree():
+    proof = Ensures(pred(X.ref() == 1), pred(X.ref() == 2))
+    text = proof.render()
+    assert "ensures" in text
+    assert "~>" in text

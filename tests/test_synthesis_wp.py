@@ -1,0 +1,149 @@
+"""Tests for proof synthesis (repro.semantics.synthesis) and wp agreement
+(repro.semantics.wp)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.commands import GuardedCommand
+from repro.core.domains import IntRange
+from repro.core.expressions import ite, land, lnot
+from repro.core.predicates import ExprPredicate, FALSE, TRUE
+from repro.core.program import Program
+from repro.core.rules import Ensures, Implication, MetricInduction, TransientBasis
+from repro.core.variables import Var
+from repro.errors import ProofError
+from repro.semantics.synthesis import synthesize_leadsto_proof
+from repro.semantics.wp import semantic_wp, wp_agreement
+
+from tests.conftest import SHARED_VARS, command_strategy, predicate_strategy, program_strategy
+
+X = Var.shared("x", IntRange(0, 3))
+B = Var.boolean("b")
+
+
+def pred(e):
+    return ExprPredicate(e)
+
+
+def sat_counter(fair=True):
+    inc = GuardedCommand("inc", X.ref() < 3, [(X, X.ref() + 1)])
+    return Program("Sat", [X], pred(X.ref() == 0), [inc], fair=["inc"] if fair else [])
+
+
+class TestSynthesis:
+    def test_simple_chain(self):
+        p = sat_counter()
+        proof = synthesize_leadsto_proof(p, TRUE, pred(X.ref() == 3))
+        res = proof.check(p)
+        assert res.ok, res.explain()
+
+    def test_implication_shortcut(self):
+        p = sat_counter()
+        proof = synthesize_leadsto_proof(p, pred(X.ref() == 3), pred(X.ref() >= 2))
+        assert isinstance(proof, Implication)
+        assert proof.check(p).ok
+
+    def test_raises_on_non_theorem(self):
+        p = sat_counter(fair=False)
+        with pytest.raises(ProofError):
+            synthesize_leadsto_proof(p, TRUE, pred(X.ref() == 3))
+
+    def test_uses_only_paper_rules(self):
+        p = sat_counter()
+        proof = synthesize_leadsto_proof(p, TRUE, pred(X.ref() == 3))
+        hist = proof.rule_histogram()
+        allowed = {
+            "metric-induction", "ensures", "transient", "implication",
+            "disjunction", "transitivity", "psp",
+        }
+        assert set(hist) <= allowed
+        # Expanding an Ensures yields only the five primitive rules.
+        ens = next(
+            node for node in _walk(proof) if isinstance(node, Ensures)
+        )
+        prim_hist = ens.expand().rule_histogram()
+        assert set(prim_hist) <= {
+            "transient", "implication", "disjunction", "transitivity", "psp"
+        }
+
+    def test_certificate_independent_of_checker(self):
+        """Corrupting one level's exit target makes the kernel reject."""
+        p = sat_counter()
+        proof = synthesize_leadsto_proof(p, TRUE, pred(X.ref() == 3))
+        assert isinstance(proof, MetricInduction)
+        # Swap one level's sub-proof for a bogus transient claim.
+        bogus = TransientBasis(TRUE)  # transient true never holds
+        broken = MetricInduction(
+            proof.p, proof.q, list(proof.levels),
+            [bogus] + list(proof.subs[1:]),
+        )
+        assert not broken.check(p).ok
+
+    def test_ladder_of_fair_commands(self):
+        ups = [
+            GuardedCommand(f"up{k}", X.ref() == k, [(X, k + 1)])
+            for k in range(3)
+        ]
+        p = Program("L", [X], TRUE, ups, fair=[f"up{k}" for k in range(3)])
+        proof = synthesize_leadsto_proof(p, TRUE, pred(X.ref() == 3))
+        res = proof.check(p)
+        assert res.ok, res.explain()
+        # Each level's ensures consumes a different fair command.
+        assert isinstance(proof, MetricInduction)
+        assert len(proof.levels) == 3
+
+    def test_wraparound_cycle(self):
+        inc = GuardedCommand("inc", True, [(X, ite(X.ref() < 3, X.ref() + 1, 0))])
+        p = Program("P", [X], TRUE, [inc], fair=["inc"])
+        proof = synthesize_leadsto_proof(p, pred(X.ref() == 1), pred(X.ref() == 0))
+        assert proof.check(p).ok
+
+    @settings(max_examples=25, deadline=None)
+    @given(program_strategy("R"), predicate_strategy(), predicate_strategy())
+    def test_synthesis_completeness_on_random_programs(self, program, p, q):
+        """Whenever the model checker validates p ↝ q, a kernel-checkable
+        certificate exists and checks — finite completeness (E9)."""
+        from repro.semantics.leadsto import check_leadsto
+
+        if check_leadsto(program, p, q).holds:
+            proof = synthesize_leadsto_proof(program, p, q)
+            assert proof.check(program).ok
+        else:
+            with pytest.raises(ProofError):
+                synthesize_leadsto_proof(program, p, q)
+
+
+def _walk(node):
+    yield node
+    for sub in node.premises():
+        yield from _walk(sub)
+
+
+class TestWp:
+    def test_semantic_wp_of_skip(self):
+        from repro.core.commands import Skip
+
+        p = sat_counter()
+        target = pred(X.ref() == 2)
+        out = semantic_wp(Skip(), target, p.space)
+        assert (out.mask(p.space) == target.mask(p.space)).all()
+
+    def test_semantic_wp_shifts_counter(self):
+        p = sat_counter()
+        inc = p.command_named("inc")
+        out = semantic_wp(inc, pred(X.ref() == 2), p.space)
+        # wp(inc, x=2) = (x=1) ∨ nothing else (guard true below 3)
+        assert out.holds(p.state(x=1))
+        assert not out.holds(p.state(x=2))
+
+    def test_agreement_on_guarded(self):
+        p = sat_counter()
+        assert wp_agreement(p.command_named("inc"), pred(X.ref() >= 2), p.space)
+
+    @settings(max_examples=40, deadline=None)
+    @given(command_strategy("w"), predicate_strategy())
+    def test_agreement_random(self, cmd, target):
+        from repro.core.state import StateSpace
+
+        space = StateSpace(list(SHARED_VARS))
+        assert wp_agreement(cmd, target, space)

