@@ -1,0 +1,102 @@
+"""Bench-trajectory recorder: distill pytest-benchmark output into a
+committed per-PR snapshot.
+
+Runs the benchmark suite with ``--benchmark-json`` and reduces the result
+to ``{benchmark id: median seconds}``, written as a sorted JSON file
+(``BENCH_<n>.json`` at the repo root by convention).  Committing one
+snapshot per PR gives future sessions an at-a-glance perf trajectory::
+
+    PYTHONPATH=src python benchmarks/record.py --out BENCH_2.json
+    PYTHONPATH=src python benchmarks/record.py --quick   # subset, for smoke
+
+Compare two snapshots::
+
+    PYTHONPATH=src python benchmarks/record.py --diff BENCH_1.json BENCH_2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def run_benchmarks(targets: list[str], extra: list[str]) -> dict[str, float]:
+    """Run pytest-benchmark on ``targets``; return {bench id: median s}."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable, "-m", "pytest", *targets,
+            "--benchmark-only", f"--benchmark-json={json_path}", "-q",
+            *extra,
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
+        payload = json.loads(json_path.read_text())
+    medians = {
+        bench["fullname"]: bench["stats"]["median"]
+        for bench in payload["benchmarks"]
+    }
+    return dict(sorted(medians.items()))
+
+
+def diff(old_path: Path, new_path: Path) -> None:
+    old = json.loads(old_path.read_text())["medians"]
+    new = json.loads(new_path.read_text())["medians"]
+    width = max((len(k) for k in new), default=0)
+    for key in sorted(new):
+        if key in old and old[key] > 0:
+            ratio = old[key] / new[key]
+            print(f"{key:<{width}}  {old[key] * 1e3:9.3f}ms -> "
+                  f"{new[key] * 1e3:9.3f}ms   {ratio:5.2f}x")
+        else:
+            print(f"{key:<{width}}  {'new':>9} -> {new[key] * 1e3:9.3f}ms")
+    dropped = sorted(set(old) - set(new))
+    if dropped:
+        print(f"dropped: {', '.join(dropped)}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output JSON path (default: stdout)")
+    parser.add_argument("--quick", action="store_true",
+                        help="only the leads-to engine benchmarks")
+    parser.add_argument("--diff", nargs=2, type=Path, metavar=("OLD", "NEW"),
+                        help="compare two recorded snapshots and exit")
+    parser.add_argument("extra", nargs="*",
+                        help="extra args forwarded to pytest (after --)")
+    args = parser.parse_args(argv)
+
+    if args.diff:
+        diff(*args.diff)
+        return 0
+
+    targets = (
+        [str(BENCH_DIR / "bench_leadsto_engine.py")]
+        if args.quick
+        else [str(BENCH_DIR)]
+    )
+    medians = run_benchmarks(targets, args.extra)
+    doc = {
+        "note": "median seconds per benchmark id; see benchmarks/record.py",
+        "medians": medians,
+    }
+    text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        args.out.write_text(text)
+        print(f"wrote {len(medians)} medians to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,8 +103,8 @@ class StateSpace:
     environment for :meth:`Expr.eval_vec`.
     """
 
-    __slots__ = ("vars", "_by_name", "size", "_strides", "_radices",
-                 "_value_cache", "_index_cache")
+    __slots__ = ("vars", "_by_name", "_var_set", "size", "_strides",
+                 "_radices", "_stride_by_var", "_value_cache", "_index_cache")
 
     #: Refuse to enumerate spaces above this size (protects against typos;
     #: large-but-feasible spaces can still be built by raising the cap).
@@ -138,6 +138,8 @@ class StateSpace:
             acc *= radices[k]
         self._strides = tuple(strides)
         self._radices = tuple(radices)
+        self._var_set = frozenset(vars_t)
+        self._stride_by_var = dict(zip(vars_t, strides))
         self._value_cache: dict[Var, np.ndarray] = {}
         self._index_cache: dict[Var, np.ndarray] = {}
 
@@ -153,8 +155,8 @@ class StateSpace:
     def stride_of(self, var: Var) -> int:
         """Mixed-radix stride of ``var``."""
         try:
-            return self._strides[self.vars.index(var)]
-        except ValueError:
+            return self._stride_by_var[var]
+        except KeyError:
             raise StateError(f"variable {var.name} not in space") from None
 
     # -- scalar codec -------------------------------------------------------
@@ -223,7 +225,7 @@ class StateSpace:
 
     def contains_vars(self, variables: frozenset[Var]) -> bool:
         """True iff every variable in ``variables`` is declared here."""
-        return all(v in self._by_name.values() for v in variables)
+        return self._var_set.issuperset(variables)
 
     def __repr__(self) -> str:
         inner = ", ".join(v.name for v in self.vars)

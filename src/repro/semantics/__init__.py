@@ -8,8 +8,9 @@ substitution axiom, no implicit restriction to reachable states):
 - ``init / next / stable / transient / invariant`` —
   :mod:`repro.semantics.checker`;
 - ``leads-to`` under weak fairness — :mod:`repro.semantics.leadsto`
-  (fair-SCC analysis over an iterative Tarjan decomposition,
-  :mod:`repro.semantics.scc`);
+  (fair-SCC analysis over a vectorized trim + forward-backward SCC
+  decomposition, :mod:`repro.semantics.scc`, running on the shared CSR
+  graph backend, :mod:`repro.semantics.graph_backend`);
 - reachability-based (non-inductive) invariants —
   :mod:`repro.semantics.explorer`;
 - **proof synthesis** — :mod:`repro.semantics.synthesis` reconstructs a
@@ -31,13 +32,14 @@ from repro.semantics.checker import (
     check_validity,
 )
 from repro.semantics.explorer import reachable_mask, reachable_states
+from repro.semantics.graph_backend import GraphBackend
 from repro.semantics.invariants import (
     auto_invariant,
     inductive_strengthening,
     strongest_invariant,
 )
 from repro.semantics.leadsto import check_leadsto, fair_scc_analysis
-from repro.semantics.scc import condensation
+from repro.semantics.scc import condensation, tarjan_condensation
 from repro.semantics.scheduler import (
     RandomFairScheduler,
     RoundRobinScheduler,
@@ -66,6 +68,8 @@ __all__ = [
     "check_leadsto",
     "fair_scc_analysis",
     "condensation",
+    "tarjan_condensation",
+    "GraphBackend",
     "reachable_mask",
     "reachable_states",
     "auto_invariant",

@@ -1,10 +1,12 @@
-"""Reachable-state exploration (breadth-first over successor tables).
+"""Reachable-state exploration (breadth-first over the CSR backend).
 
 The paper's property semantics is *inductive* (quantified over all states);
 reachability enters only for the weaker convenience notion
-``check_reachable_invariant`` and for diagnostics.  The explorer is fully
-vectorized: each BFS level applies every successor table to the whole
-frontier at once.
+``check_reachable_invariant`` and for diagnostics.  Exploration runs on the
+cached union CSR graph (:mod:`repro.semantics.graph_backend`): each BFS
+level is one gather over the frontier's adjacency, deduplicated by a
+boolean-mask scatter — no per-table ``np.unique`` rounds, and repeated
+queries against the same program share the adjacency.
 """
 
 from __future__ import annotations
@@ -27,24 +29,12 @@ def reachable_mask(
     predicate's satisfaction mask).
     """
     ts = TransitionSystem.for_program(program)
-    visited = (
-        program.initial_mask().copy() if from_mask is None else from_mask.copy()
+    start = (
+        program.initial_mask()
+        if from_mask is None
+        else np.asarray(from_mask, dtype=bool)
     )
-    frontier = np.flatnonzero(visited)
-    tables = [table for _, table in ts.all_tables()]
-    while frontier.size:
-        nxt: list[np.ndarray] = []
-        for table in tables:
-            succ = table[frontier]
-            fresh = succ[~visited[succ]]
-            if fresh.size:
-                # np.unique both dedups and sorts; marking before collecting
-                # the next frontier keeps each state processed exactly once.
-                fresh = np.unique(fresh)
-                visited[fresh] = True
-                nxt.append(fresh)
-        frontier = np.unique(np.concatenate(nxt)) if nxt else np.empty(0, np.int64)
-    return visited
+    return ts.graph().forward_closure(start)
 
 
 def reachable_states(program: Program, *, limit: int = 10_000) -> list[State]:
@@ -68,20 +58,4 @@ def distance_map(
     start = (
         program.initial_mask() if from_mask is None else np.asarray(from_mask, bool)
     )
-    dist = np.full(program.space.size, -1, dtype=np.int64)
-    dist[start] = 0
-    frontier = np.flatnonzero(start)
-    tables = [table for _, table in ts.all_tables()]
-    level = 0
-    while frontier.size:
-        level += 1
-        nxt: list[np.ndarray] = []
-        for table in tables:
-            succ = table[frontier]
-            fresh = succ[dist[succ] < 0]
-            if fresh.size:
-                fresh = np.unique(fresh)
-                dist[fresh] = level
-                nxt.append(fresh)
-        frontier = np.unique(np.concatenate(nxt)) if nxt else np.empty(0, np.int64)
-    return dist
+    return ts.graph().distances(start)

@@ -1,0 +1,173 @@
+"""Shared CSR graph backend for the semantic engine.
+
+The engine has two storage tiers for a program's transition relation:
+
+1. **Dense successor tables** (:class:`~repro.semantics.transition.
+   TransitionSystem`): one ``int64`` array per command, exact command
+   identity preserved.  Used where *which* command moves matters —
+   fairness criteria, weakest preconditions, simulation.
+2. **Union CSR graph** (this module): the command-agnostic edge set
+   ``{s → t : t = table_c[s] for some c, t ≠ s}``, deduplicated and stored
+   as forward + reverse CSR adjacency with dtype-minimized node ids
+   (``int32`` whenever the space fits).  Used where only *connectivity*
+   matters — reachability, distance maps, reverse closures, SCCs.
+
+The backend is built lazily, **once per** :class:`TransitionSystem` (which
+is itself weakly cached per program), so every liveness query after the
+first reuses the same adjacency instead of re-deriving it from the tables.
+Self-loops are dropped at construction: they are irrelevant to
+reachability and SCC structure, and fairness (where self-moves *do*
+matter) is evaluated on the dense tier.
+
+All traversals use boolean-mask frontiers — duplicate successors are
+collapsed by an O(frontier) scatter (or an ``np.unique`` on small
+frontiers), never by repeated per-table sort+dedup rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.semantics.scc import Condensation, condense_subgraph
+from repro.util.csr import build_csr, csr_neighbors, dedup_edges, masked_subgraph, minimal_int_dtype
+
+__all__ = ["GraphBackend"]
+
+
+class GraphBackend:
+    """Cached forward/reverse CSR view of a program's union transition graph.
+
+    Obtain via :meth:`repro.semantics.transition.TransitionSystem.graph`
+    rather than constructing directly, so the adjacency is shared by every
+    checker that touches the same program.
+    """
+
+    def __init__(self, n: int, tables: list[np.ndarray]) -> None:
+        self.n = n
+        self.dtype = minimal_int_dtype(n)
+        self._tables = tables
+        self._fwd: tuple[np.ndarray, np.ndarray] | None = None
+        self._rev: tuple[np.ndarray, np.ndarray] | None = None
+        self._scratch: np.ndarray | None = None
+
+    # -- construction -------------------------------------------------------
+
+    def _edges(self) -> tuple[np.ndarray, np.ndarray]:
+        base = np.arange(self.n, dtype=np.int64)
+        srcs, dsts = [], []
+        for table in self._tables:
+            moved = table != base
+            srcs.append(base[moved])
+            dsts.append(table[moved])
+        src = np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64)
+        dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=np.int64)
+        return dedup_edges(src, dst, self.n)
+
+    def forward_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(indptr, nbr)`` of the deduplicated union graph."""
+        if self._fwd is None:
+            src, dst = self._edges()
+            self._fwd = build_csr(src, dst, self.n, dtype=self.dtype)
+            self._rev = build_csr(dst, src, self.n, dtype=self.dtype)
+        return self._fwd
+
+    def reverse_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(indptr, nbr)`` of the reversed union graph."""
+        if self._rev is None:
+            self.forward_csr()
+        assert self._rev is not None
+        return self._rev
+
+    @property
+    def edge_count(self) -> int:
+        """Distinct non-self edges of the union graph."""
+        indptr, _ = self.forward_csr()
+        return int(indptr[-1])
+
+    # -- frontier kernels ----------------------------------------------------
+
+    def _mark_fresh(self, cand: np.ndarray) -> np.ndarray:
+        """Deduplicate candidate node ids into a sorted fresh-node array.
+
+        Small candidate sets sort directly; large ones scatter through a
+        reusable boolean scratch buffer (O(n) scan beats O(c log c) sort
+        once the frontier is a sizable fraction of the space).
+        """
+        if cand.size * 8 < self.n:
+            return np.unique(cand)
+        if self._scratch is None:
+            self._scratch = np.zeros(self.n, dtype=bool)
+        scratch = self._scratch
+        scratch[cand] = True
+        fresh = np.flatnonzero(scratch)
+        scratch[fresh] = False
+        return fresh
+
+    def _closure(
+        self,
+        csr: tuple[np.ndarray, np.ndarray],
+        seeds: np.ndarray,
+        allowed: np.ndarray | None,
+    ) -> np.ndarray:
+        indptr, nbr = csr
+        visited = seeds.copy()
+        frontier = np.flatnonzero(visited)
+        while frontier.size:
+            cand = csr_neighbors(indptr, nbr, frontier)
+            if allowed is not None:
+                cand = cand[allowed[cand]]
+            cand = cand[~visited[cand]]
+            if cand.size == 0:
+                break
+            frontier = self._mark_fresh(cand)
+            visited[frontier] = True
+        return visited
+
+    def forward_closure(
+        self, seeds: np.ndarray, allowed: np.ndarray | None = None
+    ) -> np.ndarray:
+        """States reachable from ``seeds`` (seeds included), optionally
+        only via states satisfying ``allowed`` (seeds are not filtered)."""
+        return self._closure(self.forward_csr(), seeds, allowed)
+
+    def reverse_closure(
+        self, seeds: np.ndarray, allowed: np.ndarray | None = None
+    ) -> np.ndarray:
+        """States that can reach ``seeds`` (seeds included), optionally
+        only via states satisfying ``allowed`` (seeds are not filtered)."""
+        return self._closure(self.reverse_csr(), seeds, allowed)
+
+    def distances(self, start: np.ndarray) -> np.ndarray:
+        """BFS distance (in command applications) from the ``start`` mask;
+        unreachable states get ``-1``."""
+        indptr, nbr = self.forward_csr()
+        dist = np.full(self.n, -1, dtype=np.int64)
+        dist[start] = 0
+        frontier = np.flatnonzero(start)
+        level = 0
+        while frontier.size:
+            level += 1
+            cand = csr_neighbors(indptr, nbr, frontier)
+            cand = cand[dist[cand] < 0]
+            if cand.size == 0:
+                break
+            frontier = self._mark_fresh(cand)
+            dist[frontier] = level
+        return dist
+
+    # -- SCC ----------------------------------------------------------------
+
+    def condensation(self, mask: np.ndarray) -> Condensation:
+        """SCC condensation of the subgraph induced by ``mask``, emitted in
+        the canonical sinks-first order (:mod:`repro.semantics.scc`)."""
+        fp_full, fn_full = self.forward_csr()
+        fp, fn, nodes = masked_subgraph(fp_full, fn_full, mask)
+        # Reverse view of the subgraph from its own edge list — cheaper
+        # than a second masked extraction over the full reverse CSR.
+        sub_src = np.repeat(np.arange(nodes.shape[0], dtype=np.int64), np.diff(fp))
+        rp, rn = build_csr(fn, sub_src, nodes.shape[0], dtype=fn.dtype)
+        return condense_subgraph(self.n, nodes, fp, fn, rp, rn)
+
+    def __repr__(self) -> str:
+        built = "built" if self._fwd is not None else "lazy"
+        return f"<GraphBackend {self.n} states, {built}>"

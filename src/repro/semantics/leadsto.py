@@ -24,6 +24,13 @@ The analysis returned by :func:`fair_scc_analysis` also drives the proof
 synthesizer (:mod:`repro.semantics.synthesis`): in the complement region
 every SCC misses some ``d ∈ D`` entirely, which is exactly a
 ``transient``/``ensures`` step of the paper's proof system.
+
+Implementation.  All graph work (SCC condensation, reverse closure) runs on
+the cached CSR backend (:mod:`repro.semantics.graph_backend`); the fair-SCC
+criterion itself is evaluated per command as one vectorized scatter over
+``comp_id`` — an edge ``s → d(s)`` is internal to its SCC iff
+``comp_id[d(s)] == comp_id[s]`` — so Python work is O(|D|), not
+O(|D| · #SCCs).
 """
 
 from __future__ import annotations
@@ -35,63 +42,10 @@ import numpy as np
 from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.semantics.checker import CheckResult
-from repro.semantics.scc import Condensation, condensation
+from repro.semantics.scc import Condensation
 from repro.semantics.transition import TransitionSystem
 
 __all__ = ["FairAnalysis", "fair_scc_analysis", "check_leadsto"]
-
-
-def _csr_reverse(
-    allowed: np.ndarray, tables: list[np.ndarray]
-) -> tuple[np.ndarray, np.ndarray]:
-    """CSR adjacency of the *reversed* subgraph induced by ``allowed``.
-
-    Returns ``(indptr, src)``: predecessors of node ``v`` are
-    ``src[indptr[v]:indptr[v+1]]``.
-    """
-    n = allowed.shape[0]
-    srcs, dsts = [], []
-    allowed_idx = np.flatnonzero(allowed)
-    for table in tables:
-        d = table[allowed_idx]
-        keep = allowed[d]
-        srcs.append(allowed_idx[keep])
-        dsts.append(d[keep])
-    if srcs:
-        src = np.concatenate(srcs)
-        dst = np.concatenate(dsts)
-    else:  # pragma: no cover - programs always have at least skip
-        src = np.empty(0, dtype=np.int64)
-        dst = np.empty(0, dtype=np.int64)
-    order = np.argsort(dst, kind="stable")
-    src = src[order]
-    dst = dst[order]
-    indptr = np.searchsorted(dst, np.arange(n + 1))
-    return indptr, src
-
-
-def _reverse_closure(
-    seeds: np.ndarray, allowed: np.ndarray, tables: list[np.ndarray]
-) -> np.ndarray:
-    """States in ``allowed`` that can reach a seed via ``allowed``-internal
-    edges (seeds included).  Fully vectorized CSR BFS."""
-    indptr, src = _csr_reverse(allowed, tables)
-    visited = seeds.copy()
-    frontier = np.flatnonzero(visited)
-    while frontier.size:
-        starts = indptr[frontier]
-        counts = indptr[frontier + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
-            break
-        # Standard CSR gather: expand [start, start+count) ranges.
-        base = np.repeat(starts, counts)
-        within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
-        preds = src[base + within]
-        fresh = np.unique(preds[~visited[preds]])
-        visited[fresh] = True
-        frontier = fresh
-    return visited
 
 
 @dataclass
@@ -139,33 +93,40 @@ class FairAnalysis:
         return out
 
 
+def _fair_seed_mask(cond: Condensation, fair_flags: np.ndarray) -> np.ndarray:
+    """Mask of all states lying in a flagged SCC (vectorized gather)."""
+    seeds = np.zeros(cond.comp_id.shape[0], dtype=bool)
+    if fair_flags.any():
+        active = cond.comp_id >= 0
+        seeds[active] = fair_flags[cond.comp_id[active]]
+    return seeds
+
+
 def fair_scc_analysis(program: Program, q: Predicate) -> FairAnalysis:
     """Analyse the ``¬q`` subgraph of ``program`` for fair avoidance."""
     ts = TransitionSystem.for_program(program)
     space = ts.space
+    graph = ts.graph()
     qm = q.mask(space)
     notq = ~qm
-    tables = [table for _, table in ts.all_tables()]
-    cond = condensation(notq, tables)
+    cond = graph.condensation(notq)
 
-    fair_tables = ts.fair_tables()
-    fair_flags = np.zeros(cond.count, dtype=bool)
-    member = np.zeros(space.size, dtype=bool)
-    for k, comp in enumerate(cond.components):
-        member[comp] = True
-        ok = True
-        for _, dtable in fair_tables:
-            if not member[dtable[comp]].any():
-                ok = False
-                break
-        fair_flags[k] = ok
-        member[comp] = False
+    # Fair-SCC criterion, one gather+scatter per command of D: SCC k keeps
+    # its flag iff some d-edge has both endpoints in k (self-loops
+    # included).  Only ¬q-states participate, so gather over those.
+    act_idx = np.flatnonzero(cond.comp_id >= 0)
+    comp_act = cond.comp_id[act_idx]
+    fair_flags = np.ones(cond.count, dtype=bool)
+    for _, dtable in ts.fair_tables():
+        internal = cond.comp_id[dtable[act_idx]] == comp_act
+        has_edge = np.zeros(cond.count, dtype=bool)
+        has_edge[comp_act[internal]] = True
+        fair_flags &= has_edge
+        if not fair_flags.any():
+            break
 
-    seeds = np.zeros(space.size, dtype=bool)
-    for k, comp in enumerate(cond.components):
-        if fair_flags[k]:
-            seeds[comp] = True
-    avoid = _reverse_closure(seeds, notq, tables)
+    seeds = _fair_seed_mask(cond, fair_flags)
+    avoid = graph.reverse_closure(seeds, allowed=notq)
     return FairAnalysis(
         q_mask=qm, notq_mask=notq, cond=cond, fair_flags=fair_flags,
         avoid_mask=avoid,

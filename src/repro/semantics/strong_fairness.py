@@ -38,8 +38,7 @@ import numpy as np
 from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.semantics.checker import CheckResult
-from repro.semantics.leadsto import FairAnalysis, _reverse_closure
-from repro.semantics.scc import condensation
+from repro.semantics.leadsto import FairAnalysis, _fair_seed_mask
 from repro.semantics.transition import TransitionSystem
 
 __all__ = ["strong_fair_scc_analysis", "check_leadsto_strong", "fairness_gap"]
@@ -47,39 +46,39 @@ __all__ = ["strong_fair_scc_analysis", "check_leadsto_strong", "fairness_gap"]
 
 def strong_fair_scc_analysis(program: Program, q: Predicate) -> FairAnalysis:
     """Like :func:`repro.semantics.leadsto.fair_scc_analysis` but with the
-    strong-fairness SCC criterion."""
+    strong-fairness SCC criterion.
+
+    Evaluated per command as two vectorized scatters over ``comp_id``:
+    which SCCs enable ``d`` somewhere, and which contain an enabled
+    ``d``-move staying inside the SCC.
+    """
     ts = TransitionSystem.for_program(program)
     space = ts.space
+    graph = ts.graph()
     qm = q.mask(space)
     notq = ~qm
-    tables = [table for _, table in ts.all_tables()]
-    cond = condensation(notq, tables)
+    cond = graph.condensation(notq)
 
-    fair_cmds = [
-        (cmd, ts.tables[cmd.name], cmd.enabled_mask(space))
-        for cmd in program.fair_commands
-    ]
-    fair_flags = np.zeros(cond.count, dtype=bool)
-    member = np.zeros(space.size, dtype=bool)
-    for k, comp in enumerate(cond.components):
-        member[comp] = True
-        ok = True
-        for _, dtable, enabled in fair_cmds:
-            en = enabled[comp]
-            if not en.any():
-                continue  # never enabled inside H: obligation vacuous
-            # Enabled somewhere in H: need an enabled execution staying in H.
-            if not (member[dtable[comp]] & en).any():
-                ok = False
-                break
-        fair_flags[k] = ok
-        member[comp] = False
+    comp = cond.comp_id
+    act_idx = np.flatnonzero(comp >= 0)
+    comp_act = comp[act_idx]
+    fair_flags = np.ones(cond.count, dtype=bool)
+    for cmd in program.fair_commands:
+        dtable = ts.tables[cmd.name]
+        en = cmd.enabled_mask(space)[act_idx]
+        has_enabled = np.zeros(cond.count, dtype=bool)
+        has_enabled[comp_act[en]] = True
+        honored = np.zeros(cond.count, dtype=bool)
+        internal = en & (comp[dtable[act_idx]] == comp_act)
+        honored[comp_act[internal]] = True
+        # Vacuously fair where never enabled; otherwise need an enabled
+        # d-move that stays in the SCC.
+        fair_flags &= ~has_enabled | honored
+        if not fair_flags.any():
+            break
 
-    seeds = np.zeros(space.size, dtype=bool)
-    for k, comp in enumerate(cond.components):
-        if fair_flags[k]:
-            seeds[comp] = True
-    avoid = _reverse_closure(seeds, notq, tables)
+    seeds = _fair_seed_mask(cond, fair_flags)
+    avoid = graph.reverse_closure(seeds, allowed=notq)
     return FairAnalysis(
         q_mask=qm, notq_mask=notq, cond=cond, fair_flags=fair_flags,
         avoid_mask=avoid,

@@ -40,28 +40,6 @@ from repro.semantics.transition import TransitionSystem
 __all__ = ["synthesize_leadsto_proof"]
 
 
-def _forward_closure(
-    seeds: np.ndarray, allowed: np.ndarray, tables: list[np.ndarray]
-) -> np.ndarray:
-    """Forward closure of ``seeds`` inside ``allowed`` (successors leaving
-    ``allowed`` are dropped — exits to ``q`` end the obligation)."""
-    visited = seeds.copy()
-    frontier = np.flatnonzero(visited)
-    while frontier.size:
-        nxt = []
-        for table in tables:
-            succ = table[frontier]
-            keep = succ[allowed[succ] & ~visited[succ]]
-            if keep.size:
-                keep = np.unique(keep)
-                visited[keep] = True
-                nxt.append(keep)
-        frontier = (
-            np.unique(np.concatenate(nxt)) if nxt else np.empty(0, np.int64)
-        )
-    return visited
-
-
 def synthesize_leadsto_proof(
     program: Program, p: Predicate, q: Predicate
 ) -> LeadsToProof:
@@ -84,10 +62,10 @@ def synthesize_leadsto_proof(
         )
 
     # Restrict to the part of the safe region the obligation actually
-    # touches: the forward closure of p ∧ ¬q.
-    tables = [table for _, table in ts.all_tables()]
+    # touches: the forward closure of p ∧ ¬q (successors leaving ¬q are
+    # dropped — exits to q end the obligation).
     seeds = pm & analysis.notq_mask
-    region = _forward_closure(seeds, analysis.notq_mask, tables)
+    region = ts.graph().forward_closure(seeds, allowed=analysis.notq_mask)
 
     if not region.any():
         # p ⇒ q: a single Implication suffices.

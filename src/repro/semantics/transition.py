@@ -45,6 +45,23 @@ class TransitionSystem:
         self.tables: dict[str, np.ndarray] = {
             cmd.name: cmd.succ_table(self.space) for cmd in program.commands
         }
+        self._graph: "GraphBackend | None" = None
+
+    def graph(self) -> "GraphBackend":
+        """The shared CSR graph backend of this program's union transition
+        graph (built lazily, cached for the lifetime of the system).
+
+        Connectivity-only queries (reachability, closures, SCCs) should go
+        through this backend; the dense per-command ``tables`` remain the
+        source of truth where command identity matters (fairness, wp).
+        """
+        if self._graph is None:
+            from repro.semantics.graph_backend import GraphBackend
+
+            self._graph = GraphBackend(
+                self.space.size, [table for _, table in self.all_tables()]
+            )
+        return self._graph
 
     @classmethod
     def for_program(cls, program: Program) -> "TransitionSystem":
