@@ -1,0 +1,73 @@
+"""Sparse-tier benchmarks: exploration and checking of composition stacks
+whose encoded spaces the dense tiers cannot touch.
+
+Assertions pin the scenario verdicts (delivery holds, recycling fails,
+ring liveness holds), so a semantic regression fails the bench run, not
+just the timing.  Fresh systems are built per measurement round so the
+subspace/backend caches don't turn the timings into cache-hit noise.
+"""
+
+import pytest
+
+from repro.semantics.checker import check_reachable_invariant
+from repro.semantics.leadsto import check_leadsto
+from repro.semantics.sparse.explorer import explore, reachable_subspace
+from repro.systems.philosophers import build_philosopher_ring
+from repro.systems.pipeline import build_pipeline_system
+
+
+@pytest.mark.benchmark(group="sparse")
+def test_sparse_explore_pipeline(benchmark):
+    """BFS interning of the 10-stage pipeline: 1.7e7 encoded → 364 states."""
+    pl = build_pipeline_system(10)
+
+    def run():
+        return explore(pl.system)
+
+    sub = benchmark(run)
+    assert pl.system.space.size == 16_777_216
+    assert sub.size == 364
+
+
+@pytest.mark.benchmark(group="sparse")
+def test_sparse_leadsto_pipeline(benchmark):
+    """End-to-end delivery check through the sparse tier (cold caches)."""
+    def run():
+        pl = build_pipeline_system(10)
+        d = pl.delivery()
+        return check_leadsto(pl.system, d.p, d.q)
+
+    result = benchmark(run)
+    assert result.holds and result.witness["tier"] == "sparse"
+
+
+@pytest.mark.benchmark(group="sparse")
+def test_sparse_leadsto_pipeline_warm(benchmark):
+    """Repeated checks against one subspace (the proof-chain shape):
+    exploration, sub-CSR, and memoized condensation are all shared."""
+    pl = build_pipeline_system(10)
+    d, neg = pl.delivery(), pl.no_recycling()
+    reachable_subspace(pl.system)  # warm the cache
+
+    def run():
+        ok = check_leadsto(pl.system, d.p, d.q)
+        bad = check_leadsto(pl.system, neg.p, neg.q)
+        return ok, bad
+
+    ok, bad = benchmark(run)
+    assert ok.holds and not bad.holds
+
+
+@pytest.mark.benchmark(group="sparse")
+def test_sparse_philosophers_ring10(benchmark):
+    """Ring-10 philosophers (4^10 encoded): explore + mutual exclusion."""
+    ps = build_philosopher_ring(10)
+
+    def run():
+        sub = explore(ps.system)
+        res = check_reachable_invariant(ps.system, ps.mutual_exclusion().p)
+        return sub, res
+
+    sub, res = benchmark(run)
+    assert sub.size == 6726
+    assert res.holds

@@ -12,6 +12,15 @@ snapshot per PR gives future sessions an at-a-glance perf trajectory::
 Compare two snapshots::
 
     PYTHONPATH=src python benchmarks/record.py --diff BENCH_1.json BENCH_2.json
+
+CI smoke (crash check only, no timing, no snapshot)::
+
+    PYTHONPATH=src python benchmarks/record.py --smoke
+
+``--smoke`` runs the sparse-tier scenario benchmarks with timing disabled:
+it fails on crash or assertion regression, never on a timing regression,
+keeping the committed ``BENCH_<n>.json`` trajectory the only place where
+numbers live.
 """
 
 from __future__ import annotations
@@ -69,6 +78,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="output JSON path (default: stdout)")
     parser.add_argument("--quick", action="store_true",
                         help="only the leads-to engine benchmarks")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the sparse scenario benchmarks with timing "
+                             "disabled; fail on crash, not on regression")
     parser.add_argument("--diff", nargs=2, type=Path, metavar=("OLD", "NEW"),
                         help="compare two recorded snapshots and exit")
     parser.add_argument("extra", nargs="*",
@@ -77,6 +89,18 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.diff:
         diff(*args.diff)
+        return 0
+
+    if args.smoke:
+        cmd = [
+            sys.executable, "-m", "pytest",
+            str(BENCH_DIR / "bench_sparse.py"),
+            "--benchmark-disable", "-q", *args.extra,
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT)
+        if proc.returncode != 0:
+            raise SystemExit(f"sparse benchmark smoke failed (exit {proc.returncode})")
+        print("sparse benchmark smoke ok")
         return 0
 
     targets = (

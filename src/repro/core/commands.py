@@ -17,9 +17,15 @@ test suite:
 
 - ``apply(state)`` — operational, one state at a time;
 - ``succ_table(space)`` — an ``int64`` array mapping every encoded state to
-  its successor (the vectorized form used by the model checker);
+  its successor (the vectorized form used by the dense model checker);
 - ``wp(pred)`` — *symbolic* weakest precondition by substitution, following
   the paper's ``p next q ≡ ⟨∀c : c ∈ C : p ⇒ wp.c.q⟩``.
+
+A fourth, *frontier* form backs the sparse engine
+(:mod:`repro.semantics.sparse`): ``succ_of(space, idx)`` evaluates the
+command only on a given ``int64`` index set — same semantics as
+``succ_table(space)[idx]`` but with work and memory proportional to
+``len(idx)``, never to ``space.size``.
 """
 
 from __future__ import annotations
@@ -107,6 +113,31 @@ class Command:
         ``i`` for every encoded state of ``space``."""
         raise NotImplementedError
 
+    def succ_of(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        """Frontier successor kernel: successor indices of the states in
+        ``idx`` only (``== succ_table(space)[idx]``, without the table).
+
+        The base implementation decodes and applies one state at a time —
+        correct for any command, but subclasses override it with the
+        vectorized frontier evaluation the sparse engine relies on.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        out = np.empty(idx.shape[0], dtype=np.int64)
+        for k in range(idx.shape[0]):
+            out[k] = space.index_of(self.apply(space.state_at(int(idx[k]))))
+        return out
+
+    def enabled_at(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        """Frontier form of :meth:`enabled_mask`: enabledness of the states
+        in ``idx`` only (``== enabled_mask(space)[idx]``).
+
+        The base implementation gathers from :meth:`enabled_mask` — total
+        for any command, but it materializes the full-space mask;
+        subclasses override it with frontier-sized evaluation so the
+        sparse engine keeps its no-full-space-array guarantee.
+        """
+        return self.enabled_mask(space)[np.asarray(idx, dtype=np.int64)]
+
     def wp(self, pred: Predicate) -> Predicate:
         """Symbolic weakest precondition (requires an expression predicate)."""
         raise NotImplementedError
@@ -178,12 +209,18 @@ class Skip(Command):
     def succ_table(self, space: StateSpace) -> np.ndarray:
         return np.arange(space.size, dtype=np.int64)
 
+    def succ_of(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        return np.asarray(idx, dtype=np.int64).copy()
+
     def wp(self, pred: Predicate) -> Predicate:
         return pred
 
     def enabled_mask(self, space: StateSpace) -> np.ndarray:
         # skip is always "enabled" (and always a no-op).
         return np.ones(space.size, dtype=bool)
+
+    def enabled_at(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        return np.ones(np.asarray(idx).shape[0], dtype=bool)
 
     def reads(self) -> frozenset[Var]:
         return frozenset()
@@ -280,6 +317,43 @@ def _vector_deltas(
     return delta
 
 
+def _frontier_deltas(
+    assignments: Sequence[Assignment],
+    space: StateSpace,
+    idx: np.ndarray,
+    env: Mapping[Var, np.ndarray],
+    fire_mask: np.ndarray,
+    name: str,
+) -> np.ndarray:
+    """Frontier counterpart of :func:`_vector_deltas`: summed index deltas
+    for the states ``idx`` where ``fire_mask`` is true.  ``env`` must be the
+    frontier environment of ``idx`` (``space.frontier_env(idx)``)."""
+    delta = np.zeros(idx.shape[0], dtype=np.int64)
+    for a in assignments:
+        rhs = np.asarray(a.expr.eval_vec(env))
+        if rhs.ndim == 0:
+            rhs = np.full(idx.shape[0], rhs[()])
+        effective = np.where(fire_mask, rhs, env[a.var])
+        try:
+            new_idx = a.var.domain.encode_array(effective)
+        except DomainError as exc:
+            raise DomainError(
+                f"command {name}: assignment {a.var.name} := {a.expr} "
+                f"leaves the domain on some guarded state: {exc}"
+            ) from None
+        old_idx = space.indices_at(a.var, idx)
+        delta += (new_idx - old_idx) * space.stride_of(a.var)
+    return delta
+
+
+def _frontier_guard(guard: Expr, env: Mapping[Var, np.ndarray], k: int) -> np.ndarray:
+    """Evaluate a guard over a frontier environment as a length-``k`` mask."""
+    g = np.asarray(guard.eval_vec(env), dtype=bool)
+    if g.ndim == 0:
+        return np.full(k, bool(g), dtype=bool)
+    return g
+
+
 class GuardedCommand(Command):
     """``g → x₁,…,xₖ := e₁,…,eₖ``; behaves as ``skip`` when ``g`` is false.
 
@@ -317,6 +391,14 @@ class GuardedCommand(Command):
         delta = _vector_deltas(self.assignments, space, g, self.name)
         return base + delta
 
+    def succ_of(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        env = space.frontier_env(idx)
+        g = _frontier_guard(self.guard, env, idx.shape[0])
+        if not g.any():
+            return idx.copy()
+        return idx + _frontier_deltas(self.assignments, space, idx, env, g, self.name)
+
     def wp(self, pred: Predicate) -> Predicate:
         p = pred.as_expr()
         sub = p.substitute(_subst_map(self.assignments))
@@ -328,6 +410,10 @@ class GuardedCommand(Command):
         if g.ndim == 0:
             return np.full(space.size, bool(g), dtype=bool)
         return g
+
+    def enabled_at(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        return _frontier_guard(self.guard, space.frontier_env(idx), idx.shape[0])
 
     def reads(self) -> frozenset[Var]:
         out = set(self.guard.variables())
@@ -397,6 +483,22 @@ class AltCommand(Command):
             taken |= g
         return base + total_delta
 
+    def succ_of(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        env = space.frontier_env(idx)
+        k = idx.shape[0]
+        taken = np.zeros(k, dtype=bool)
+        total_delta = np.zeros(k, dtype=np.int64)
+        for guard, assigns in self.branches:
+            g = _frontier_guard(guard, env, k)
+            fire = g & ~taken
+            if fire.any():
+                total_delta += _frontier_deltas(
+                    assigns, space, idx, env, fire, self.name
+                )
+            taken |= g
+        return idx + total_delta
+
     def wp(self, pred: Predicate) -> Predicate:
         p = pred.as_expr()
         disjuncts = []
@@ -416,6 +518,14 @@ class AltCommand(Command):
             if g.ndim == 0:
                 g = np.full(space.size, bool(g), dtype=bool)
             out |= g
+        return out
+
+    def enabled_at(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        env = space.frontier_env(idx)
+        out = np.zeros(idx.shape[0], dtype=bool)
+        for guard, _ in self.branches:
+            out |= _frontier_guard(guard, env, idx.shape[0])
         return out
 
     def reads(self) -> frozenset[Var]:

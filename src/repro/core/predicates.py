@@ -64,6 +64,21 @@ class Predicate:
         """Boolean satisfaction mask over all encoded states of ``space``."""
         raise NotImplementedError
 
+    def mask_at(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        """Frontier satisfaction mask: truth values at the state indices
+        ``idx`` only (``== mask(space)[idx]``, without the full mask).
+
+        The base implementation decodes one state at a time; expression
+        predicates override it with vectorized frontier evaluation.  This
+        is the predicate entry point of the sparse engine
+        (:mod:`repro.semantics.sparse`).
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        out = np.empty(idx.shape[0], dtype=bool)
+        for k in range(idx.shape[0]):
+            out[k] = bool(self.holds(space.state_at(int(idx[k]))))
+        return out
+
     def variables(self) -> frozenset[Var]:
         """Variables the predicate (syntactically) depends on; callables
         conservatively report the empty set and must be checked against a
@@ -170,6 +185,14 @@ class ExprPredicate(Predicate):
             return np.full(space.size, bool(arr), dtype=bool)
         return arr
 
+    def mask_at(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        out = self.expr.eval_vec(space.frontier_env(idx))
+        arr = np.asarray(out, dtype=bool)
+        if arr.ndim == 0:
+            return np.full(idx.shape[0], bool(arr), dtype=bool)
+        return arr
+
     def variables(self) -> frozenset[Var]:
         return self.expr.variables()
 
@@ -233,6 +256,13 @@ class MaskPredicate(Predicate):
             )
         return self._mask
 
+    def mask_at(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        if space != self.space:
+            raise PropertyError(
+                "MaskPredicate consulted against a different state space"
+            )
+        return self._mask[np.asarray(idx, dtype=np.int64)]
+
     def describe(self) -> str:
         return self._description
 
@@ -258,6 +288,15 @@ class _Composite(Predicate):
                 out &= p.mask(space)
             else:
                 out |= p.mask(space)
+        return out
+
+    def mask_at(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        out = self.parts[0].mask_at(space, idx).copy()
+        for p in self.parts[1:]:
+            if self.op == "and":
+                out &= p.mask_at(space, idx)
+            else:
+                out |= p.mask_at(space, idx)
         return out
 
     def variables(self) -> frozenset[Var]:
@@ -288,6 +327,9 @@ class _Negation(Predicate):
 
     def mask(self, space: StateSpace) -> np.ndarray:
         return ~self.inner.mask(space)
+
+    def mask_at(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        return ~self.inner.mask_at(space, idx)
 
     def variables(self) -> frozenset[Var]:
         return self.inner.variables()

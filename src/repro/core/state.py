@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.variables import Var
 from repro.errors import StateError
 
-__all__ = ["State", "StateSpace"]
+__all__ = ["State", "StateSpace", "FrontierEnv"]
 
 
 class State(Mapping[Var, Any]):
@@ -212,6 +212,28 @@ class StateSpace:
                     self._value_cache[var] = var.domain.decode_array(idx[var])
         return self._value_cache
 
+    # -- frontier codec (sparse engine) -------------------------------------
+
+    def indices_at(self, var: Var, idx: np.ndarray) -> np.ndarray:
+        """Domain indices of ``var`` at the given state indices only.
+
+        The frontier counterpart of :meth:`index_arrays`: output length is
+        ``len(idx)``, never ``size``, so the sparse engine
+        (:mod:`repro.semantics.sparse`) can evaluate commands and
+        predicates on a discovered index set without materializing
+        full-space decode arrays.
+        """
+        return (idx // self.stride_of(var)) % var.domain.size
+
+    def frontier_env(self, idx: np.ndarray) -> "FrontierEnv":
+        """Lazy ``Var → value-array`` environment over the index set ``idx``.
+
+        Columns are decoded on first access and cached for the lifetime of
+        the environment, so an expression touching 3 of 30 variables pays
+        for 3 decodes.  Suitable as the environment of ``Expr.eval_vec``.
+        """
+        return FrontierEnv(self, np.asarray(idx, dtype=np.int64))
+
     def delta_for(self, var: Var, new_index_array: np.ndarray) -> np.ndarray:
         """Index delta produced by writing ``var`` with domain-index array
         ``new_index_array`` (vectorized functional update).
@@ -236,3 +258,33 @@ class StateSpace:
 
     def __hash__(self) -> int:
         return hash((StateSpace, self.vars))
+
+
+class FrontierEnv(Mapping):
+    """Lazy per-variable value columns decoded at a fixed index set.
+
+    Implements the ``Mapping[Var, ndarray]`` protocol expected by
+    :meth:`repro.core.expressions.Expr.eval_vec`; each column has the
+    length of the index set, not of the space.  Obtain via
+    :meth:`StateSpace.frontier_env`.
+    """
+
+    __slots__ = ("space", "idx", "_cache")
+
+    def __init__(self, space: StateSpace, idx: np.ndarray) -> None:
+        self.space = space
+        self.idx = idx
+        self._cache: dict[Var, np.ndarray] = {}
+
+    def __getitem__(self, var: Var) -> np.ndarray:
+        col = self._cache.get(var)
+        if col is None:
+            col = var.domain.decode_array(self.space.indices_at(var, self.idx))
+            self._cache[var] = col
+        return col
+
+    def __iter__(self) -> Iterator[Var]:
+        return iter(self.space.vars)
+
+    def __len__(self) -> int:
+        return len(self.space.vars)

@@ -17,6 +17,7 @@ __all__ = [
     "ProgramError",
     "CompositionError",
     "PropertyError",
+    "ExplorationError",
     "ProofError",
     "GraphError",
     "DslError",
@@ -59,6 +60,14 @@ class CompositionError(ReproError):
 
 class PropertyError(ReproError):
     """A property is malformed or applied to an incompatible program."""
+
+
+class ExplorationError(ReproError, ValueError):
+    """State-space exploration exceeded a limit or cannot enumerate a set.
+
+    Also a :class:`ValueError` for backward compatibility with callers that
+    caught the old bare ``ValueError`` from ``reachable_states``.
+    """
 
 
 class ProofError(ReproError):

@@ -13,6 +13,10 @@ substitution axiom, no implicit restriction to reachable states):
   graph backend, :mod:`repro.semantics.graph_backend`);
 - reachability-based (non-inductive) invariants —
   :mod:`repro.semantics.explorer`;
+- **sparse tier** — :mod:`repro.semantics.sparse`: frontier exploration,
+  reachable subspaces, and sub-CSR checking for composition stacks whose
+  encoded space exceeds :data:`repro.semantics.sparse.SPARSE_THRESHOLD`
+  (the dense checkers route there automatically);
 - **proof synthesis** — :mod:`repro.semantics.synthesis` reconstructs a
   kernel-checkable certificate (using only the paper's proof rules) for any
   finite-state leads-to validated by the model checker;
@@ -52,6 +56,12 @@ from repro.semantics.strong_fairness import (
     fairness_gap,
     strong_fair_scc_analysis,
 )
+from repro.semantics.sparse import (
+    ReachableSubspace,
+    explore,
+    reachable_subspace,
+    sparse_enabled,
+)
 from repro.semantics.synthesis import synthesize_leadsto_proof
 from repro.semantics.transition import TransitionSystem
 from repro.semantics.wp import semantic_wp, wp_agreement
@@ -72,6 +82,10 @@ __all__ = [
     "GraphBackend",
     "reachable_mask",
     "reachable_states",
+    "ReachableSubspace",
+    "explore",
+    "reachable_subspace",
+    "sparse_enabled",
     "auto_invariant",
     "inductive_strengthening",
     "strongest_invariant",

@@ -217,8 +217,25 @@ def check_reachable_invariant(program: Program, p: Predicate) -> CheckResult:
     """The weaker, *non-inductive* notion: ``p`` holds on every reachable
     state.  Not part of the paper's logic (it corresponds to the
     substitution-axiom strengthening the paper avoids); provided for
-    comparison and diagnostics."""
+    comparison and diagnostics.
+
+    Spaces above the sparse threshold are decided by the sparse tier
+    (:mod:`repro.semantics.sparse`) — same judgment, no full-space arrays
+    — falling back to the dense tier when the sparse tier cannot decide.
+    """
     space = program.space
+    from repro.errors import ExplorationError
+    from repro.semantics.sparse import sparse_enabled
+
+    if sparse_enabled(space):
+        from repro.semantics.sparse.checkers import (
+            check_reachable_invariant_sparse,
+        )
+
+        try:
+            return check_reachable_invariant_sparse(program, p)
+        except ExplorationError:
+            pass
     reach = reachable_mask(program)
     bad = reach & ~p.mask(space)
     idx = np.flatnonzero(bad)

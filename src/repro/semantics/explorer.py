@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.program import Program
 from repro.core.state import State
+from repro.errors import ExplorationError
 from repro.semantics.transition import TransitionSystem
 
 __all__ = ["reachable_mask", "reachable_states", "distance_map"]
@@ -37,12 +38,41 @@ def reachable_mask(
     return ts.graph().forward_closure(start)
 
 
-def reachable_states(program: Program, *, limit: int = 10_000) -> list[State]:
-    """Decoded reachable states (guarded by ``limit`` to avoid surprises)."""
-    mask = reachable_mask(program)
-    idx = np.flatnonzero(mask)
+def reachable_states(
+    program: Program,
+    *,
+    limit: int = 10_000,
+    from_mask: np.ndarray | None = None,
+) -> list[State]:
+    """Decoded reachable states (guarded by ``limit`` to avoid surprises).
+
+    ``from_mask`` overrides the start set, like its siblings.  Spaces above
+    the sparse threshold enumerate through the sparse explorer, so the
+    decoded list never requires a full-space mask.  Raises
+    :class:`repro.errors.ExplorationError` when the reachable set exceeds
+    ``limit``.
+    """
+    from repro.semantics.sparse import sparse_enabled
+
+    idx = None
+    if sparse_enabled(program.space):
+        from repro.semantics.sparse.explorer import explore, reachable_subspace
+
+        try:
+            if from_mask is None:
+                sub = reachable_subspace(program)
+            else:
+                seeds = np.flatnonzero(np.asarray(from_mask, dtype=bool))
+                sub = explore(program, seeds=seeds)
+            idx = sub.global_ids
+        except ExplorationError:
+            # Sparse tier cannot decide (non-expression init, reachable
+            # set over its cap): fall back to the dense mask.
+            idx = None
+    if idx is None:
+        idx = np.flatnonzero(reachable_mask(program, from_mask=from_mask))
     if idx.size > limit:
-        raise ValueError(
+        raise ExplorationError(
             f"{idx.size} reachable states exceed limit={limit}; "
             "work with the mask instead"
         )

@@ -26,6 +26,9 @@ frontiers), never by repeated per-table sort+dedup rounds.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.semantics.scc import Condensation, condense_subgraph
@@ -49,6 +52,7 @@ class GraphBackend:
         self._fwd: tuple[np.ndarray, np.ndarray] | None = None
         self._rev: tuple[np.ndarray, np.ndarray] | None = None
         self._scratch: np.ndarray | None = None
+        self._cond_cache: OrderedDict[bytes, Condensation] = OrderedDict()
 
     # -- construction -------------------------------------------------------
 
@@ -157,16 +161,50 @@ class GraphBackend:
 
     # -- SCC ----------------------------------------------------------------
 
+    #: Number of per-mask condensations to memoize.  Repeated ``p ↝ q``
+    #: checks against the same ``q`` (the normal shape of a proof chain)
+    #: hit the same ``¬q`` mask every time; a handful of entries covers
+    #: the interleaved q's of a typical session without holding dead masks.
+    COND_CACHE_SIZE = 8
+
+    #: Skip memoization entirely above this node count: each cached
+    #: Condensation pins a length-``n`` ``comp_id`` plus member arrays,
+    #: and on forced-dense giant spaces 8 of those would dwarf the CSR
+    #: itself.  (Spaces that large normally route to the sparse tier,
+    #: whose local backends sit far below this bound.)
+    COND_CACHE_MAX_NODES = 8_000_000
+
     def condensation(self, mask: np.ndarray) -> Condensation:
         """SCC condensation of the subgraph induced by ``mask``, emitted in
-        the canonical sinks-first order (:mod:`repro.semantics.scc`)."""
+        the canonical sinks-first order (:mod:`repro.semantics.scc`).
+
+        Memoized by a digest of the mask bits (LRU of
+        :data:`COND_CACHE_SIZE` entries, bypassed above
+        :data:`COND_CACHE_MAX_NODES` nodes), so repeated queries against
+        the same predicate mask skip both the masked sub-CSR extraction
+        and the decomposition.
+        """
+        key = None
+        if self.n <= self.COND_CACHE_MAX_NODES:
+            key = hashlib.blake2b(
+                np.packbits(mask).tobytes(), digest_size=16
+            ).digest()
+            hit = self._cond_cache.get(key)
+            if hit is not None:
+                self._cond_cache.move_to_end(key)
+                return hit
         fp_full, fn_full = self.forward_csr()
         fp, fn, nodes = masked_subgraph(fp_full, fn_full, mask)
         # Reverse view of the subgraph from its own edge list — cheaper
         # than a second masked extraction over the full reverse CSR.
         sub_src = np.repeat(np.arange(nodes.shape[0], dtype=np.int64), np.diff(fp))
         rp, rn = build_csr(fn, sub_src, nodes.shape[0], dtype=fn.dtype)
-        return condense_subgraph(self.n, nodes, fp, fn, rp, rn)
+        cond = condense_subgraph(self.n, nodes, fp, fn, rp, rn)
+        if key is not None:
+            self._cond_cache[key] = cond
+            if len(self._cond_cache) > self.COND_CACHE_SIZE:
+                self._cond_cache.popitem(last=False)
+        return cond
 
     def __repr__(self) -> str:
         built = "built" if self._fwd is not None else "lazy"

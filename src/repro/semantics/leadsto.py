@@ -27,10 +27,19 @@ every SCC misses some ``d ∈ D`` entirely, which is exactly a
 
 Implementation.  All graph work (SCC condensation, reverse closure) runs on
 the cached CSR backend (:mod:`repro.semantics.graph_backend`); the fair-SCC
-criterion itself is evaluated per command as one vectorized scatter over
-``comp_id`` — an edge ``s → d(s)`` is internal to its SCC iff
-``comp_id[d(s)] == comp_id[s]`` — so Python work is O(|D|), not
-O(|D| · #SCCs).
+criterion is evaluated **batched** over a stacked ``(command, state)`` edge
+matrix — an edge ``s → d(s)`` is internal to its SCC iff
+``comp_id[d(s)] == comp_id[s]`` — with a single segmented scatter into the
+``(command, SCC)`` flag plane (:func:`_fair_flags`), instead of one
+scatter round per command.  The same helper evaluates the strong-fairness
+criterion (:mod:`repro.semantics.strong_fairness`) when handed enabledness
+rows, and the sparse tier (:mod:`repro.semantics.sparse.checkers`) reuses
+it verbatim over local successor columns.
+
+Spaces above :data:`repro.semantics.sparse.SPARSE_THRESHOLD` route through
+the sparse tier, which decides the reachable-restricted judgment without
+allocating full-space arrays (see the :mod:`repro.semantics.sparse`
+package docstring for the exact semantics).
 """
 
 from __future__ import annotations
@@ -93,6 +102,10 @@ class FairAnalysis:
         return out
 
 
+#: Byte budget of one stacked (command, state) chunk in :func:`_fair_flags`.
+_FAIR_CHUNK_BYTES = 16 << 20
+
+
 def _fair_seed_mask(cond: Condensation, fair_flags: np.ndarray) -> np.ndarray:
     """Mask of all states lying in a flagged SCC (vectorized gather)."""
     seeds = np.zeros(cond.comp_id.shape[0], dtype=bool)
@@ -100,6 +113,73 @@ def _fair_seed_mask(cond: Condensation, fair_flags: np.ndarray) -> np.ndarray:
         active = cond.comp_id >= 0
         seeds[active] = fair_flags[cond.comp_id[active]]
     return seeds
+
+
+def _fair_flags(
+    cond: Condensation,
+    tables: list[np.ndarray],
+    enabled: list[np.ndarray] | None = None,
+) -> np.ndarray:
+    """Per-SCC fairness flags, batched over all commands of ``D`` at once.
+
+    ``tables`` are successor arrays over the graph's node set (full-space
+    tables on the dense tier, local columns on the sparse tier).  The
+    ``(command, state)`` internal-edge matrix is stacked per chunk and
+    condensed in one pass into the ``(command, SCC)`` flag plane, with
+    one ``all(axis=0)`` reduction per chunk instead of per-command
+    flag-combination rounds.
+
+    With ``enabled`` absent this is the *weak*-fairness criterion: SCC
+    ``k`` keeps its flag iff every ``d ∈ D`` has an edge with both
+    endpoints in ``k`` (disabled self-moves included).  With ``enabled``
+    (one boolean row — or a zero-argument callable producing it — per
+    command) it is the *strong* criterion: for every ``d``, either no
+    member enables ``d``, or some member enables ``d`` with its
+    ``d``-successor inside ``k``.  Callables are evaluated one at a time
+    and only until the flags die, so full-space enabledness masks stream
+    instead of being materialized up front.
+    """
+    count = cond.count
+    ncmd = len(tables)
+    if ncmd == 0 or count == 0:
+        return np.ones(count, dtype=bool)
+    act_idx = np.flatnonzero(cond.comp_id >= 0)
+    comp_act = cond.comp_id[act_idx]
+    # Chunk the command axis so the stacked matrix stays bounded (~16 MB)
+    # on large dense spaces, and dead flag planes short-circuit between
+    # chunks; typical |D| fits in one chunk, i.e. one segmented pass.
+    chunk = max(1, _FAIR_CHUNK_BYTES // max(act_idx.shape[0], 1))
+    flags = np.ones(count, dtype=bool)
+    for lo in range(0, ncmd, chunk):
+        rows = tables[lo:lo + chunk]
+        internal = np.empty((len(rows), act_idx.shape[0]), dtype=bool)
+        for r, table in enumerate(rows):
+            internal[r] = cond.comp_id[table[act_idx]] == comp_act
+        # Row-wise scatters into the (command, SCC) planes: internal is
+        # mostly-True on liveness subgraphs (disabled commands self-loop),
+        # so a matrix-wide nonzero would materialize int64 coordinate
+        # arrays far larger than the bool chunk itself.
+        if enabled is None:
+            has_edge = np.zeros((len(rows), count), dtype=bool)
+            for r in range(len(rows)):
+                has_edge[r, comp_act[internal[r]]] = True
+            flags &= has_edge.all(axis=0)
+        else:
+            # Per-row reduction with a short circuit: each enabledness
+            # mask (possibly a lazy full-space evaluation) is built only
+            # while some flag is still alive.
+            for r, e in enumerate(enabled[lo:lo + chunk]):
+                en_r = (e() if callable(e) else e)[act_idx]
+                has_enabled = np.zeros(count, dtype=bool)
+                has_enabled[comp_act[en_r]] = True
+                honored = np.zeros(count, dtype=bool)
+                honored[comp_act[internal[r] & en_r]] = True
+                flags &= ~has_enabled | honored
+                if not flags.any():
+                    break
+        if not flags.any():
+            break
+    return flags
 
 
 def fair_scc_analysis(program: Program, q: Predicate) -> FairAnalysis:
@@ -110,21 +190,7 @@ def fair_scc_analysis(program: Program, q: Predicate) -> FairAnalysis:
     qm = q.mask(space)
     notq = ~qm
     cond = graph.condensation(notq)
-
-    # Fair-SCC criterion, one gather+scatter per command of D: SCC k keeps
-    # its flag iff some d-edge has both endpoints in k (self-loops
-    # included).  Only ¬q-states participate, so gather over those.
-    act_idx = np.flatnonzero(cond.comp_id >= 0)
-    comp_act = cond.comp_id[act_idx]
-    fair_flags = np.ones(cond.count, dtype=bool)
-    for _, dtable in ts.fair_tables():
-        internal = cond.comp_id[dtable[act_idx]] == comp_act
-        has_edge = np.zeros(cond.count, dtype=bool)
-        has_edge[comp_act[internal]] = True
-        fair_flags &= has_edge
-        if not fair_flags.any():
-            break
-
+    fair_flags = _fair_flags(cond, [t for _, t in ts.fair_tables()])
     seeds = _fair_seed_mask(cond, fair_flags)
     avoid = graph.reverse_closure(seeds, allowed=notq)
     return FairAnalysis(
@@ -139,8 +205,25 @@ def check_leadsto(program: Program, p: Predicate, q: Predicate) -> CheckResult:
     The witness of a failure contains a ``p``-state from which the
     scheduler can confine the execution to ``¬q`` forever, plus a state of
     the fair SCC it settles in.
+
+    Spaces above the sparse threshold are decided by the sparse tier over
+    the reachable subspace (see :mod:`repro.semantics.sparse`); if the
+    sparse tier cannot decide (non-expression ``initially``, reachable
+    set above its exploration cap) the check falls back to the dense
+    tier, which handles anything up to ``StateSpace.MAX_SIZE`` at dense
+    memory cost — exactly the pre-sparse behaviour.
     """
     space = program.space
+    from repro.errors import ExplorationError
+    from repro.semantics.sparse import sparse_enabled
+
+    if sparse_enabled(space):
+        from repro.semantics.sparse.checkers import check_leadsto_sparse
+
+        try:
+            return check_leadsto_sparse(program, p, q)
+        except ExplorationError:
+            pass
     subject = f"{p.describe()} ~> {q.describe()}"
     analysis = fair_scc_analysis(program, q)
     bad = p.mask(space) & analysis.avoid_mask

@@ -1,0 +1,136 @@
+"""Sparse-tier property checks over the reachable subspace.
+
+Each checker here is the local-id twin of a dense checker: the same
+fair-SCC analysis (:func:`repro.semantics.leadsto._fair_flags`), the same
+CSR closures, the same canonical condensation — run on the
+:class:`~repro.semantics.sparse.explorer.ReachableSubspace` instead of the
+encoded space.  Soundness of the restriction: the reachable set is closed
+under every command, so the subgraph induced on it contains *all* edges
+out of its nodes; SCCs, fair flags, and ``¬q``-confined reverse closures
+computed locally agree exactly with the dense analysis restricted to
+reachable states (the differential suite pins this).
+
+What changes is the *judgment*: these checkers quantify over reachable
+states only (the paper's inductive semantics quantifies over all states).
+Results carry ``witness["tier"] == "sparse"`` and a message noting the
+restriction, so callers that care can tell which judgment was decided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.semantics.checker import CheckResult
+from repro.semantics.leadsto import _fair_flags, _fair_seed_mask
+from repro.semantics.sparse.explorer import ReachableSubspace, reachable_subspace
+
+__all__ = [
+    "check_leadsto_sparse",
+    "check_leadsto_strong_sparse",
+    "check_reachable_invariant_sparse",
+]
+
+
+def _avoid_mask(
+    sub: ReachableSubspace, q: Predicate, *, strong: bool
+) -> np.ndarray:
+    """Local mask of reachable states that can avoid ``q`` forever."""
+    graph = sub.graph()
+    notq = ~sub.pred_mask(q)
+    cond = graph.condensation(notq)
+    fair_cmds = sub.program.fair_commands
+    tables = [sub.succ_local(cmd) for cmd in fair_cmds]
+    enabled = (
+        [sub.enabled_local(cmd) for cmd in fair_cmds] if strong else None
+    )
+    flags = _fair_flags(cond, tables, enabled=enabled)
+    seeds = _fair_seed_mask(cond, flags)
+    return graph.reverse_closure(seeds, allowed=notq)
+
+
+def _leadsto_result(
+    program: Program,
+    p: Predicate,
+    q: Predicate,
+    *,
+    strong: bool,
+) -> CheckResult:
+    sub = reachable_subspace(program)
+    kind = "leadsto-strong" if strong else "leadsto"
+    arrow = "~>[strong]" if strong else "~>"
+    subject = f"{p.describe()} {arrow} {q.describe()}"
+    if sub.size == 0:
+        return CheckResult(
+            True, kind, subject,
+            message="no reachable states (vacuous over the sparse tier)",
+            witness={"tier": "sparse", "reachable": 0},
+        )
+    avoid = _avoid_mask(sub, q, strong=strong)
+    bad = sub.pred_mask(p) & avoid
+    idx = np.flatnonzero(bad)
+    if idx.size == 0:
+        return CheckResult(
+            True, kind, subject,
+            message=(
+                f"holds from every reachable p-state (sparse tier: "
+                f"{sub.size} reachable of {sub.space.size} encoded states)"
+            ),
+            witness={"tier": "sparse", "reachable": sub.size},
+        )
+    state = sub.state_at_local(int(idx[0]))
+    return CheckResult(
+        False, kind, subject,
+        message=(
+            f"from reachable p-state {state!r} the scheduler can avoid q "
+            f"forever (sparse tier: {sub.size} reachable states)"
+        ),
+        witness={
+            "tier": "sparse",
+            "state": state,
+            "violations": int(idx.size),
+            "reachable": sub.size,
+        },
+    )
+
+
+def check_leadsto_sparse(program: Program, p: Predicate, q: Predicate) -> CheckResult:
+    """``p ↝ q`` under weak fairness, from every **reachable** ``p``-state."""
+    return _leadsto_result(program, p, q, strong=False)
+
+
+def check_leadsto_strong_sparse(
+    program: Program, p: Predicate, q: Predicate
+) -> CheckResult:
+    """``p ↝ q`` under strong fairness, from every **reachable** ``p``-state."""
+    return _leadsto_result(program, p, q, strong=True)
+
+
+def check_reachable_invariant_sparse(program: Program, p: Predicate) -> CheckResult:
+    """``p`` holds on every reachable state — the same judgment as
+    :func:`repro.semantics.checker.check_reachable_invariant`, decided
+    without full-space arrays."""
+    sub = reachable_subspace(program)
+    subject = f"reachable-invariant {p.describe()}"
+    bad = ~sub.pred_mask(p)
+    idx = np.flatnonzero(bad)
+    if idx.size == 0:
+        return CheckResult(
+            True, "reachable-invariant", subject,
+            message=f"holds on all {sub.size} reachable states",
+            witness={"tier": "sparse", "reachable": sub.size},
+        )
+    state = sub.state_at_local(int(idx[0]))
+    return CheckResult(
+        False,
+        "reachable-invariant",
+        subject,
+        message=f"reachable state {state!r} violates p",
+        witness={
+            "tier": "sparse",
+            "state": state,
+            "violations": int(idx.size),
+            "reachable": sub.size,
+        },
+    )

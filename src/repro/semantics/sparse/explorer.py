@@ -1,0 +1,396 @@
+"""Sparse frontier exploration: reachable subspaces without full-space arrays.
+
+Two pieces live here:
+
+1. :func:`initial_indices` — enumerate the ``initially`` states of a
+   program as **global state indices** directly from the predicate's
+   conjunct structure, by a vectorized join over the declared variables:
+   bind one variable at a time (cross product with its domain), and filter
+   by every conjunct as soon as its variables are all bound.  Composed
+   programs conjoin component ``initially`` predicates, so the join
+   frontier stays near the true initial-state count instead of the encoded
+   product.
+
+2. :func:`explore` — BFS from the initial states through the per-command
+   frontier kernels (:meth:`repro.core.commands.Command.succ_of`), with
+   sorted-array interning of discovered global indices (merge + binary
+   search per level; Python work per BFS *level*, not per state).  The
+   result is a :class:`ReachableSubspace`: sorted global ids (the local id
+   of a state is its rank), per-command **local** successor columns, BFS
+   distances, and the local initial set — everything the sub-CSR assembly
+   (:mod:`repro.semantics.sparse.subgraph`) and the sparse checkers need.
+
+No function in this module allocates an array of length ``space.size``;
+all work is proportional to the reachable set and the frontier.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.core.commands import Command
+from repro.core.expressions import And, Expr
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State, StateSpace
+from repro.errors import ExplorationError, PropertyError
+
+__all__ = [
+    "DEFAULT_MAX_STATES",
+    "DEFAULT_JOIN_LIMIT",
+    "initial_indices",
+    "explore",
+    "reachable_subspace",
+    "ReachableSubspace",
+]
+
+#: Default cap on the number of discovered reachable states.
+DEFAULT_MAX_STATES = 2_000_000
+
+#: Default cap on the intermediate width of the initial-state join.
+DEFAULT_JOIN_LIMIT = 2_000_000
+
+
+# ---------------------------------------------------------------------------
+# Initial-state enumeration (vectorized conjunct join)
+# ---------------------------------------------------------------------------
+
+
+def _conjuncts(pred: Predicate) -> list[Expr]:
+    """The top-level conjuncts of a predicate's expression form.
+
+    Raises :class:`ExplorationError` for mask/callable-backed predicates —
+    those only exist as full-space artifacts, which the sparse tier must
+    not touch.
+    """
+    try:
+        expr = pred.as_expr()
+    except PropertyError:
+        raise ExplorationError(
+            "sparse exploration needs an expression-backed `initially` "
+            f"predicate to enumerate initial states; got {pred.describe()!r}"
+        ) from None
+    if isinstance(expr, And):
+        return list(expr.operands)
+    return [expr]
+
+
+def initial_indices(
+    program: Program, *, join_limit: int = DEFAULT_JOIN_LIMIT
+) -> np.ndarray:
+    """Sorted global indices of the states satisfying ``initially``.
+
+    The join binds variables in declaration order; a conjunct filters the
+    partial assignments at the first point all of its variables are bound.
+    The intermediate width is capped by ``join_limit``: conjuncts whose
+    variables are declared far apart can make the intermediate product
+    exceed the final set (raise the limit, or reorder declarations so
+    related variables sit together).
+    """
+    space = program.space
+    conjuncts = [(c, c.variables()) for c in _conjuncts(program.init)]
+    idx = np.zeros(1, dtype=np.int64)
+    env: dict = {}
+    bound: set = set()
+    for var in space.vars:
+        d = var.domain.size
+        if idx.size * d > join_limit:
+            raise ExplorationError(
+                f"initial-state join exceeded {join_limit} partial "
+                f"assignments while binding {var.name}; raise join_limit "
+                "or tighten the `initially` predicate"
+            )
+        dom_idx = np.arange(d, dtype=np.int64)
+        values = var.domain.decode_array(dom_idx)
+        stride = space.stride_of(var)
+        k = idx.size
+        idx = (idx[:, None] + dom_idx[None, :] * stride).ravel()
+        for v in bound:
+            env[v] = np.repeat(env[v], d)
+        env[var] = np.tile(values, k)
+        bound.add(var)
+        ready = [c for c in conjuncts if c[1] <= bound]
+        if not ready:
+            continue
+        conjuncts = [c for c in conjuncts if not (c[1] <= bound)]
+        keep = np.ones(idx.size, dtype=bool)
+        for expr, _ in ready:
+            m = np.asarray(expr.eval_vec(env), dtype=bool)
+            if m.ndim == 0:
+                if not m:
+                    keep[:] = False
+                    break
+            else:
+                keep &= m
+        if not keep.all():
+            idx = idx[keep]
+            env = {v: a[keep] for v, a in env.items()}
+        if idx.size == 0:
+            break
+    idx.sort()
+    return idx
+
+
+# ---------------------------------------------------------------------------
+# Reachable subspace
+# ---------------------------------------------------------------------------
+
+
+def _in_sorted(sorted_arr: np.ndarray, vals: np.ndarray) -> np.ndarray:
+    """Membership mask of ``vals`` in the sorted array ``sorted_arr``."""
+    if sorted_arr.size == 0:
+        return np.zeros(vals.shape[0], dtype=bool)
+    pos = np.searchsorted(sorted_arr, vals)
+    clipped = np.minimum(pos, sorted_arr.size - 1)
+    return (pos < sorted_arr.size) & (sorted_arr[clipped] == vals)
+
+
+class ReachableSubspace:
+    """The reachable slice of a program's encoded space, on compact ids.
+
+    Local id ``k`` denotes the state with global index ``global_ids[k]``;
+    ``global_ids`` is sorted ascending, so local ids preserve the global
+    order (which keeps the canonical SCC emission order of
+    :mod:`repro.semantics.scc` identical to the dense tier's).
+
+    The subspace references its program **weakly**: it may be held in the
+    module's weak cache, and a strong back-reference would pin every
+    explored program (and its successor columns and CSR caches) forever.
+    Hold the :class:`Program` yourself while using the subspace.
+
+    Attributes
+    ----------
+    space:
+        The program's (never-materialized) state space.
+    global_ids:
+        Sorted ``int64`` global indices of the reachable states.
+    dist:
+        BFS distance (command applications from the initial set) per
+        local id.
+    init_local:
+        Local ids of the initial states.
+    levels:
+        Number of BFS levels the exploration ran.
+    """
+
+    __slots__ = (
+        "_program_ref", "space", "global_ids", "dist", "init_local",
+        "levels", "_succ", "_enabled", "_graph", "__weakref__",
+    )
+
+    def __init__(
+        self,
+        program: Program,
+        space: StateSpace,
+        global_ids: np.ndarray,
+        dist: np.ndarray,
+        init_local: np.ndarray,
+        levels: int,
+    ) -> None:
+        self._program_ref = weakref.ref(program)
+        self.space = space
+        self.global_ids = global_ids
+        self.dist = dist
+        self.init_local = init_local
+        self.levels = levels
+        self._succ: dict[str, np.ndarray] = {}
+        self._enabled: dict[str, np.ndarray] = {}
+        self._graph: object | None = None
+
+    @property
+    def program(self) -> Program:
+        """The explored program (weakly referenced; see class docstring)."""
+        program = self._program_ref()
+        if program is None:
+            raise ExplorationError(
+                "the explored program has been garbage-collected; a "
+                "ReachableSubspace does not keep its program alive"
+            )
+        return program
+
+    @property
+    def size(self) -> int:
+        """Number of reachable states (the local space's size)."""
+        return int(self.global_ids.shape[0])
+
+    # -- id maps --------------------------------------------------------------
+
+    def local_of(self, global_idx: np.ndarray) -> np.ndarray:
+        """Map global state indices to local ids (must all be members)."""
+        global_idx = np.asarray(global_idx, dtype=np.int64)
+        pos = np.searchsorted(self.global_ids, global_idx)
+        ok = _in_sorted(self.global_ids, global_idx)
+        if not ok.all():
+            missing = global_idx[~ok][:3].tolist()
+            raise ExplorationError(
+                f"global indices {missing} are not in the reachable subspace"
+            )
+        return pos
+
+    def state_at_local(self, k: int) -> State:
+        """Decode local id ``k`` into a :class:`State`."""
+        return self.space.state_at(int(self.global_ids[int(k)]))
+
+    # -- per-command columns ---------------------------------------------------
+
+    def succ_local(self, command: Command | str) -> np.ndarray:
+        """Local successor column of one command (length ``size``).
+
+        The reachable set is closed under every command, so the column is
+        total: ``succ_local(c)[k]`` is the local id of ``c``'s successor of
+        local state ``k``.
+        """
+        cmd = (
+            self.program.command_named(command)
+            if isinstance(command, str)
+            else command
+        )
+        col = self._succ.get(cmd.name)
+        if col is None:
+            if cmd.is_skip():
+                col = np.arange(self.size, dtype=np.int64)
+            else:
+                col = self.local_of(cmd.succ_of(self.space, self.global_ids))
+            self._succ[cmd.name] = col
+        return col
+
+    def enabled_local(self, command: Command | str) -> np.ndarray:
+        """Local enabledness column of one command (length ``size``)."""
+        cmd = (
+            self.program.command_named(command)
+            if isinstance(command, str)
+            else command
+        )
+        col = self._enabled.get(cmd.name)
+        if col is None:
+            col = cmd.enabled_at(self.space, self.global_ids)
+            self._enabled[cmd.name] = col
+        return col
+
+    # -- predicates ------------------------------------------------------------
+
+    def pred_mask(self, pred: Predicate) -> np.ndarray:
+        """Satisfaction mask of ``pred`` over the local ids."""
+        return pred.mask_at(self.space, self.global_ids)
+
+    # -- graph ----------------------------------------------------------------
+
+    def graph(self):
+        """The union sub-CSR backend over local ids (built lazily, cached).
+
+        A :class:`repro.semantics.graph_backend.GraphBackend`, so every
+        closure/distance/condensation kernel of the dense tier runs
+        unchanged on the subspace.
+        """
+        if self._graph is None:
+            from repro.semantics.sparse.subgraph import assemble_backend
+
+            self._graph = assemble_backend(self)
+        return self._graph
+
+    def __repr__(self) -> str:
+        program = self._program_ref()
+        name = program.name if program is not None else "<collected>"
+        return (
+            f"<ReachableSubspace {name}: {self.size} of "
+            f"{self.space.size} states, {self.levels} BFS levels>"
+        )
+
+
+#: Weak per-program cache of the default exploration.  Values are either
+#: the :class:`ReachableSubspace` or, for programs the sparse tier cannot
+#: decide, the failure message (a negative entry — message only, never
+#: the exception object, whose traceback would strongly pin the program).
+_CACHE: "weakref.WeakKeyDictionary[Program, ReachableSubspace | str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def explore(
+    program: Program,
+    *,
+    seeds: np.ndarray | None = None,
+    max_states: int = DEFAULT_MAX_STATES,
+    join_limit: int = DEFAULT_JOIN_LIMIT,
+) -> ReachableSubspace:
+    """BFS-expand the reachable subspace of ``program``.
+
+    ``seeds`` overrides the start set (global indices; default: the sparse
+    enumeration of ``initially``).  Raises :class:`ExplorationError` when
+    the discovered set exceeds ``max_states``.
+    """
+    space = program.space
+    if seeds is None:
+        start = initial_indices(program, join_limit=join_limit)
+    else:
+        start = np.unique(np.asarray(seeds, dtype=np.int64))
+        if start.size and (start[0] < 0 or start[-1] >= space.size):
+            raise ExplorationError(
+                f"seed indices outside [0, {space.size})"
+            )
+    if start.size > max_states:
+        raise ExplorationError(
+            f"start set of {program.name} already exceeds "
+            f"max_states={max_states}"
+        )
+    movers = [c for c in program.commands if not c.is_skip()]
+    known = start
+    frontier = start
+    level_sets = [start]
+    while frontier.size:
+        cols = [cmd.succ_of(space, frontier) for cmd in movers]
+        if not cols:
+            break
+        cand = np.unique(np.concatenate(cols))
+        fresh = cand[~_in_sorted(known, cand)]
+        if fresh.size == 0:
+            break
+        # Both arrays are sorted and disjoint: a positional insert is the
+        # O(m) merge (no per-level re-sort of the whole intern table).
+        known = np.insert(known, np.searchsorted(known, fresh), fresh)
+        if known.size > max_states:
+            raise ExplorationError(
+                f"reachable exploration of {program.name} exceeded "
+                f"max_states={max_states} (encoded space {space.size}); "
+                "raise the limit if the workload is expected"
+            )
+        level_sets.append(fresh)
+        frontier = fresh
+    m = known.shape[0]
+    dist = np.full(m, -1, dtype=np.int64)
+    for level, nodes in enumerate(level_sets):
+        if nodes.size:
+            dist[np.searchsorted(known, nodes)] = level
+    return ReachableSubspace(
+        program,
+        space,
+        known,
+        dist,
+        np.searchsorted(known, start) if m else start,
+        len(level_sets),
+    )
+
+
+def reachable_subspace(program: Program) -> ReachableSubspace:
+    """The (weakly) cached default exploration of ``program``.
+
+    Mirrors ``TransitionSystem.for_program``: repeated sparse checks — the
+    normal mode for the paper's proof chains — share one exploration.
+    Failures are cached too (as negative entries), so a proof chain over a
+    program the sparse tier cannot decide pays the doomed BFS once, not
+    once per routed check, before each check's dense fallback.
+    """
+    cached = _CACHE.get(program)
+    if isinstance(cached, ReachableSubspace):
+        return cached
+    if cached is not None:
+        raise ExplorationError(cached)
+    try:
+        sub = explore(program)
+    except ExplorationError as exc:
+        _CACHE[program] = str(exc)
+        raise
+    _CACHE[program] = sub
+    return sub

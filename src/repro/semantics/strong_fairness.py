@@ -38,7 +38,7 @@ import numpy as np
 from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.semantics.checker import CheckResult
-from repro.semantics.leadsto import FairAnalysis, _fair_seed_mask
+from repro.semantics.leadsto import FairAnalysis, _fair_flags, _fair_seed_mask
 from repro.semantics.transition import TransitionSystem
 
 __all__ = ["strong_fair_scc_analysis", "check_leadsto_strong", "fairness_gap"]
@@ -48,9 +48,10 @@ def strong_fair_scc_analysis(program: Program, q: Predicate) -> FairAnalysis:
     """Like :func:`repro.semantics.leadsto.fair_scc_analysis` but with the
     strong-fairness SCC criterion.
 
-    Evaluated per command as two vectorized scatters over ``comp_id``:
-    which SCCs enable ``d`` somewhere, and which contain an enabled
-    ``d``-move staying inside the SCC.
+    Evaluated batched over the stacked ``(command, state)`` edge matrix
+    (:func:`repro.semantics.leadsto._fair_flags` with enabledness rows):
+    an SCC stays fair iff for every ``d`` it either never enables ``d`` or
+    contains an enabled ``d``-move staying inside the SCC.
     """
     ts = TransitionSystem.for_program(program)
     space = ts.space
@@ -58,25 +59,16 @@ def strong_fair_scc_analysis(program: Program, q: Predicate) -> FairAnalysis:
     qm = q.mask(space)
     notq = ~qm
     cond = graph.condensation(notq)
-
-    comp = cond.comp_id
-    act_idx = np.flatnonzero(comp >= 0)
-    comp_act = comp[act_idx]
-    fair_flags = np.ones(cond.count, dtype=bool)
-    for cmd in program.fair_commands:
-        dtable = ts.tables[cmd.name]
-        en = cmd.enabled_mask(space)[act_idx]
-        has_enabled = np.zeros(cond.count, dtype=bool)
-        has_enabled[comp_act[en]] = True
-        honored = np.zeros(cond.count, dtype=bool)
-        internal = en & (comp[dtable[act_idx]] == comp_act)
-        honored[comp_act[internal]] = True
-        # Vacuously fair where never enabled; otherwise need an enabled
-        # d-move that stays in the SCC.
-        fair_flags &= ~has_enabled | honored
-        if not fair_flags.any():
-            break
-
+    fair_cmds = program.fair_commands
+    # Enabledness rows stream lazily: each full-space mask is built only
+    # when its chunk is reached, and not at all once the flags die.
+    fair_flags = _fair_flags(
+        cond,
+        [ts.tables[cmd.name] for cmd in fair_cmds],
+        enabled=[
+            (lambda c=cmd: c.enabled_mask(space)) for cmd in fair_cmds
+        ],
+    )
     seeds = _fair_seed_mask(cond, fair_flags)
     avoid = graph.reverse_closure(seeds, allowed=notq)
     return FairAnalysis(
@@ -86,8 +78,23 @@ def strong_fair_scc_analysis(program: Program, q: Predicate) -> FairAnalysis:
 
 
 def check_leadsto_strong(program: Program, p: Predicate, q: Predicate) -> CheckResult:
-    """Check ``p ↝ q`` assuming **strong** fairness of ``D``."""
+    """Check ``p ↝ q`` assuming **strong** fairness of ``D``.
+
+    Spaces above the sparse threshold are decided by the sparse tier over
+    the reachable subspace (see :mod:`repro.semantics.sparse`), falling
+    back to the dense tier when the sparse tier cannot decide.
+    """
     space = program.space
+    from repro.errors import ExplorationError
+    from repro.semantics.sparse import sparse_enabled
+
+    if sparse_enabled(space):
+        from repro.semantics.sparse.checkers import check_leadsto_strong_sparse
+
+        try:
+            return check_leadsto_strong_sparse(program, p, q)
+        except ExplorationError:
+            pass
     subject = f"{p.describe()} ~>[strong] {q.describe()}"
     analysis = strong_fair_scc_analysis(program, q)
     bad = p.mask(space) & analysis.avoid_mask

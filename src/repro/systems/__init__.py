@@ -10,11 +10,19 @@
 - :mod:`repro.systems.philosophers` — dining philosophers built *on top of*
   the priority mechanism (the conflicts the §4 intro motivates);
 - :mod:`repro.systems.allocator` — the resource-allocator sketch from the
-  paper's conclusion, exercising the ``guarantees`` operator.
+  paper's conclusion, exercising the ``guarantees`` operator;
+- :mod:`repro.systems.pipeline` — the source → stages → sink token
+  pipeline whose composed space only the sparse tier
+  (:mod:`repro.semantics.sparse`) can check.
 """
 
 from repro.systems.counter import CounterSystem, build_counter_component, build_counter_system
-from repro.systems.philosophers import PhilosopherSystem, build_philosopher_system
+from repro.systems.philosophers import (
+    PhilosopherSystem,
+    build_philosopher_ring,
+    build_philosopher_system,
+)
+from repro.systems.pipeline import PipelineSystem, build_pipeline_system
 from repro.systems.priority import PrioritySystem, build_priority_system
 
 __all__ = [
@@ -25,4 +33,7 @@ __all__ = [
     "build_priority_system",
     "PhilosopherSystem",
     "build_philosopher_system",
+    "build_philosopher_ring",
+    "PipelineSystem",
+    "build_pipeline_system",
 ]

@@ -35,7 +35,12 @@ from repro.errors import GraphError
 from repro.graph.neighborhood import NeighborhoodGraph
 from repro.systems.priority import PrioritySystem, edge_var
 
-__all__ = ["PhilosopherSystem", "build_philosopher_system", "PHASES"]
+__all__ = [
+    "PhilosopherSystem",
+    "build_philosopher_system",
+    "build_philosopher_ring",
+    "PHASES",
+]
 
 #: The philosopher phase domain.
 PHASES = EnumDomain("phase", ("think", "eat"))
@@ -164,8 +169,18 @@ def build_philosopher_component(
     )
 
 
-def build_philosopher_system(graph: NeighborhoodGraph) -> PhilosopherSystem:
-    """Build philosophers over ``graph`` (state space ``2^m · 2^n``)."""
+def build_philosopher_system(
+    graph: NeighborhoodGraph, *, check_init: bool = True
+) -> PhilosopherSystem:
+    """Build philosophers over ``graph`` (state space ``2^m · 2^n``).
+
+    ``check_init=False`` skips the semantic initial-state probe of
+    :func:`~repro.core.composition.compose_all` — required for graphs
+    whose composed space exceeds the sparse threshold, where the probe
+    would materialize a full-space mask (satisfiability is obvious here:
+    the component ``initially`` predicates constrain disjoint phase
+    variables).
+    """
     for i in graph.nodes():
         if graph.degree(i) == 0:
             raise GraphError(f"philosopher {i} has no neighbours")
@@ -173,7 +188,26 @@ def build_philosopher_system(graph: NeighborhoodGraph) -> PhilosopherSystem:
     components = [
         build_philosopher_component(graph, i, priority) for i in graph.nodes()
     ]
-    system = compose_all(components, name=f"Philosophers[n={graph.n}]")
+    system = compose_all(
+        components, name=f"Philosophers[n={graph.n}]", check_init=check_init
+    )
     return PhilosopherSystem(
         graph=graph, priority=priority, components=components, system=system
     )
+
+
+def build_philosopher_ring(n: int) -> PhilosopherSystem:
+    """Philosophers around a ring of ``n`` — the scaling scenario.
+
+    The composed space is exponential in ``n`` (one phase and one fork
+    edge per philosopher), so ``n ≥ 10`` exceeds the sparse threshold and
+    every liveness check runs through :mod:`repro.semantics.sparse`; the
+    reachable set (acyclic-orientation dynamics × phases) stays a sliver
+    of the encoded product.  The initial-state probe is always skipped:
+    it would materialize a full-space mask at scale, and satisfiability
+    is structural here (the component ``initially`` predicates constrain
+    disjoint phase variables; tests pin it).
+    """
+    from repro.graph.generators import ring_graph
+
+    return build_philosopher_system(ring_graph(n), check_init=False)

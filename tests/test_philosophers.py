@@ -95,3 +95,48 @@ class TestLiveness:
                 max_steps=ring3.system.space.size * 10,
             )
             assert reached
+
+
+class TestScaledRing:
+    """The parameterized ring scenario: ``4^n`` encoded states, checked
+    through the sparse tier above the threshold."""
+
+    @pytest.fixture(scope="class")
+    def ring10(self):
+        from repro.systems.philosophers import build_philosopher_ring
+
+        return build_philosopher_ring(10)
+
+    def test_space_exceeds_threshold(self, ring10):
+        from repro.semantics.sparse import sparse_enabled
+
+        assert ring10.system.space.size == 4**10
+        assert sparse_enabled(ring10.system.space)
+
+    def test_initial_state_satisfiable_despite_skipped_probe(self, ring10):
+        # build_philosopher_ring composes with check_init=False; the
+        # conjunction must still be satisfiable (sparse enumeration).
+        from repro.semantics.sparse.explorer import initial_indices
+
+        assert initial_indices(ring10.system).size == 2**10
+
+    def test_reachable_is_a_sliver(self, ring10):
+        from repro.semantics.sparse.explorer import reachable_subspace
+
+        sub = reachable_subspace(ring10.system)
+        assert 0 < sub.size < ring10.system.space.size // 100
+
+    def test_liveness_via_sparse_tier(self, ring10):
+        from repro.semantics.leadsto import check_leadsto
+
+        prop = ring10.liveness(0)
+        res = check_leadsto(ring10.system, prop.p, prop.q)
+        assert res.holds
+        assert res.witness["tier"] == "sparse"
+
+    def test_mutual_exclusion_reachable_via_sparse_tier(self, ring10):
+        from repro.semantics.checker import check_reachable_invariant
+
+        res = check_reachable_invariant(ring10.system, ring10.mutual_exclusion().p)
+        assert res.holds
+        assert res.witness["tier"] == "sparse"

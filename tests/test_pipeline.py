@@ -1,0 +1,90 @@
+"""The token pipeline scenario (``repro.systems.pipeline``).
+
+Small instances are checked on the dense tier (including the *inductive*
+conservation invariant, which quantifies over all states and therefore
+cannot be decided sparsely); the scaled instance's sparse behaviour is
+covered by ``tests/test_sparse_engine.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.composition import can_compose
+from repro.semantics.checker import check_invariant
+from repro.semantics.explorer import reachable_mask
+from repro.semantics.leadsto import check_leadsto
+from repro.semantics.sparse.explorer import explore, initial_indices
+from repro.semantics.strong_fairness import fairness_gap
+from repro.systems.pipeline import build_pipeline_system
+
+
+@pytest.fixture(scope="module")
+def small():
+    return build_pipeline_system(3, total=2)
+
+
+class TestConstruction:
+    def test_component_composability(self, small):
+        for a, b in zip(small.components, small.components[1:]):
+            assert can_compose(a, b)
+
+    def test_unique_initial_state(self, small):
+        init = initial_indices(small.system)
+        assert init.size == 1
+        state = small.system.space.state_at(int(init[0]))
+        assert state[small.avail] == small.total
+        assert state[small.done] == 0
+        assert all(state[small.c(i)] == 0 for i in range(small.stages))
+
+    def test_initial_state_satisfiable_despite_skipped_probe(self, small):
+        # build_pipeline_system composes with check_init=False; the
+        # conjunction must still be satisfiable.
+        assert small.system.has_initial_state()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            build_pipeline_system(0)
+        with pytest.raises(ValueError):
+            build_pipeline_system(3, total=0)
+        with pytest.raises(ValueError):
+            build_pipeline_system(3, total=3, cap=2)
+
+    def test_space_size_formula(self, small):
+        expected = (small.total + 1) ** 2 * (small.cap + 1) ** small.stages
+        assert small.system.space.size == expected
+
+
+class TestProperties:
+    def test_conservation_is_inductive(self, small):
+        assert check_invariant(small.system, small.conservation_predicate()).holds
+
+    def test_delivery_holds_dense(self, small):
+        d = small.delivery()
+        assert check_leadsto(small.system, d.p, d.q).holds
+
+    def test_no_recycling_fails(self, small):
+        bad = small.no_recycling()
+        res = check_leadsto(small.system, bad.p, bad.q)
+        assert not res.holds
+
+    def test_weak_strong_gap_absent_for_delivery(self, small):
+        d = small.delivery()
+        gap = fairness_gap(small.system, d.p, d.q)
+        assert gap == {"weak": True, "strong": True, "gap": False}
+
+    def test_reachable_set_is_conserving_compositions(self, small):
+        # Reachable states = weak compositions of `total` tokens into
+        # stages + pool + done bins (caps never bind when cap >= total).
+        reach = int(reachable_mask(small.system).sum())
+        import math
+
+        bins = small.stages + 2
+        expected = math.comb(small.total + bins - 1, bins - 1)
+        assert reach == expected
+
+    def test_sparse_dense_reachable_agree(self, small):
+        sub = explore(small.system)
+        dense = np.flatnonzero(reachable_mask(small.system))
+        assert np.array_equal(sub.global_ids, dense)
