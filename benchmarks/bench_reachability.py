@@ -9,7 +9,7 @@ import pytest
 from repro.graph.acyclicity import is_acyclic, topological_order
 from repro.graph.generators import clique_graph, grid_graph, random_graph, ring_graph
 from repro.graph.orientation import Orientation
-from repro.graph.reachability import above_star_all, duality_holds, reach_star_all
+from repro.graph.reachability import duality_holds, reach_star_all
 
 SCALES = [
     ("ring256", lambda: ring_graph(256)),

@@ -12,8 +12,10 @@ import pytest
 from repro.semantics.checker import check_reachable_invariant
 from repro.semantics.leadsto import check_leadsto
 from repro.semantics.sparse.explorer import explore, reachable_subspace
-from repro.systems.philosophers import build_philosopher_ring
+from repro.semantics.strong_fairness import check_leadsto_strong
+from repro.systems.philosophers import build_philosopher_grid, build_philosopher_ring
 from repro.systems.pipeline import build_pipeline_system
+from repro.systems.product import build_pipeline_allocator
 
 
 @pytest.mark.benchmark(group="sparse")
@@ -71,3 +73,43 @@ def test_sparse_philosophers_ring10(benchmark):
     sub, res = benchmark(run)
     assert sub.size == 6726
     assert res.holds
+
+
+@pytest.mark.benchmark(group="sparse-beyond-dense")
+def test_sparse_philosophers_grid4x4(benchmark):
+    """Grid 4×4 philosophers: 2^40 ≈ 1.1·10^12 encoded — 17000× the old
+    64M dense cap — explored and liveness-checked on the sparse tier."""
+    ps = build_philosopher_grid(4, 4)
+    lv = ps.liveness(0)
+
+    def run():
+        sub = explore(ps.system)
+        res = check_leadsto(ps.system, lv.p, lv.q)
+        return sub, res
+
+    sub, res = benchmark(run)
+    assert ps.system.space.size == 2**40
+    assert sub.size == 54368
+    assert res.holds and res.witness["tier"] == "sparse"
+
+
+@pytest.mark.benchmark(group="sparse-beyond-dense")
+def test_sparse_product_weak_vs_strong(benchmark):
+    """Pipeline × allocator product (4^21 ≈ 4.4·10^12 encoded): the
+    composition-induced fairness gap, decided end to end on the sparse
+    tier — delivery fails under weak fairness (clients can starve the
+    pipeline) and holds under strong."""
+    pa = build_pipeline_allocator(16)
+    d = pa.delivery()
+
+    def run():
+        weak = check_leadsto(pa.system, d.p, d.q)
+        strong = check_leadsto_strong(pa.system, d.p, d.q)
+        cons = check_reachable_invariant(pa.system, pa.conservation_predicate())
+        return weak, strong, cons
+
+    weak, strong, cons = benchmark(run)
+    assert pa.system.space.size == 4**21
+    assert not weak.holds and weak.witness["tier"] == "sparse"
+    assert strong.holds and strong.witness["tier"] == "sparse"
+    assert cons.holds

@@ -13,6 +13,11 @@ Compare two snapshots::
 
     PYTHONPATH=src python benchmarks/record.py --diff BENCH_1.json BENCH_2.json
 
+``--diff … --github-summary`` renders the comparison as a GitHub-flavored
+Markdown table instead — CI appends it to ``$GITHUB_STEP_SUMMARY`` as the
+informational bench-drift report (never a build failure; machine timing
+noise belongs in a summary, not a verdict).
+
 CI smoke (crash check only, no timing, no snapshot)::
 
     PYTHONPATH=src python benchmarks/record.py --smoke
@@ -56,20 +61,45 @@ def run_benchmarks(targets: list[str], extra: list[str]) -> dict[str, float]:
     return dict(sorted(medians.items()))
 
 
-def diff(old_path: Path, new_path: Path) -> None:
+def diff(old_path: Path, new_path: Path, *, github: bool = False) -> None:
     old = json.loads(old_path.read_text())["medians"]
     new = json.loads(new_path.read_text())["medians"]
-    width = max((len(k) for k in new), default=0)
+    # One comparison pass, two renderers: rows are (key, old_s | None,
+    # new_s, ratio | None); old_s/ratio are None for new benchmarks.
+    rows = []
     for key in sorted(new):
         if key in old and old[key] > 0:
-            ratio = old[key] / new[key]
-            print(f"{key:<{width}}  {old[key] * 1e3:9.3f}ms -> "
-                  f"{new[key] * 1e3:9.3f}ms   {ratio:5.2f}x")
+            rows.append((key, old[key], new[key], old[key] / new[key]))
         else:
-            print(f"{key:<{width}}  {'new':>9} -> {new[key] * 1e3:9.3f}ms")
+            rows.append((key, None, new[key], None))
     dropped = sorted(set(old) - set(new))
+    if github:
+        print(f"### Benchmark drift: `{old_path.name}` vs fresh run")
+        print()
+        print("_Informational only — medians from one CI run are noisy; "
+              "the committed `BENCH_<n>.json` trajectory is the record._")
+        print()
+        print("| benchmark | old (ms) | new (ms) | speedup |")
+        print("| --- | ---: | ---: | ---: |")
+        for key, old_s, new_s, ratio in rows:
+            if ratio is None:
+                print(f"| `{key}` | — | {new_s * 1e3:.3f} | new |")
+            else:
+                print(f"| `{key}` | {old_s * 1e3:.3f} | "
+                      f"{new_s * 1e3:.3f} | {ratio:.2f}x |")
+        if dropped:
+            print()
+            print("dropped: " + ", ".join(f"`{k}`" for k in dropped))
+        return
+    width = max((len(k) for k in new), default=0)
+    for key, old_s, new_s, ratio in rows:
+        if ratio is None:
+            print(f"{key:<{width}}  {'new':>9} -> {new_s * 1e3:9.3f}ms")
+        else:
+            print(f"{key:<{width}}  {old_s * 1e3:9.3f}ms -> "
+                  f"{new_s * 1e3:9.3f}ms   {ratio:5.2f}x")
     if dropped:
-        print(f"dropped: {', '.join(dropped)}")
+        print("dropped: " + ", ".join(dropped))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -83,12 +113,18 @@ def main(argv: list[str] | None = None) -> int:
                              "disabled; fail on crash, not on regression")
     parser.add_argument("--diff", nargs=2, type=Path, metavar=("OLD", "NEW"),
                         help="compare two recorded snapshots and exit")
+    parser.add_argument("--github-summary", action="store_true",
+                        help="with --diff: emit a GitHub-flavored Markdown "
+                             "table (for $GITHUB_STEP_SUMMARY)")
     parser.add_argument("extra", nargs="*",
                         help="extra args forwarded to pytest (after --)")
     args = parser.parse_args(argv)
 
+    if args.github_summary and not args.diff:
+        parser.error("--github-summary requires --diff OLD NEW")
+
     if args.diff:
-        diff(*args.diff)
+        diff(*args.diff, github=args.github_summary)
         return 0
 
     if args.smoke:

@@ -49,13 +49,11 @@ def main(n: int = 3, cap: int = 3) -> None:
     # -- observe it operationally -----------------------------------------------
     trace = simulate(cs.system, 25)
     print("\n— a round-robin trace (every state satisfies C = Σ c_i) —")
-    shown = 0
     for k, state in enumerate(trace.states):
         total = sum(state[cs.c(i)] for i in range(n))
         line = ", ".join(f"c[{i}]={state[cs.c(i)]}" for i in range(n))
         if k % 5 == 0:
             print(f"  step {k:3d}: C={state[cs.C]}  {line}  (Σ={total})")
-            shown += 1
     ok = trace.satisfies_throughout(inv.p)
     print(f"\ninvariant observed on all {len(trace.states)} trace states: {ok}")
 

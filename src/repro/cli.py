@@ -15,11 +15,15 @@ Commands
 ``reproduce [--exp EID] [--markdown]``
     Re-run the paper's experiment suite (EXPERIMENTS.md) and print the
     verdict table.
-``scenario NAME [--stages N] [--n N] [--total T]``
+``scenario NAME [--stages N] [--n N] [--total T] [--rows R] [--cols C]
+[--clients K]``
     Build one of the scaled composition scenarios (``pipeline``,
-    ``philosophers``), explore its reachable subspace through the engine
-    tier the size selects (sparse above the threshold), and check its
-    headline properties.  ``scenario list`` enumerates the scenarios.
+    ``philosophers``, ``grid``, ``product``), explore its reachable
+    subspace through the engine tier the size selects (sparse above the
+    threshold), and check its headline properties.  ``grid`` and
+    ``product`` routinely exceed the old 64M dense cap by orders of
+    magnitude (``product`` defaults to ≈ 4.4 · 10¹² encoded states).
+    ``scenario list`` enumerates the scenarios.
 """
 
 from __future__ import annotations
@@ -87,15 +91,23 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario", help="run a scaled composition scenario"
     )
     p_scen.add_argument(
-        "name", choices=["list", "pipeline", "philosophers"],
+        "name",
+        choices=["list", "pipeline", "philosophers", "grid", "product"],
         help="scenario name, or 'list' to enumerate",
     )
-    p_scen.add_argument("--stages", type=int, default=10,
-                        help="pipeline depth (pipeline scenario)")
+    p_scen.add_argument("--stages", type=int, default=None,
+                        help="pipeline depth (pipeline: default 10; "
+                             "product: default 16)")
     p_scen.add_argument("--total", type=int, default=3,
-                        help="token count (pipeline scenario)")
+                        help="token count (pipeline/product scenarios)")
     p_scen.add_argument("--n", type=int, default=10,
                         help="ring size (philosophers scenario)")
+    p_scen.add_argument("--rows", type=int, default=4,
+                        help="grid rows (grid scenario)")
+    p_scen.add_argument("--cols", type=int, default=4,
+                        help="grid columns (grid scenario)")
+    p_scen.add_argument("--clients", type=int, default=3,
+                        help="competing allocator clients (product scenario)")
     return parser
 
 
@@ -234,25 +246,55 @@ def _cmd_scenario(args) -> int:
               "(--stages, --total)")
         print("philosophers  dining philosophers around a ring "
               "(--n)")
+        print("grid          dining philosophers on a rows x cols grid, "
+              "forks pinned to the canonical acyclic orientation "
+              "(--rows, --cols; 4x4 is ~1.1e12 encoded states)")
+        print("product       pipeline composed with allocator clients "
+              "competing for the same token pool (--stages, --clients, "
+              "--total; defaults are ~4.4e12 encoded states; delivery "
+              "fails under weak fairness, holds under strong)")
         return 0
 
+    # checks: (label, LeadsTo property, expected verdict, strong fairness?)
     if args.name == "pipeline":
         from repro.systems.pipeline import build_pipeline_system
 
-        pl = build_pipeline_system(args.stages, total=args.total)
+        stages = 10 if args.stages is None else args.stages
+        pl = build_pipeline_system(stages, total=args.total)
         program = pl.system
         checks = [
-            ("delivery", pl.delivery(), True),
-            ("no_recycling (negative exhibit)", pl.no_recycling(), False),
+            ("delivery", pl.delivery(), True, False),
+            ("no_recycling (negative exhibit)", pl.no_recycling(), False, False),
         ]
         invariant_pred = pl.conservation_predicate()
-    else:
+    elif args.name == "philosophers":
         from repro.systems.philosophers import build_philosopher_ring
 
         ps = build_philosopher_ring(args.n)
         program = ps.system
-        checks = [("liveness(0)", ps.liveness(0), True)]
+        checks = [("liveness(0)", ps.liveness(0), True, False)]
         invariant_pred = ps.mutual_exclusion().p
+    elif args.name == "grid":
+        from repro.systems.philosophers import build_philosopher_grid
+
+        ps = build_philosopher_grid(args.rows, args.cols)
+        program = ps.system
+        checks = [("liveness(0)", ps.liveness(0), True, False)]
+        invariant_pred = ps.mutual_exclusion().p
+    else:
+        from repro.systems.product import build_pipeline_allocator
+
+        stages = 16 if args.stages is None else args.stages
+        pa = build_pipeline_allocator(
+            stages, clients=args.clients, total=args.total
+        )
+        program = pa.system
+        checks = [
+            ("delivery, weak fairness (starvation exhibit)",
+             pa.delivery(), False, False),
+            ("delivery, strong fairness", pa.delivery(), True, True),
+        ]
+        invariant_pred = pa.conservation_predicate()
 
     sparse = sparse_enabled(program.space)
     tier = "sparse" if sparse else "dense"
@@ -271,12 +313,14 @@ def _cmd_scenario(args) -> int:
         print(f"reachable     : {int(reachable_mask(program).sum())} states")
     failures = 0
     from repro.semantics import check_leadsto, check_reachable_invariant
+    from repro.semantics.strong_fairness import check_leadsto_strong
 
     result = check_reachable_invariant(program, invariant_pred)
     print(result.explain())
     failures += not result.holds
-    for label, prop, expected in checks:
-        result = check_leadsto(program, prop.p, prop.q)
+    for label, prop, expected, strong in checks:
+        checker = check_leadsto_strong if strong else check_leadsto
+        result = checker(program, prop.p, prop.q)
         verdict = "as expected" if result.holds == expected else "UNEXPECTED"
         print(f"{result.explain()}  [{label}: {verdict}]")
         failures += result.holds != expected

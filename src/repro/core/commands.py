@@ -51,6 +51,14 @@ from repro.errors import CommandError, DomainError
 
 __all__ = ["Assignment", "Command", "Skip", "skip", "GuardedCommand", "AltCommand"]
 
+#: States per chunk when a dense successor table is built through the
+#: frontier kernel.  Spaces at most this large keep the whole-space
+#: vectorized path (which shares the cached ``var_arrays`` decode across
+#: commands); larger spaces stream ``succ_of`` over index ranges so peak
+#: scratch per command stays bounded instead of several ``size``-length
+#: temporaries per assignment.
+SUCC_TABLE_CHUNK = 1 << 22
+
 
 class Assignment:
     """A single target of a multi-assignment: ``var := expr``."""
@@ -110,8 +118,21 @@ class Command:
 
     def succ_table(self, space: StateSpace) -> np.ndarray:
         """Vectorized ``apply``: ``out[i]`` is the successor index of state
-        ``i`` for every encoded state of ``space``."""
-        raise NotImplementedError
+        ``i`` for every encoded state of ``space``.
+
+        A dense-tier operation: refuses spaces above
+        ``StateSpace.DENSE_MAX`` with a :class:`~repro.errors.
+        CapacityError`.  The base implementation streams
+        :meth:`succ_of` over :data:`SUCC_TABLE_CHUNK`-sized index ranges,
+        so a table build never materializes more than one chunk of
+        frontier scratch at a time.
+        """
+        space.require_dense(f"successor table of command {self.name}")
+        out = np.empty(space.size, dtype=np.int64)
+        for lo in range(0, space.size, SUCC_TABLE_CHUNK):
+            hi = min(lo + SUCC_TABLE_CHUNK, space.size)
+            out[lo:hi] = self.succ_of(space, np.arange(lo, hi, dtype=np.int64))
+        return out
 
     def succ_of(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
         """Frontier successor kernel: successor indices of the states in
@@ -207,6 +228,7 @@ class Skip(Command):
         return state
 
     def succ_table(self, space: StateSpace) -> np.ndarray:
+        space.require_dense("successor table of skip")
         return np.arange(space.size, dtype=np.int64)
 
     def succ_of(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
@@ -217,6 +239,7 @@ class Skip(Command):
 
     def enabled_mask(self, space: StateSpace) -> np.ndarray:
         # skip is always "enabled" (and always a no-op).
+        space.require_dense("enabledness mask of skip")
         return np.ones(space.size, dtype=bool)
 
     def enabled_at(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
@@ -384,6 +407,8 @@ class GuardedCommand(Command):
         return state.updated(_eval_updates(self.assignments, state, self.name))
 
     def succ_table(self, space: StateSpace) -> np.ndarray:
+        if space.size > SUCC_TABLE_CHUNK:
+            return super().succ_table(space)  # chunked via succ_of
         base = np.arange(space.size, dtype=np.int64)
         g = np.asarray(self.guard.eval_vec(space.var_arrays()), dtype=bool)
         if g.ndim == 0:
@@ -469,6 +494,8 @@ class AltCommand(Command):
         return state
 
     def succ_table(self, space: StateSpace) -> np.ndarray:
+        if space.size > SUCC_TABLE_CHUNK:
+            return super().succ_table(space)  # chunked via succ_of
         base = np.arange(space.size, dtype=np.int64)
         env = space.var_arrays()
         taken = np.zeros(space.size, dtype=bool)

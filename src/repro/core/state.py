@@ -20,7 +20,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.variables import Var
-from repro.errors import StateError
+from repro.errors import CapacityError, StateError
 
 __all__ = ["State", "StateSpace", "FrontierEnv"]
 
@@ -101,14 +101,40 @@ class StateSpace:
     Provides the dense codec ``State ↔ int`` plus cached, vectorized decoded
     value arrays per variable (``var_arrays``), which are the evaluation
     environment for :meth:`Expr.eval_vec`.
+
+    Capacity is **per tier**, not per space: construction always succeeds
+    (``size`` is an exact Python int, however astronomically composition
+    multiplies it), while operations that materialize full-space arrays
+    guard themselves with :meth:`require_dense` (cap :data:`DENSE_MAX`) and
+    vectorized index kernels with :meth:`require_vector_indexable` (cap
+    :data:`INDEX_MAX`).  The sparse tier (:mod:`repro.semantics.sparse`)
+    works between those two caps without ever allocating ``size``-length
+    arrays.
     """
 
     __slots__ = ("vars", "_by_name", "_var_set", "size", "_strides",
                  "_radices", "_stride_by_var", "_value_cache", "_index_cache")
 
-    #: Refuse to enumerate spaces above this size (protects against typos;
-    #: large-but-feasible spaces can still be built by raising the cap).
-    MAX_SIZE = 64_000_000
+    #: Capacity of the **dense** engine tiers: any operation that
+    #: materializes a full-space array (decoded value columns, successor
+    #: tables, boolean masks, union CSR) refuses spaces above this size via
+    #: :meth:`require_dense`.  Construction itself is unbounded — encoded
+    #: sizes are exact Python ints, and the sparse tier
+    #: (:mod:`repro.semantics.sparse`) explores arbitrarily large products
+    #: up to its ``node_limit`` on *discovered* states.
+    DENSE_MAX = 64_000_000
+
+    #: Legacy alias of :data:`DENSE_MAX` (the pre-capacity-tier constructor
+    #: cap).  :meth:`require_dense` honours whichever of the two is larger,
+    #: so external code that raised ``MAX_SIZE`` to run big dense checks
+    #: keeps working; new code should tune :data:`DENSE_MAX`.
+    MAX_SIZE = DENSE_MAX
+
+    #: Largest encoded size whose state indices fit the vectorized ``int64``
+    #: frontier kernels (``succ_of`` / ``mask_at`` / ``frontier_env``).
+    #: Spaces beyond it can still be built and used through the scalar
+    #: codec, but vectorized exploration refuses them.
+    INDEX_MAX = 2**63 - 1
 
     def __init__(self, variables: Sequence[Var]) -> None:
         vars_t = tuple(variables)
@@ -121,14 +147,11 @@ class StateSpace:
         self.vars = vars_t
         self._by_name = {v.name: v for v in vars_t}
         radices = [v.domain.size for v in vars_t]
+        # Exact (arbitrary-precision) product: capacity is a per-tier
+        # policy enforced at materialization points, not a constructor wall.
         size = 1
         for r in radices:
             size *= r
-            if size > self.MAX_SIZE:
-                raise StateError(
-                    f"state space too large (> {self.MAX_SIZE}); "
-                    "shrink variable domains"
-                )
         self.size = size
         # Row-major strides: last declared variable varies fastest.
         strides = [0] * len(vars_t)
@@ -142,6 +165,53 @@ class StateSpace:
         self._stride_by_var = dict(zip(vars_t, strides))
         self._value_cache: dict[Var, np.ndarray] = {}
         self._index_cache: dict[Var, np.ndarray] = {}
+
+    # -- capacity policy ----------------------------------------------------
+
+    @classmethod
+    def dense_cap(cls) -> int:
+        """The effective dense-tier capacity.
+
+        The larger of :data:`DENSE_MAX` and the legacy :data:`MAX_SIZE`
+        knob (pre-capacity-tier code raised the latter to permit
+        large-but-feasible dense spaces); the single source of truth for
+        every dense guard, including the node-count check of
+        :class:`~repro.semantics.graph_backend.GraphBackend`.
+        """
+        return max(cls.DENSE_MAX, cls.MAX_SIZE)
+
+    def require_dense(self, operation: str = "this operation") -> None:
+        """Refuse dense full-space materialization above :meth:`dense_cap`.
+
+        Every dense-tier entry point (decoded value arrays, successor
+        tables, union CSR, full-space masks) calls this before allocating
+        anything of length ``size``.  Raises :class:`CapacityError` (a
+        :class:`StateError`) whose message points at the sparse tier.
+        """
+        cap = self.dense_cap()
+        if self.size > cap:
+            raise CapacityError(
+                f"{operation} materializes full-space arrays over "
+                f"{self.size} encoded states (> the dense capacity "
+                f"{cap}; see StateSpace.DENSE_MAX); route the query "
+                "through the sparse tier (repro.semantics.sparse explores "
+                "only discovered states, capped by node_limit), or shrink "
+                "variable domains if the dense judgment is required"
+            )
+
+    def require_vector_indexable(self, operation: str = "this operation") -> None:
+        """Refuse vectorized index kernels beyond the ``int64`` range.
+
+        The frontier codec carries global state indices as ``int64``;
+        spaces above :data:`INDEX_MAX` (2⁶³−1) can only use the scalar
+        codec.  Raises :class:`CapacityError`.
+        """
+        if self.size > self.INDEX_MAX:
+            raise CapacityError(
+                f"{operation} carries encoded state indices as int64, but "
+                f"the space has {self.size} states (> 2**63 - 1); only the "
+                "scalar codec (index_of / state_at) works at this size"
+            )
 
     # -- lookup -------------------------------------------------------------
 
@@ -185,6 +255,7 @@ class StateSpace:
 
     def iter_states(self) -> Iterator[State]:
         """Iterate all states in index order (slow path; prefer masks)."""
+        self.require_dense("iter_states")
         for i in range(self.size):
             yield self.state_at(i)
 
@@ -193,6 +264,7 @@ class StateSpace:
     def index_arrays(self) -> dict[Var, np.ndarray]:
         """Per-variable arrays of *domain indices* at every state index."""
         if len(self._index_cache) != len(self.vars):
+            self.require_dense("index_arrays")
             base = np.arange(self.size, dtype=np.int64)
             for var, stride, radix in zip(self.vars, self._strides, self._radices):
                 if var not in self._index_cache:
@@ -206,6 +278,7 @@ class StateSpace:
         are cached, so repeated property checks share the decode cost.
         """
         if len(self._value_cache) != len(self.vars):
+            self.require_dense("var_arrays")
             idx = self.index_arrays()
             for var in self.vars:
                 if var not in self._value_cache:

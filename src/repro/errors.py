@@ -13,6 +13,7 @@ __all__ = [
     "ExpressionError",
     "EvaluationError",
     "StateError",
+    "CapacityError",
     "CommandError",
     "ProgramError",
     "CompositionError",
@@ -44,6 +45,19 @@ class EvaluationError(ReproError):
 
 class StateError(ReproError):
     """A state or state space is inconsistent with its variable declarations."""
+
+
+class CapacityError(StateError):
+    """A dense-tier operation was asked to materialize full-space arrays over
+    a state space beyond its capacity (``StateSpace.DENSE_MAX``).
+
+    Capacity is a **per-tier policy**, not a property of the space: building
+    a :class:`~repro.core.state.StateSpace` of any size is legal, and the
+    sparse tier (:mod:`repro.semantics.sparse`) explores it up to its
+    ``node_limit`` without full-space arrays.  Subclasses
+    :class:`StateError` so pre-existing ``except StateError`` sites keep
+    catching the old constructor-time size failures.
+    """
 
 
 class CommandError(ReproError):

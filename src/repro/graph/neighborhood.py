@@ -14,7 +14,7 @@ orientations store one direction bit per edge id.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable
 
 from repro.errors import GraphError
 from repro.util.bitset import bitset_from_iterable

@@ -234,8 +234,11 @@ def check_reachable_invariant(program: Program, p: Predicate) -> CheckResult:
 
         try:
             return check_reachable_invariant_sparse(program, p)
-        except ExplorationError:
-            pass
+        except ExplorationError as exc:
+            space.require_dense(
+                f"the dense fallback for check_reachable_invariant "
+                f"(sparse tier failed: {exc})"
+            )
     reach = reachable_mask(program)
     bad = reach & ~p.mask(space)
     idx = np.flatnonzero(bad)

@@ -55,7 +55,8 @@ def reachable_states(
     from repro.semantics.sparse import sparse_enabled
 
     idx = None
-    if sparse_enabled(program.space):
+    sparse = sparse_enabled(program.space)
+    if sparse:
         from repro.semantics.sparse.explorer import explore, reachable_subspace
 
         try:
@@ -65,16 +66,27 @@ def reachable_states(
                 seeds = np.flatnonzero(np.asarray(from_mask, dtype=bool))
                 sub = explore(program, seeds=seeds)
             idx = sub.global_ids
-        except ExplorationError:
+        except ExplorationError as exc:
             # Sparse tier cannot decide (non-expression init, reachable
-            # set over its cap): fall back to the dense mask.
+            # set over its node_limit): fall back to the dense mask —
+            # refusing with a CapacityError when even that cannot run.
+            program.space.require_dense(
+                f"the dense fallback for reachable_states (sparse tier "
+                f"failed: {exc})"
+            )
             idx = None
     if idx is None:
         idx = np.flatnonzero(reachable_mask(program, from_mask=from_mask))
     if idx.size > limit:
+        hint = (
+            "raise limit, or explore through the sparse tier "
+            "(repro.semantics.sparse.explore caps work by node_limit, "
+            "never by encoded size)"
+            if sparse
+            else "work with the mask instead"
+        )
         raise ExplorationError(
-            f"{idx.size} reachable states exceed limit={limit}; "
-            "work with the mask instead"
+            f"{idx.size} reachable states exceed limit={limit}; {hint}"
         )
     return [program.space.state_at(int(i)) for i in idx]
 

@@ -31,10 +31,19 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.errors import CapacityError
 from repro.semantics.scc import Condensation, condense_subgraph
-from repro.util.csr import build_csr, csr_neighbors, dedup_edges, masked_subgraph, minimal_int_dtype
+from repro.util.csr import build_csr, csr_neighbors, masked_subgraph, minimal_int_dtype, union_edges
 
 __all__ = ["GraphBackend"]
+
+#: Node-count capacity of a dense union CSR; delegates to the single
+#: policy source ``StateSpace.dense_cap`` (imported lazily to keep this
+#: module free of core imports at definition time).
+def _dense_max() -> int:
+    from repro.core.state import StateSpace
+
+    return StateSpace.dense_cap()
 
 
 class GraphBackend:
@@ -46,6 +55,13 @@ class GraphBackend:
     """
 
     def __init__(self, n: int, tables: list[np.ndarray]) -> None:
+        if n > _dense_max():
+            raise CapacityError(
+                f"a union CSR over {n} nodes exceeds the dense capacity "
+                f"{_dense_max()} (see StateSpace.DENSE_MAX); spaces this "
+                "large route through the sparse tier, whose local "
+                "backends index only discovered states"
+            )
         self.n = n
         self.dtype = minimal_int_dtype(n)
         self._tables = tables
@@ -57,15 +73,10 @@ class GraphBackend:
     # -- construction -------------------------------------------------------
 
     def _edges(self) -> tuple[np.ndarray, np.ndarray]:
-        base = np.arange(self.n, dtype=np.int64)
-        srcs, dsts = [], []
-        for table in self._tables:
-            moved = table != base
-            srcs.append(base[moved])
-            dsts.append(table[moved])
-        src = np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64)
-        dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=np.int64)
-        return dedup_edges(src, dst, self.n)
+        # Chunked per command: each table's moved pairs land in a
+        # preallocated slice instead of a concatenated list of scratch
+        # arrays (see :func:`repro.util.csr.union_edges`).
+        return union_edges(self.n, self._tables)
 
     def forward_csr(self) -> tuple[np.ndarray, np.ndarray]:
         """``(indptr, nbr)`` of the deduplicated union graph."""

@@ -209,9 +209,11 @@ def check_leadsto(program: Program, p: Predicate, q: Predicate) -> CheckResult:
     Spaces above the sparse threshold are decided by the sparse tier over
     the reachable subspace (see :mod:`repro.semantics.sparse`); if the
     sparse tier cannot decide (non-expression ``initially``, reachable
-    set above its exploration cap) the check falls back to the dense
-    tier, which handles anything up to ``StateSpace.MAX_SIZE`` at dense
-    memory cost — exactly the pre-sparse behaviour.
+    set above its ``node_limit``) the check falls back to the dense tier,
+    which handles anything up to ``StateSpace.DENSE_MAX`` at dense memory
+    cost — exactly the pre-sparse behaviour.  Beyond ``DENSE_MAX`` the
+    fallback refuses with a :class:`~repro.errors.CapacityError` that
+    carries the sparse failure.
     """
     space = program.space
     from repro.errors import ExplorationError
@@ -222,8 +224,11 @@ def check_leadsto(program: Program, p: Predicate, q: Predicate) -> CheckResult:
 
         try:
             return check_leadsto_sparse(program, p, q)
-        except ExplorationError:
-            pass
+        except ExplorationError as exc:
+            space.require_dense(
+                f"the dense fallback for check_leadsto (sparse tier "
+                f"failed: {exc})"
+            )
     subject = f"{p.describe()} ~> {q.describe()}"
     analysis = fair_scc_analysis(program, q)
     bad = p.mask(space) & analysis.avoid_mask

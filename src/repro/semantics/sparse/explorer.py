@@ -38,6 +38,7 @@ from repro.core.state import State, StateSpace
 from repro.errors import ExplorationError, PropertyError
 
 __all__ = [
+    "DEFAULT_NODE_LIMIT",
     "DEFAULT_MAX_STATES",
     "DEFAULT_JOIN_LIMIT",
     "initial_indices",
@@ -46,8 +47,14 @@ __all__ = [
     "ReachableSubspace",
 ]
 
-#: Default cap on the number of discovered reachable states.
-DEFAULT_MAX_STATES = 2_000_000
+#: Default cap on the number of **discovered** reachable states.  This is
+#: the sparse tier's protective wall — the per-tier replacement of the old
+#: ``StateSpace.MAX_SIZE`` constructor cap: encoded size is unbounded, the
+#: interned node count is what costs memory.
+DEFAULT_NODE_LIMIT = 2_000_000
+
+#: Legacy alias of :data:`DEFAULT_NODE_LIMIT` (pre-capacity-tier name).
+DEFAULT_MAX_STATES = DEFAULT_NODE_LIMIT
 
 #: Default cap on the intermediate width of the initial-state join.
 DEFAULT_JOIN_LIMIT = 2_000_000
@@ -90,6 +97,7 @@ def initial_indices(
     related variables sit together).
     """
     space = program.space
+    space.require_vector_indexable("sparse initial-state enumeration")
     conjuncts = [(c, c.variables()) for c in _conjuncts(program.init)]
     idx = np.zeros(1, dtype=np.int64)
     env: dict = {}
@@ -312,16 +320,23 @@ def explore(
     program: Program,
     *,
     seeds: np.ndarray | None = None,
-    max_states: int = DEFAULT_MAX_STATES,
+    node_limit: int | None = None,
+    max_states: int | None = None,
     join_limit: int = DEFAULT_JOIN_LIMIT,
 ) -> ReachableSubspace:
     """BFS-expand the reachable subspace of ``program``.
 
     ``seeds`` overrides the start set (global indices; default: the sparse
     enumeration of ``initially``).  Raises :class:`ExplorationError` when
-    the discovered set exceeds ``max_states``.
+    the discovered set exceeds ``node_limit`` (default
+    :data:`DEFAULT_NODE_LIMIT`; ``max_states`` is the deprecated alias) —
+    the sparse tier's only size wall: the *encoded* space is unbounded up
+    to the ``int64`` index range.
     """
+    if node_limit is None:
+        node_limit = max_states if max_states is not None else DEFAULT_NODE_LIMIT
     space = program.space
+    space.require_vector_indexable("sparse exploration")
     if seeds is None:
         start = initial_indices(program, join_limit=join_limit)
     else:
@@ -330,10 +345,10 @@ def explore(
             raise ExplorationError(
                 f"seed indices outside [0, {space.size})"
             )
-    if start.size > max_states:
+    if start.size > node_limit:
         raise ExplorationError(
             f"start set of {program.name} already exceeds "
-            f"max_states={max_states}"
+            f"node_limit={node_limit}"
         )
     movers = [c for c in program.commands if not c.is_skip()]
     known = start
@@ -350,10 +365,10 @@ def explore(
         # Both arrays are sorted and disjoint: a positional insert is the
         # O(m) merge (no per-level re-sort of the whole intern table).
         known = np.insert(known, np.searchsorted(known, fresh), fresh)
-        if known.size > max_states:
+        if known.size > node_limit:
             raise ExplorationError(
                 f"reachable exploration of {program.name} exceeded "
-                f"max_states={max_states} (encoded space {space.size}); "
+                f"node_limit={node_limit} (encoded space {space.size}); "
                 "raise the limit if the workload is expected"
             )
         level_sets.append(fresh)

@@ -93,8 +93,11 @@ def check_leadsto_strong(program: Program, p: Predicate, q: Predicate) -> CheckR
 
         try:
             return check_leadsto_strong_sparse(program, p, q)
-        except ExplorationError:
-            pass
+        except ExplorationError as exc:
+            space.require_dense(
+                f"the dense fallback for check_leadsto_strong (sparse "
+                f"tier failed: {exc})"
+            )
     subject = f"{p.describe()} ~>[strong] {q.describe()}"
     analysis = strong_fair_scc_analysis(program, q)
     bad = p.mask(space) & analysis.avoid_mask

@@ -42,6 +42,12 @@ class TransitionSystem:
     def __init__(self, program: Program) -> None:
         self.program = program
         self.space: StateSpace = program.space
+        # Dense-tier capacity guard: successor tables are |C| arrays of
+        # length `size`; beyond DENSE_MAX the sparse tier is the only
+        # engine that can hold the program.
+        self.space.require_dense(
+            f"building successor tables for {program.name}"
+        )
         self.tables: dict[str, np.ndarray] = {
             cmd.name: cmd.succ_table(self.space) for cmd in program.commands
         }

@@ -32,7 +32,7 @@ from repro.core.commands import GuardedCommand
 from repro.core.composition import compose_all
 from repro.core.domains import IntRange
 from repro.core.expressions import esum, land
-from repro.core.predicates import ExprPredicate, TRUE
+from repro.core.predicates import ExprPredicate
 from repro.core.program import Program
 from repro.core.properties import (
     Guarantees,
@@ -41,7 +41,7 @@ from repro.core.properties import (
     PropertyFamily,
     Transient,
 )
-from repro.core.variables import Locality, Var
+from repro.core.variables import Var
 
 __all__ = ["AllocatorSystem", "build_allocator_system", "build_greedy_client"]
 
@@ -182,7 +182,7 @@ def build_greedy_client(i: int, total: int) -> Program:
 def build_allocator_system(n: int, total: int = 3) -> AllocatorSystem:
     """Pool initialized full, ``n`` polite clients."""
     if n < 1 or total < 1:
-        raise ValueError(f"need n ≥ 1 clients and total ≥ 1 tokens")
+        raise ValueError("need n >= 1 clients and total >= 1 tokens")
     avail = avail_var(total)
     pool = Program(
         "Pool",

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from repro.core.composition import compose_all, lifted
 from repro.core.domains import IntRange
 from repro.core.expressions import Expr, esum, land
-from repro.core.predicates import ExprPredicate, Predicate
+from repro.core.predicates import ExprPredicate
 from repro.core.program import Program
 from repro.core.commands import GuardedCommand
 from repro.core.properties import (

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.commands import GuardedCommand
 from repro.core.composition import compose_all
 from repro.core.domains import EnumDomain
@@ -29,7 +31,6 @@ from repro.core.expressions import land, lnot
 from repro.core.predicates import ExprPredicate, Predicate
 from repro.core.program import Program
 from repro.core.properties import Invariant, LeadsTo
-from repro.core.state import StateSpace
 from repro.core.variables import Locality, Var
 from repro.errors import GraphError
 from repro.graph.neighborhood import NeighborhoodGraph
@@ -39,6 +40,7 @@ __all__ = [
     "PhilosopherSystem",
     "build_philosopher_system",
     "build_philosopher_ring",
+    "build_philosopher_grid",
     "PHASES",
 ]
 
@@ -79,16 +81,15 @@ class PhilosopherSystem:
     def acyclicity_predicate(self) -> Predicate:
         """Acyclicity of the orientation part of the state.
 
-        The priority system's mask is indexed by its own (edge-only) space,
-        so rebuild the predicate as a callable over the extended space.
+        The priority system's mask is indexed by its own (edge-only)
+        space, so the predicate is rebuilt over the extended space — as a
+        batch predicate whose ``mask_at`` runs the vectorized Kahn peel
+        (:func:`repro.graph.acyclicity.acyclic_rows`) on the decoded edge
+        columns of the queried index set, which is what makes grid-scale
+        liveness checks feasible on the sparse tier (the old per-state
+        callable walked a Python ``Orientation`` per reachable state).
         """
-        from repro.core.predicates import FnPredicate
-        from repro.graph.acyclicity import is_acyclic
-
-        def holds(state) -> bool:
-            return is_acyclic(self._orientation_of(state))
-
-        return FnPredicate(holds, "Acyclicity")
+        return _AcyclicityPredicate(self)
 
     def _orientation_of(self, state):
         from repro.graph.orientation import Orientation
@@ -138,10 +139,57 @@ class PhilosopherSystem:
         return LeadsTo(start, self.eating(i))
 
 
+class _AcyclicityPredicate(Predicate):
+    """Acyclicity of the fork orientation, batched over state indices.
+
+    ``holds`` keeps the scalar graph-walk semantics; ``mask_at`` decodes
+    only the edge columns of the queried indices and runs the vectorized
+    Kahn peel, so the sparse tier never pays a per-state Python loop.
+    ``mask`` densifies via ``mask_at`` (guarded by the space's dense
+    capacity) for the small instances the differential suite covers.
+    """
+
+    def __init__(self, system: "PhilosopherSystem") -> None:
+        self._system = system
+
+    def holds(self, state) -> bool:
+        from repro.graph.acyclicity import is_acyclic
+
+        return is_acyclic(self._system._orientation_of(state))
+
+    def mask_at(self, space, idx) -> np.ndarray:
+        from repro.graph.acyclicity import acyclic_rows
+
+        idx = np.asarray(idx, dtype=np.int64)
+        graph = self._system.graph
+        cols = np.empty((idx.shape[0], graph.m), dtype=bool)
+        for k, (a, b) in enumerate(graph.edges):
+            var = space.var_named(f"e[{a},{b}]")
+            cols[:, k] = space.indices_at(var, idx).astype(bool)
+        return acyclic_rows(graph, cols)
+
+    def mask(self, space) -> np.ndarray:
+        space.require_dense("acyclicity mask")
+        return self.mask_at(space, np.arange(space.size, dtype=np.int64))
+
+    def describe(self) -> str:
+        return "Acyclicity"
+
+
 def build_philosopher_component(
-    graph: NeighborhoodGraph, i: int, priority: PrioritySystem
+    graph: NeighborhoodGraph,
+    i: int,
+    priority: PrioritySystem,
+    *,
+    pin_initial_orientation: bool = False,
 ) -> Program:
-    """Philosopher ``i``: phase plus the incident edge variables."""
+    """Philosopher ``i``: phase plus the incident edge variables.
+
+    With ``pin_initial_orientation`` the component's ``initially`` also
+    pins every incident fork to the canonical (id-ordered, acyclic)
+    orientation — shrinking the composed initial set to a single state,
+    which is what keeps grid-scale reachable sets explorable.
+    """
     ph = phase_var(i)
     incident = [edge_var(*graph.edges[k]) for k in graph.incident_edges(i)]
     pr = priority.priority_expr(i)
@@ -160,17 +208,24 @@ def build_philosopher_component(
         ph.ref() == "eat",
         yield_assignments,
     )
+    init_conjuncts = [ph.ref() == "think"]
+    if pin_initial_orientation:
+        # Canonical orientation: every edge variable true (min → max).
+        init_conjuncts.extend(v.ref() for v in incident)
     return Program(
         f"Philosopher[{i}]",
         [ph, *incident],
-        ExprPredicate(ph.ref() == "think"),
+        ExprPredicate(land(*init_conjuncts)),
         [sit, yield_cmd],
         fair=[f"sit[{i}]", f"yield[{i}]"],
     )
 
 
 def build_philosopher_system(
-    graph: NeighborhoodGraph, *, check_init: bool = True
+    graph: NeighborhoodGraph,
+    *,
+    check_init: bool = True,
+    pin_initial_orientation: bool = False,
 ) -> PhilosopherSystem:
     """Build philosophers over ``graph`` (state space ``2^m · 2^n``).
 
@@ -180,13 +235,25 @@ def build_philosopher_system(
     would materialize a full-space mask (satisfiability is obvious here:
     the component ``initially`` predicates constrain disjoint phase
     variables).
+
+    ``pin_initial_orientation=True`` starts every fork in the canonical
+    acyclic orientation (single initial state) and builds the priority
+    substrate with ``init="canonical"``, so no full-space table is touched
+    even when the orientation space alone exceeds the dense capacity —
+    the construction mode of :func:`build_philosopher_grid`.
     """
     for i in graph.nodes():
         if graph.degree(i) == 0:
             raise GraphError(f"philosopher {i} has no neighbours")
-    priority = PrioritySystem(graph)
+    priority = PrioritySystem(
+        graph, init="canonical" if pin_initial_orientation else "acyclic"
+    )
     components = [
-        build_philosopher_component(graph, i, priority) for i in graph.nodes()
+        build_philosopher_component(
+            graph, i, priority,
+            pin_initial_orientation=pin_initial_orientation,
+        )
+        for i in graph.nodes()
     ]
     system = compose_all(
         components, name=f"Philosophers[n={graph.n}]", check_init=check_init
@@ -211,3 +278,24 @@ def build_philosopher_ring(n: int) -> PhilosopherSystem:
     from repro.graph.generators import ring_graph
 
     return build_philosopher_system(ring_graph(n), check_init=False)
+
+
+def build_philosopher_grid(rows: int, cols: int) -> PhilosopherSystem:
+    """Philosophers on a ``rows × cols`` 4-neighbour grid — the
+    beyond-the-old-cap scenario.
+
+    The composed space is ``2^(n+m)`` for ``n = rows·cols`` nodes and
+    ``m = 2·rows·cols − rows − cols`` fork edges, so even small grids
+    blow through every dense capacity (5×5 is ``2^65``).  Forks start in
+    the canonical acyclic orientation (a **single** initial state, pinned
+    through ``pin_initial_orientation``): reachable orientations stay the
+    edge-reversal dynamics' orbit instead of all ``2^m`` orientations,
+    which is what keeps the reachable set explorable while the encoded
+    space grows without bound.  The priority substrate is built with
+    ``init="canonical"``, so nothing of length ``2^m`` is ever allocated.
+    """
+    from repro.graph.generators import grid_graph
+
+    return build_philosopher_system(
+        grid_graph(rows, cols), check_init=False, pin_initial_orientation=True
+    )

@@ -36,7 +36,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.core.composition import compose_all, lifted
-from repro.core.expressions import Expr, land, lnot, lor
+from repro.core.expressions import Expr, land, lnot
 from repro.core.predicates import ExprPredicate, MaskPredicate, Predicate
 from repro.core.program import Program
 from repro.core.commands import GuardedCommand
@@ -70,10 +70,13 @@ def edge_var(i: int, j: int) -> Var:
 class PrioritySystem:
     """The composed §4 system over a concrete conflict graph.
 
-    Construction precomputes, for every orientation (state), the
-    reachability data the §4 proofs quantify over — ``R*``, ``A*``,
-    ``|A*|`` and acyclicity — so that every paper predicate is an O(1)
-    mask lookup (:class:`~repro.core.predicates.MaskPredicate`).
+    The reachability data the §4 proofs quantify over — ``R*``, ``A*``,
+    ``|A*|`` and acyclicity per orientation (state) — is precomputed
+    **lazily** on first use, making every paper predicate an O(1) mask
+    lookup (:class:`~repro.core.predicates.MaskPredicate`) once built.
+    With ``init="canonical"`` construction touches none of it, so the
+    substrate also works over conflict graphs whose orientation space
+    exceeds the dense capacity (the philosopher grids).
     """
 
     def __init__(
@@ -93,23 +96,39 @@ class PrioritySystem:
         self.components = [
             self._build_component(i) for i in graph.nodes()
         ]
-        merged = compose_all(self.components, name="merged")
+        # Skip the semantic initial-state probe: component `initially`
+        # predicates are all TRUE here (satisfiability is trivial), and
+        # the probe would materialize a full-orientation-space mask —
+        # minutes of decode on conflict graphs with ~24+ edges.
+        merged = compose_all(self.components, name="merged", check_init=False)
         space = StateSpace(self.edge_vars)
         self._space = space
-        self._precompute(space)
 
         if isinstance(init, Orientation):
             if init.graph != graph:
                 raise GraphError("initial orientation is for a different graph")
-            init_pred: Predicate = MaskPredicate(
-                space,
-                np.arange(space.size) == self.index_of_orientation(init),
-                f"orientation = {init!r}",
-            )
+            # One-hot as an *expression* over the edge variables (each
+            # pinned to its orientation bit) — no full-space mask, so a
+            # specific start orientation works at any graph size, and the
+            # sparse tier can enumerate it like the canonical one.
+            init_pred: Predicate = ExprPredicate(land(*(
+                var.ref() if init.bits & bit(k) else lnot(var.ref())
+                for k, var in enumerate(self.edge_vars)
+            )))
         elif init == "acyclic":
             init_pred = self.acyclicity_predicate()
+        elif init == "canonical":
+            # The id-ordered orientation (every edge min → max, i.e. all
+            # edge variables true) — acyclic by construction, and an
+            # *expression* predicate, so the sparse tier can enumerate it
+            # without the precomputed full-space tables this class
+            # otherwise builds lazily.
+            init_pred = ExprPredicate(land(*(v.ref() for v in self.edge_vars)))
         else:
-            raise GraphError(f"init must be an Orientation or 'acyclic', got {init!r}")
+            raise GraphError(
+                f"init must be an Orientation, 'acyclic', or 'canonical', "
+                f"got {init!r}"
+            )
 
         self.system = Program(
             f"PrioritySystem[n={graph.n},m={graph.m}]",
@@ -181,32 +200,66 @@ class PrioritySystem:
 
     # -- precomputed graph tables ----------------------------------------------------
 
-    def _precompute(self, space: StateSpace) -> None:
+    @cached_property
+    def _graph_tables(self) -> tuple[np.ndarray, ...]:
+        """Per-orientation reachability tables, built **lazily** on first
+        use.
+
+        Only the mask-backed paper predicates (``A*``, ``R*``, acyclicity)
+        need these full-space tables; ``priority_expr`` and the component
+        programs do not.  Laziness is what lets downstream users (the
+        philosopher grids) build the §4 substrate over conflict graphs
+        whose orientation space dwarfs the dense capacity — as long as
+        they stick to expression predicates, nothing of length ``2^m`` is
+        ever allocated.
+        """
         graph = self.graph
+        space = self._space
+        space.require_dense("precomputing the §4 reachability tables")
         n, m, size = graph.n, graph.m, space.size
         # Edge var k has stride 2^(m-1-k): state index ↔ bit-reversed bits.
         idx = np.arange(size, dtype=np.int64)
         bits = np.zeros(size, dtype=np.int64)
         for k in range(m):
             bits |= ((idx >> (m - 1 - k)) & 1) << k
-        self._bits_of_index = bits
 
-        self._r_star = np.zeros((size, n), dtype=np.int64)
-        self._a_star = np.zeros((size, n), dtype=np.int64)
-        self._a_star_size = np.zeros((size, n), dtype=np.int64)
-        self._acyclic = np.zeros(size, dtype=bool)
+        r_star = np.zeros((size, n), dtype=np.int64)
+        a_star = np.zeros((size, n), dtype=np.int64)
+        a_star_size = np.zeros((size, n), dtype=np.int64)
+        acyclic_arr = np.zeros(size, dtype=bool)
         for s in range(size):
             o = Orientation(graph, int(bits[s]))
             r_all = reach_star_all(o)
             a_all = above_star_all(o)
             acyclic = True
             for i in range(n):
-                self._r_star[s, i] = r_all[i]
-                self._a_star[s, i] = a_all[i]
-                self._a_star_size[s, i] = a_all[i].bit_count()
+                r_star[s, i] = r_all[i]
+                a_star[s, i] = a_all[i]
+                a_star_size[s, i] = a_all[i].bit_count()
                 if r_all[i] & bit(i):
                     acyclic = False
-            self._acyclic[s] = acyclic
+            acyclic_arr[s] = acyclic
+        return bits, r_star, a_star, a_star_size, acyclic_arr
+
+    @property
+    def _bits_of_index(self) -> np.ndarray:
+        return self._graph_tables[0]
+
+    @property
+    def _r_star(self) -> np.ndarray:
+        return self._graph_tables[1]
+
+    @property
+    def _a_star(self) -> np.ndarray:
+        return self._graph_tables[2]
+
+    @property
+    def _a_star_size(self) -> np.ndarray:
+        return self._graph_tables[3]
+
+    @property
+    def _acyclic(self) -> np.ndarray:
+        return self._graph_tables[4]
 
     # -- paper predicates --------------------------------------------------------------
 

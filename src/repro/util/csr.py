@@ -27,6 +27,7 @@ __all__ = [
     "minimal_int_dtype",
     "build_csr",
     "dedup_edges",
+    "union_edges",
     "csr_neighbors",
     "masked_subgraph",
 ]
@@ -37,16 +38,81 @@ def minimal_int_dtype(n: int) -> np.dtype:
     return np.dtype(np.int32) if n < 2**31 else np.dtype(np.int64)
 
 
+#: Largest node count for which the scalar pair key ``src * n + dst`` stays
+#: inside ``int64`` (``isqrt(2**63 - 1)``).  Above it :func:`dedup_edges`
+#: switches to the sort-based fallback instead of a 128-bit key.
+PAIR_KEY_MAX = 3_037_000_499
+
+
 def dedup_edges(src: np.ndarray, dst: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
     """Remove duplicate ``(src, dst)`` pairs (edge multiplicity is
     irrelevant to reachability and SCC structure).
 
-    Encodes pairs as ``src * n + dst`` scalars; ``n`` must satisfy
-    ``n**2 < 2**63``, which the state-space size cap guarantees.
+    For ``n ≤`` :data:`PAIR_KEY_MAX` pairs are encoded as ``src * n + dst``
+    scalars and uniqued in one pass.  Beyond that the product would need an
+    int128, so the overflow-safe fallback lexicographically sorts the pair
+    columns and drops adjacent duplicates — same result, no wide key.
     """
-    key = src.astype(np.int64) * np.int64(n) + dst.astype(np.int64)
-    key = np.unique(key)
-    return key // n, key % n
+    if n <= PAIR_KEY_MAX:
+        key = src.astype(np.int64) * np.int64(n) + dst.astype(np.int64)
+        key = np.unique(key)
+        return key // n, key % n
+    order = np.lexsort((dst, src))
+    s = src[order].astype(np.int64, copy=False)
+    d = dst[order].astype(np.int64, copy=False)
+    if s.size:
+        keep = np.empty(s.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = (s[1:] != s[:-1]) | (d[1:] != d[:-1])
+        s, d = s[keep], d[keep]
+    return s, d
+
+
+#: Node count above which :func:`union_edges` switches from the
+#: single-pass gather to the two-pass preallocated accumulation (the
+#: single pass recomputes nothing but briefly holds every per-table
+#: scratch array at once, which only matters near the dense capacity).
+UNION_TWO_PASS_MIN = 1 << 20
+
+
+def union_edges(
+    n: int, tables: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deduplicated union edge set of successor ``tables``, self-loops
+    dropped, accumulated **chunked per command**.
+
+    Above :data:`UNION_TWO_PASS_MIN` nodes this runs two passes over the
+    tables: the first only counts moved states per table, the second
+    writes each table's ``(src, dst)`` pairs into its slice of one
+    preallocated edge-list pair.  Peak scratch is the edge list plus a
+    single boolean mask — roughly half the old
+    concatenate-a-list-of-per-command-arrays peak, which is what keeps
+    union-CSR assembly feasible for spaces near ``StateSpace.DENSE_MAX``.
+    Small graphs keep the cheaper single pass.
+    """
+    base = np.arange(n, dtype=np.int64)
+    if n < UNION_TWO_PASS_MIN:
+        srcs, dsts = [], []
+        for table in tables:
+            moved = table != base
+            srcs.append(base[moved])
+            dsts.append(table[moved])
+        src = np.concatenate(srcs) if srcs else base[:0]
+        dst = np.concatenate(dsts) if dsts else base[:0]
+        return dedup_edges(src, dst, n)
+    counts = [int(np.count_nonzero(table != base)) for table in tables]
+    total = sum(counts)
+    src = np.empty(total, dtype=np.int64)
+    dst = np.empty(total, dtype=np.int64)
+    pos = 0
+    for table, count in zip(tables, counts):
+        if count == 0:
+            continue
+        moved = table != base
+        src[pos:pos + count] = base[moved]
+        dst[pos:pos + count] = table[moved]
+        pos += count
+    return dedup_edges(src, dst, n)
 
 
 def build_csr(

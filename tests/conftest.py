@@ -13,7 +13,7 @@ import pytest
 from hypothesis import strategies as st
 
 from repro.core.commands import GuardedCommand, Skip
-from repro.core.domains import BoolDomain, IntRange
+from repro.core.domains import IntRange
 from repro.core.expressions import (
     BoolConst,
     Expr,

@@ -6,12 +6,10 @@ closure of the property types, and monotonicity of leads-to.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 
 from repro.core.predicates import ExprPredicate, TRUE
 from repro.core.state import StateSpace
-from repro.core.properties import Stable, Transient
 from repro.semantics.checker import check_stable, check_transient
 from repro.semantics.leadsto import check_leadsto
 from repro.semantics.wp import semantic_wp

@@ -1,11 +1,10 @@
 """Tests for repro.semantics.checker: the paper's inductive semantics of
 init / next / stable / transient / invariant, with counterexamples."""
 
-import pytest
 
 from repro.core.commands import GuardedCommand
 from repro.core.domains import IntRange
-from repro.core.expressions import ite, land, lnot
+from repro.core.expressions import ite, land
 from repro.core.predicates import ExprPredicate, FALSE, TRUE
 from repro.core.program import Program
 from repro.core.variables import Var

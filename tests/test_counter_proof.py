@@ -3,7 +3,7 @@ experiment E2: the derivation checks, and tampering is rejected."""
 
 import pytest
 
-from repro.core.proofs import ConstantExpressions, InvariantIntro, UniversalLift
+from repro.core.proofs import ConstantExpressions, InvariantIntro
 from repro.systems.counter import build_counter_system
 from repro.systems.counter_proof import (
     build_conjunction_demo,

@@ -35,7 +35,6 @@ class TestComponent:
         cs = build_counter_system(2, 2)
         fam = cs.locality_family(0)
         # In the component's own space the foreign c[1] does not exist…
-        from repro.errors import EvaluationError
 
         with pytest.raises(Exception):
             fam.check(cs.components[0])
@@ -110,7 +109,6 @@ class TestNaiveSpecFailures:
         """⟨∀i : C = c_i⟩ initially does not give C = Σ c_i for n ≥ 2
         (unless everything is zero): exhibit a model of the naive inits
         violating the sum."""
-        from repro.core.state import State
         from repro.core.state import StateSpace
         from repro.systems.counter import global_counter_var, local_counter_var
 

@@ -13,7 +13,6 @@ from repro.core.expressions import (
     EqE,
     IntConst,
     Ite,
-    MinE,
     Neg,
     Not,
     esum,

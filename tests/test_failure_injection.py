@@ -7,7 +7,6 @@ weakened, an edge touched without priority, an initial condition loosened)
 and pins which property breaks and how it is reported.
 """
 
-import pytest
 
 from repro.core.commands import GuardedCommand
 from repro.core.expressions import land, lnot

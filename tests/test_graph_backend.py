@@ -1,7 +1,6 @@
 """Tests for the shared CSR graph backend and its CSR kernels."""
 
 import numpy as np
-import pytest
 
 from repro.core.commands import GuardedCommand
 from repro.core.domains import IntRange

@@ -14,11 +14,11 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core.predicates import TRUE, ExprPredicate
-from repro.core.properties import LeadsTo, Stable
+from repro.core.properties import Stable
 from repro.core.rules import Ensures
 from repro.errors import ProofError
 from repro.semantics.leadsto import check_leadsto
-from repro.semantics.scheduler import RandomFairScheduler, RoundRobinScheduler
+from repro.semantics.scheduler import RandomFairScheduler
 from repro.semantics.simulate import run_until, simulate
 from repro.semantics.synthesis import synthesize_leadsto_proof
 

@@ -2,13 +2,12 @@
 inductive strengthening."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 
 from repro.core.commands import GuardedCommand
 from repro.core.domains import IntRange
 from repro.core.expressions import land, lnot
-from repro.core.predicates import ExprPredicate, FALSE, TRUE
+from repro.core.predicates import ExprPredicate, FALSE
 from repro.core.program import Program
 from repro.core.properties import Invariant
 from repro.core.variables import Var

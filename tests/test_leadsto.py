@@ -7,7 +7,6 @@ integration suite cross-validates against trace simulation.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.commands import GuardedCommand
 from repro.core.domains import IntRange

@@ -10,7 +10,7 @@ from repro import errors
 from repro.core.domains import BoolDomain, IntRange
 from repro.core.expressions import Expr
 from repro.core.state import StateSpace
-from repro.core.variables import Locality, Var
+from repro.core.variables import Var
 from repro.dsl import parse_expression_text
 from repro.dsl.elaborate import elaborate_expression
 from repro.semantics.transition import TransitionSystem

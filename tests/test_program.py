@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.commands import GuardedCommand, Skip
 from repro.core.domains import IntRange
-from repro.core.expressions import lnot
 from repro.core.predicates import ExprPredicate, TRUE
 from repro.core.program import Program
 from repro.core.variables import Var

@@ -20,7 +20,7 @@ from repro.core.proofs import (
     StableLeaf,
     UniversalLift,
 )
-from repro.core.variables import Locality, Var
+from repro.core.variables import Var
 from repro.errors import ProofError
 
 X = Var.shared("x", IntRange(0, 3))

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from repro.core.commands import GuardedCommand
 from repro.core.domains import IntRange
 from repro.core.expressions import ite
-from repro.core.predicates import ExprPredicate, FALSE, TRUE
+from repro.core.predicates import ExprPredicate, TRUE
 from repro.core.program import Program
 from repro.core.rules import (
     Disjunction,

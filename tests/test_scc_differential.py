@@ -164,7 +164,6 @@ class TestEmissionOrderPin:
         # synthesized variant metric decreases on every up-step.
         from repro.core.commands import GuardedCommand
         from repro.core.domains import IntRange
-        from repro.core.expressions import Expr  # noqa: F401 - parity import
         from repro.core.predicates import ExprPredicate
         from repro.core.program import Program
         from repro.core.variables import Var

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.commands import GuardedCommand
 from repro.core.domains import IntRange
-from repro.core.predicates import ExprPredicate, TRUE
+from repro.core.predicates import ExprPredicate
 from repro.core.program import Program
 from repro.core.variables import Var
 from repro.semantics.scheduler import (

@@ -32,7 +32,9 @@ from repro.semantics.sparse.explorer import (
 from repro.semantics.strong_fairness import check_leadsto_strong
 from repro.semantics.transition import TransitionSystem
 from repro.systems.allocator import build_allocator_system
+from repro.systems.philosophers import build_philosopher_grid
 from repro.systems.pipeline import build_pipeline_system
+from repro.systems.product import build_pipeline_allocator
 
 
 # ---------------------------------------------------------------------------
@@ -90,6 +92,33 @@ class TestNoFullSpaceAllocation:
         pl = build_pipeline_system(10)
         states = reachable_states(pl.system, limit=1_000)
         assert len(states) == 364
+
+    def test_grid_liveness_end_to_end(self, dense_paths_forbidden):
+        """The 3×3 philosopher grid (2^21 encoded, forks pinned to the
+        canonical orientation) decides liveness through the sparse tier
+        with every dense full-space path forbidden — including the
+        batched acyclicity predicate, whose `mask_at` must decode only
+        frontier-sized edge columns."""
+        ps = build_philosopher_grid(3, 3)
+        assert ps.system.space.size == 2_097_152
+        lv = ps.liveness(0)
+        result = check_leadsto(ps.system, lv.p, lv.q)
+        assert result.holds
+        assert result.witness["tier"] == "sparse"
+        mx = check_reachable_invariant(ps.system, ps.mutual_exclusion().p)
+        assert mx.holds and mx.witness["tier"] == "sparse"
+
+    def test_product_beyond_old_cap_end_to_end(self, dense_paths_forbidden):
+        """The pipeline × allocator product (4^21 ≈ 4.4·10^12 encoded —
+        far beyond the old 64M constructor cap) builds and decides the
+        weak/strong fairness gap without any full-space array."""
+        pa = build_pipeline_allocator(16)
+        assert pa.system.space.size == 4**21
+        d = pa.delivery()
+        weak = check_leadsto(pa.system, d.p, d.q)
+        assert not weak.holds and weak.witness["tier"] == "sparse"
+        strong = check_leadsto_strong(pa.system, d.p, d.q)
+        assert strong.holds and strong.witness["tier"] == "sparse"
 
 
 # ---------------------------------------------------------------------------
@@ -179,11 +208,14 @@ class TestInitialIndices:
 
 
 class TestExplorer:
-    def test_max_states_raises(self):
+    def test_node_limit_raises(self):
         x = Var.shared("x", IntRange(0, 99))
         inc = GuardedCommand("inc", x.ref() < 99, [(x, x.ref() + 1)])
         prog = Program("Long", [x], ExprPredicate(x.ref() == 0), [inc], fair=["inc"])
-        with pytest.raises(ExplorationError, match="max_states"):
+        with pytest.raises(ExplorationError, match="node_limit"):
+            explore(prog, node_limit=10)
+        # The deprecated alias keeps working and hits the same wall.
+        with pytest.raises(ExplorationError, match="node_limit"):
             explore(prog, max_states=10)
 
     def test_seeds_override(self):

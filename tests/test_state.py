@@ -4,10 +4,10 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.domains import BoolDomain, EnumDomain, IntRange
+from repro.core.domains import EnumDomain, IntRange
 from repro.core.state import State, StateSpace
 from repro.core.variables import Var
-from repro.errors import StateError
+from repro.errors import CapacityError, StateError
 
 X = Var.shared("x", IntRange(0, 3))
 B = Var.boolean("b")
@@ -65,10 +65,19 @@ class TestStateSpace:
         with pytest.raises(StateError):
             StateSpace([])
 
-    def test_too_large_rejected(self):
+    def test_too_large_constructs_but_refuses_dense(self):
+        # Capacity moved from the constructor to the dense tier: the space
+        # builds with an exact size, and only full-space materialization
+        # raises (CapacityError, still a StateError for old except sites).
         vars_ = [Var.shared(f"v{i}", IntRange(0, 99)) for i in range(5)]
+        space = StateSpace(vars_)
+        assert space.size == 100**5
         with pytest.raises(StateError):
-            StateSpace(vars_)
+            space.var_arrays()
+        with pytest.raises(CapacityError):
+            space.index_arrays()
+        with pytest.raises(CapacityError):
+            next(space.iter_states())
 
     def test_roundtrip_exhaustive(self):
         space = StateSpace([X, B, P])

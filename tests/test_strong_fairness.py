@@ -1,11 +1,10 @@
 """Tests for the strong-fairness ablation (repro.semantics.strong_fairness)."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.core.commands import AltCommand, GuardedCommand, Skip
 from repro.core.domains import IntRange
-from repro.core.expressions import ite, land, lnot
+from repro.core.expressions import land, lnot
 from repro.core.predicates import ExprPredicate, TRUE
 from repro.core.program import Program
 from repro.core.state import StateSpace

@@ -1,6 +1,5 @@
 """Tests for repro.util: bitsets, tables, RNG helpers."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
