@@ -1,0 +1,87 @@
+"""Sparse certification benchmarks: proof synthesis and kernel re-checking
+on composition stacks decided entirely by the sparse tier.
+
+Assertions pin the certification story (weak refusal, strong kernel-OK,
+confining-path witnesses), so a semantic regression fails the bench run,
+not just the timing.  Smaller instances than the CLI defaults keep the
+measurement rounds honest (the 16-stage product certificate re-checks in
+~13 s — benchmarkable once, not across rounds).
+"""
+
+import pytest
+
+from repro.errors import ProofError
+from repro.semantics.leadsto import check_leadsto
+from repro.semantics.sparse.explorer import reachable_subspace
+from repro.semantics.synthesis import synthesize_leadsto_proof
+from repro.systems.philosophers import build_philosopher_grid
+from repro.systems.product import build_pipeline_allocator
+
+
+@pytest.mark.benchmark(group="sparse-proof")
+def test_sparse_synthesize_product_strong(benchmark):
+    """Strong-fairness certificate synthesis on the 8-stage product
+    (4^13 ≈ 6.7e7 encoded states), reachable subspace shared."""
+    pa = build_pipeline_allocator(8)
+    d = pa.delivery()
+    sub = reachable_subspace(pa.system)
+
+    def run():
+        return synthesize_leadsto_proof(
+            pa.system, d.p, d.q, fairness="strong", subspace=sub
+        )
+
+    proof = benchmark(run)
+    assert len(proof.levels) > 0
+
+
+@pytest.mark.benchmark(group="sparse-proof")
+def test_sparse_check_product_certificate(benchmark):
+    """Kernel re-check of the strong certificate through the
+    reachable-restricted obligation checkers."""
+    pa = build_pipeline_allocator(8)
+    d = pa.delivery()
+    proof = synthesize_leadsto_proof(pa.system, d.p, d.q, fairness="strong")
+
+    def run():
+        return proof.check(pa.system)
+
+    result = benchmark(run)
+    assert result.ok, result.explain()
+
+
+@pytest.mark.benchmark(group="sparse-proof")
+def test_sparse_refusal_with_confining_path(benchmark):
+    """Weak-fairness refusal + confining-path witness on the product."""
+    pa = build_pipeline_allocator(8)
+    d = pa.delivery()
+    reachable_subspace(pa.system)  # shared exploration
+
+    def run():
+        res = check_leadsto(pa.system, d.p, d.q)
+        try:
+            synthesize_leadsto_proof(pa.system, d.p, d.q)
+        except ProofError:
+            return res
+        raise AssertionError("weak synthesis must refuse")
+
+    res = benchmark(run)
+    assert not res.holds and res.witness["tier"] == "sparse"
+    assert res.witness["confining_path"]
+
+
+@pytest.mark.benchmark(group="sparse-proof")
+def test_sparse_synthesize_grid(benchmark):
+    """Weak-fairness certificate synthesis on the 3×3 philosopher grid
+    (2e6 encoded, prefix exit ladder keeps this linear in levels)."""
+    ps = build_philosopher_grid(3, 3)
+    lv = ps.liveness(0)
+    sub = reachable_subspace(ps.system)
+
+    def run():
+        return synthesize_leadsto_proof(
+            ps.system, lv.p, lv.q, subspace=sub
+        )
+
+    proof = benchmark(run)
+    assert len(proof.levels) > 100

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Certify the sparse tier: proofs and witness paths at 10^12 states.
+
+The sparse engine doesn't just *decide* properties of beyond-dense
+composition stacks — it *certifies* them, both ways:
+
+- a failing ``p ↝ q`` comes with witness paths: a BFS-parent command
+  path showing the violating state is reachable, and a ``¬q``-confined
+  walk into a fair SCC (the scheduler's avoidance strategy, state by
+  state);
+- a holding ``p ↝ q`` comes with a synthesized induction certificate —
+  one ``Ensures`` per SCC of the safe region, closed by a
+  ``MetricInduction`` over the canonical sinks-first SCC emission order
+  — whose every obligation the proof kernel re-discharges through the
+  reachable-restricted checkers.  Nothing of length ``space.size`` is
+  ever allocated.
+
+The exhibit is the pipeline∘allocator composition (4^21 ≈ 4.4e12
+encoded states, 1 771 reachable): delivery fails under weak fairness
+(starvation) and holds under strong — the sparse tier refuses the weak
+certificate with a confining path, and kernel-checks the strong one.
+
+Run:  python examples/sparse_certificate.py
+"""
+
+import time
+
+from repro.errors import ProofError
+from repro.semantics import check_leadsto
+from repro.semantics.synthesis import synthesize_leadsto_proof
+from repro.systems.product import build_pipeline_allocator
+
+
+def main() -> None:
+    pa = build_pipeline_allocator(16)
+    program = pa.system
+    d = pa.delivery()
+    print(f"{program!r}")
+    print(f"encoded space : {program.space.size:,} states")
+
+    # 1. The weak-fairness failure, certified by witness paths.
+    res = check_leadsto(program, d.p, d.q)
+    assert not res.holds and res.witness["tier"] == "sparse"
+    path, cmds = res.witness["path"], res.witness["path_commands"]
+    confining = res.witness["confining_path"]
+    print(f"\nweak fairness : FAILS from {res.witness['state']!r}")
+    print(f"  reached in {len(path) - 1} step(s): {' -> '.join(cmds)}")
+    print(f"  confining path ({len(confining)} ¬q-state(s) into a fair SCC):")
+    for state in confining[:4]:
+        print(f"    {state!r}")
+
+    # ... and the synthesizer refuses, as it must:
+    try:
+        synthesize_leadsto_proof(program, d.p, d.q)
+    except ProofError as exc:
+        print(f"  synthesis refuses: {str(exc)[:90]}...")
+
+    # 2. The strong-fairness verdict, certified by a kernel-checked proof.
+    t0 = time.perf_counter()
+    proof = synthesize_leadsto_proof(program, d.p, d.q, fairness="strong")
+    synth_dt = time.perf_counter() - t0
+    hist = proof.rule_histogram()
+    print(f"\nstrong fairness: certificate with {len(proof.levels)} variant "
+          f"levels, {proof.count_nodes()} rule applications "
+          f"(synthesized in {synth_dt * 1e3:.0f} ms)")
+    print("  rules:", ", ".join(f"{k}×{v}" for k, v in sorted(hist.items())))
+
+    t0 = time.perf_counter()
+    check = proof.check(program)
+    check_dt = time.perf_counter() - t0
+    print(f"  kernel re-check: {check.explain()} ({check_dt:.1f} s)")
+    assert check.ok
+
+
+if __name__ == "__main__":
+    main()

@@ -16,14 +16,19 @@ Commands
     Re-run the paper's experiment suite (EXPERIMENTS.md) and print the
     verdict table.
 ``scenario NAME [--stages N] [--n N] [--total T] [--rows R] [--cols C]
-[--clients K]``
+[--clients K] [--prove]``
     Build one of the scaled composition scenarios (``pipeline``,
     ``philosophers``, ``grid``, ``product``), explore its reachable
     subspace through the engine tier the size selects (sparse above the
     threshold), and check its headline properties.  ``grid`` and
     ``product`` routinely exceed the old 64M dense cap by orders of
     magnitude (``product`` defaults to ≈ 4.4 · 10¹² encoded states).
-    ``scenario list`` enumerates the scenarios.
+    ``--prove`` certifies each leads-to verdict: holding properties get a
+    synthesized, kernel-checked induction certificate (built on the
+    reachable subspace when the space routes sparse — nothing of length
+    ``space.size`` is allocated), failing ones get the confining-path
+    witness printed state by state.  ``scenario list`` enumerates the
+    scenarios.
 """
 
 from __future__ import annotations
@@ -108,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="grid columns (grid scenario)")
     p_scen.add_argument("--clients", type=int, default=3,
                         help="competing allocator clients (product scenario)")
+    p_scen.add_argument(
+        "--prove", action="store_true",
+        help="certify each leads-to verdict: synthesize and kernel-check a "
+             "proof certificate for holding properties, and print the "
+             "confining-path witness for failing ones (sparse scenarios "
+             "never allocate full-space arrays)",
+    )
     return parser
 
 
@@ -324,7 +336,69 @@ def _cmd_scenario(args) -> int:
         verdict = "as expected" if result.holds == expected else "UNEXPECTED"
         print(f"{result.explain()}  [{label}: {verdict}]")
         failures += result.holds != expected
+        if args.prove:
+            failures += _prove_leadsto(
+                program, prop, result, strong=strong
+            )
     return 1 if failures else 0
+
+
+#: Certificates above this many induction levels are synthesized but not
+#: kernel-checked by ``scenario --prove`` (the check re-discharges ~10
+#: obligations per level; a 4×4 grid certificate has ~43 000 levels).
+PROVE_CHECK_MAX_LEVELS = 10_000
+
+
+def _prove_leadsto(program, prop, result, *, strong: bool) -> int:
+    """Certify one scenario leads-to verdict (the ``--prove`` path).
+
+    Holding properties get a synthesized kernel certificate (sparse-tier
+    induction over the reachable subspace when the space routes sparse);
+    failing ones get the confining-path witness printed state by state.
+    Returns 1 on certification failure, 0 otherwise.
+    """
+    from repro.errors import ProofError
+    from repro.semantics.synthesis import synthesize_leadsto_proof
+
+    fairness = "strong" if strong else "weak"
+    if not result.holds:
+        path = result.witness.get("confining_path")
+        reach = result.witness.get("path")
+        if reach:
+            print(f"    reached in {len(reach) - 1} step(s) via "
+                  f"{' -> '.join(result.witness.get('path_commands', []))}")
+        if path:
+            print(f"    confining path ({len(path)} ¬q-state(s) into a "
+                  "fair SCC):")
+            for state in path[:8]:
+                print(f"      {state!r}")
+            if len(path) > 8:
+                print(f"      … {len(path) - 8} more")
+        # A failing property must also make the synthesizer refuse.
+        try:
+            synthesize_leadsto_proof(
+                program, prop.p, prop.q, fairness=fairness
+            )
+        except ProofError as exc:
+            print(f"    synthesis refuses (as it must): {exc}")
+            return 0
+        print("    UNEXPECTED: synthesis produced a proof of a failing "
+              "property")
+        return 1
+    proof = synthesize_leadsto_proof(program, prop.p, prop.q, fairness=fairness)
+    hist = proof.rule_histogram()
+    shape = ", ".join(f"{k}×{v}" for k, v in sorted(hist.items()))
+    n_levels = len(getattr(proof, "levels", ()))
+    print(f"    certificate: {proof.count_nodes()} rule applications "
+          f"({shape}), {n_levels} variant levels, {fairness} fairness")
+    if n_levels > PROVE_CHECK_MAX_LEVELS:
+        print(f"    kernel check skipped ({n_levels} levels > "
+              f"{PROVE_CHECK_MAX_LEVELS}; rerun on a smaller instance for "
+              "an end-to-end checked certificate)")
+        return 0
+    check = proof.check(program)
+    print(f"    {check.explain()}")
+    return 0 if check.ok else 1
 
 
 _COMMANDS = {

@@ -15,6 +15,13 @@ This module provides those state predicates, in three flavours:
 - :class:`MaskPredicate` — backed by a precomputed boolean mask over one
   specific state space (used by the priority system, which precomputes
   reachability sets for all orientations once).
+- :class:`SupportPredicate` — backed by a sorted array of **member state
+  indices** of one specific space: true exactly on those states.  The
+  sparse-tier twin of :class:`MaskPredicate`: membership is decided by
+  binary search, so the predicate never allocates anything of length
+  ``space.size``.  The sparse proof synthesizer
+  (:mod:`repro.semantics.synthesis`) builds its induction levels from
+  these.
 
 All flavours compose with ``& | ~`` and :meth:`Predicate.implies`, and can
 be compared semantically over a space (:meth:`Predicate.equivalent`,
@@ -38,12 +45,15 @@ from repro.core.expressions import (
 from repro.core.state import State, StateSpace
 from repro.core.variables import Var
 from repro.errors import PropertyError
+from repro.util.csr import in_sorted
 
 __all__ = [
     "Predicate",
     "ExprPredicate",
     "FnPredicate",
     "MaskPredicate",
+    "SupportPredicate",
+    "PrefixSupportPredicate",
     "TRUE",
     "FALSE",
     "forall_range",
@@ -265,6 +275,155 @@ class MaskPredicate(Predicate):
 
     def describe(self) -> str:
         return self._description
+
+
+class SupportPredicate(Predicate):
+    """Predicate true exactly on a sorted set of member state indices.
+
+    The sparse-tier counterpart of :class:`MaskPredicate`: instead of a
+    length-``space.size`` boolean mask it stores the (typically tiny)
+    sorted ``int64`` array of satisfying **global indices**, so it can
+    describe subsets of spaces far beyond the dense capacity.  Membership
+    queries (:meth:`holds`, :meth:`mask_at`) are binary searches; the
+    full-mask path (:meth:`mask`) exists only for dense-capable spaces —
+    it scatters the members and is guarded by
+    :meth:`~repro.core.state.StateSpace.require_dense`, which is what the
+    small-instance differential tests rely on.
+    """
+
+    __slots__ = ("space", "members", "_description")
+
+    def __init__(
+        self, space: StateSpace, members: np.ndarray, description: str
+    ) -> None:
+        members = np.asarray(members, dtype=np.int64)
+        if members.ndim != 1:
+            raise PropertyError("support members must be a 1-d index array")
+        if members.size and (
+            members[0] < 0
+            or members[-1] >= space.size
+            or np.any(members[1:] <= members[:-1])
+        ):
+            raise PropertyError(
+                "support members must be strictly increasing indices "
+                f"inside [0, {space.size})"
+            )
+        self.space = space
+        self.members = members
+        self._description = description
+
+    def _check_space(self, space: StateSpace) -> None:
+        if space != self.space:
+            raise PropertyError(
+                "SupportPredicate consulted against a different state space"
+            )
+
+    def holds(self, state: State) -> bool:
+        i = self.space.index_of(state)
+        pos = int(np.searchsorted(self.members, i))
+        return pos < self.members.size and int(self.members[pos]) == i
+
+    def mask(self, space: StateSpace) -> np.ndarray:
+        self._check_space(space)
+        space.require_dense("materializing a SupportPredicate mask")
+        out = np.zeros(space.size, dtype=bool)
+        out[self.members] = True
+        return out
+
+    def mask_at(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        self._check_space(space)
+        idx = np.asarray(idx, dtype=np.int64)
+        return in_sorted(self.members, idx)
+
+    def count(self, space: StateSpace) -> int:
+        self._check_space(space)
+        return int(self.members.size)
+
+    def is_satisfiable(self, space: StateSpace) -> bool:
+        self._check_space(space)
+        return self.members.size > 0
+
+    def witness(self, space: StateSpace) -> State | None:
+        self._check_space(space)
+        if self.members.size == 0:
+            return None
+        return space.state_at(int(self.members[0]))
+
+    def describe(self) -> str:
+        return self._description
+
+
+class PrefixSupportPredicate(SupportPredicate):
+    """Support restricted to members ranked below a cutoff.
+
+    A family of these shares one sorted ``members`` array and one
+    parallel ``ranks`` array; predicate ``n`` is true exactly on the
+    members with ``rank < n``.  This is the shape of the proof
+    synthesizer's *exit ladder* — ``exit[n]`` is "some level below ``n``"
+    — where building each rung as its own :class:`SupportPredicate` would
+    cost a re-sorted prefix union per level (quadratic in certificate
+    size).  Membership stays one binary search plus a rank gate.
+    """
+
+    __slots__ = ("ranks", "cutoff")
+
+    def __init__(
+        self,
+        space: StateSpace,
+        members: np.ndarray,
+        ranks: np.ndarray,
+        cutoff: int,
+        description: str,
+    ) -> None:
+        super().__init__(space, members, description)
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.shape != self.members.shape:
+            raise PropertyError(
+                f"rank array shape {ranks.shape} does not match the "
+                f"{self.members.shape[0]} support members"
+            )
+        self.ranks = ranks
+        self.cutoff = int(cutoff)
+
+    def holds(self, state: State) -> bool:
+        i = self.space.index_of(state)
+        pos = int(np.searchsorted(self.members, i))
+        return (
+            pos < self.members.size
+            and int(self.members[pos]) == i
+            and int(self.ranks[pos]) < self.cutoff
+        )
+
+    def mask(self, space: StateSpace) -> np.ndarray:
+        self._check_space(space)
+        space.require_dense("materializing a PrefixSupportPredicate mask")
+        out = np.zeros(space.size, dtype=bool)
+        out[self.members[self.ranks < self.cutoff]] = True
+        return out
+
+    def mask_at(self, space: StateSpace, idx: np.ndarray) -> np.ndarray:
+        self._check_space(space)
+        idx = np.asarray(idx, dtype=np.int64)
+        if self.members.size == 0:
+            return np.zeros(idx.shape[0], dtype=bool)
+        pos = np.searchsorted(self.members, idx)
+        clipped = np.minimum(pos, self.members.size - 1)
+        hit = (pos < self.members.size) & (self.members[clipped] == idx)
+        return hit & (self.ranks[clipped] < self.cutoff)
+
+    def count(self, space: StateSpace) -> int:
+        self._check_space(space)
+        return int((self.ranks < self.cutoff).sum())
+
+    def is_satisfiable(self, space: StateSpace) -> bool:
+        return self.count(space) > 0
+
+    def witness(self, space: StateSpace) -> State | None:
+        self._check_space(space)
+        hits = np.flatnonzero(self.ranks < self.cutoff)
+        if hits.size == 0:
+            return None
+        return space.state_at(int(self.members[int(hits[0])]))
 
 
 class _Composite(Predicate):

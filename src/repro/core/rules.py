@@ -23,9 +23,22 @@ plus two *derived* constructions used by the paper's priority proof:
   conclude ``p ↝ q``.  (Derivable from Disjunction + Transitivity by meta-
   induction on ``M``; provided as a rule so certificates stay linear-size.)
 
+One extension leaves the paper's weak-fairness model:
+:class:`StrongTransientBasis` concludes ``true ↝ ¬q`` under **strong**
+fairness (its semantic leaf is the per-SCC enabled-exit criterion of
+:mod:`repro.semantics.strong_fairness`).  ``Ensures(p, q,
+fairness="strong")`` swaps it in for the weak basis, so the synthesizer
+can certify verdicts like the pipeline∘allocator delivery property,
+which holds only under strong fairness.  Certificates containing it are
+judgments of the strong-fairness semantics, not the paper's §2 logic.
+
 Side conditions ("the intermediate predicates agree") are discharged by
 **semantic mask equality** over the program's state space, mirroring the
-paper's free use of predicate calculus between steps.
+paper's free use of predicate calculus between steps.  On sparse-routed
+spaces the equality/entailment helpers and every leaf checker decide the
+reachable-restricted judgment through the frontier kernels (see
+:mod:`repro.semantics.sparse`), so certificates stay checkable on
+composition stacks whose encoded space dwarfs the dense capacity.
 """
 
 from __future__ import annotations
@@ -38,12 +51,14 @@ from repro.core.proofs import (
     ProofFailure,
     ProofNode,
     masks_equal,
+    pred_entails,
 )
 from repro.errors import ProofError
 
 __all__ = [
     "LeadsToProof",
     "TransientBasis",
+    "StrongTransientBasis",
     "Implication",
     "Disjunction",
     "Transitivity",
@@ -67,9 +82,15 @@ class LeadsToProof(ProofNode):
     def conclusion_text(self) -> str:
         return f"{self.lhs().describe()} ~> {self.rhs().describe()}"
 
-    def verify_semantically(self, program) -> bool:
+    def verify_semantically(self, program, *, fairness: str = "weak") -> bool:
         """Cross-check the conclusion with the model checker (not part of
-        kernel checking; used by tests for end-to-end agreement)."""
+        kernel checking; used by tests for end-to-end agreement).  Pass
+        ``fairness="strong"`` for certificates built on
+        :class:`StrongTransientBasis`."""
+        if fairness == "strong":
+            from repro.semantics.strong_fairness import check_leadsto_strong
+
+            return check_leadsto_strong(program, self.lhs(), self.rhs()).holds
         from repro.semantics.leadsto import check_leadsto
 
         return check_leadsto(program, self.lhs(), self.rhs()).holds
@@ -94,6 +115,41 @@ class TransientBasis(LeadsToProof):
 
         result.obligations_checked += 1
         res = check_transient(program, self.q)
+        if not res.holds:
+            result.failures.append(ProofFailure(path, res.explain()))
+
+
+class StrongTransientBasis(LeadsToProof):
+    """``transient[strong] q ⊢ true ↝ ¬q`` — the strong-fairness basis.
+
+    Not one of the paper's rules: it consumes **strong** fairness ("if
+    ``d`` is enabled infinitely often, ``d`` executes while enabled
+    infinitely often").  The semantic leaf is
+    :func:`repro.semantics.strong_fairness.check_transient_strong`: every
+    SCC of the ``q``-subgraph has a fair command that some member enables
+    and that exits the component from every member enabling it, so a
+    strongly-fair run must descend the condensation DAG out of ``q``.
+    Certificates containing this node conclude the strong-fairness
+    judgment (check them end-to-end with
+    ``verify_semantically(program, fairness="strong")``).
+    """
+
+    rule_name = "transient-strong"
+
+    def __init__(self, q: Predicate) -> None:
+        self.q = q
+
+    def lhs(self) -> Predicate:
+        return TRUE
+
+    def rhs(self) -> Predicate:
+        return ~self.q
+
+    def _local_check(self, program, result: ProofCheckResult, path: str) -> None:
+        from repro.semantics.strong_fairness import check_transient_strong
+
+        result.obligations_checked += 1
+        res = check_transient_strong(program, self.q)
         if not res.holds:
             result.failures.append(ProofFailure(path, res.explain()))
 
@@ -258,13 +314,23 @@ class Ensures(LeadsToProof):
 
     Checking an ``Ensures`` node checks exactly this expansion, so the
     kernel's trusted base stays the paper's five rules.
+
+    With ``fairness="strong"`` the expansion's basis is
+    :class:`StrongTransientBasis` instead — the helpful command needs
+    only be *enabled-exiting* on each component of ``p ∧ ¬q``, and the
+    conclusion is the strong-fairness judgment.
     """
 
     rule_name = "ensures"
 
-    def __init__(self, p: Predicate, q: Predicate) -> None:
+    def __init__(
+        self, p: Predicate, q: Predicate, *, fairness: str = "weak"
+    ) -> None:
+        if fairness not in ("weak", "strong"):
+            raise ProofError(f"unknown fairness notion {fairness!r}")
         self.p = p
         self.q = q
+        self.fairness = fairness
         self._expansion: LeadsToProof | None = None
 
     def lhs(self) -> Predicate:
@@ -278,7 +344,10 @@ class Ensures(LeadsToProof):
         if self._expansion is None:
             p, q = self.p, self.q
             pnq = p & ~q
-            basis = TransientBasis(pnq)                 # true ↝ ¬(p∧¬q)
+            if self.fairness == "strong":
+                basis: LeadsToProof = StrongTransientBasis(pnq)
+            else:
+                basis = TransientBasis(pnq)             # true ↝ ¬(p∧¬q)
             psp = PSP(basis, s=pnq, t=p | q)            # (p∧¬q) ↝ X
             to_q = Implication(psp.rhs(), q)            # X ↝ q   (X ≡ q)
             left = Transitivity(psp, to_q)              # (p∧¬q) ↝ q
@@ -365,7 +434,7 @@ class MetricInduction(LeadsToProof):
                     f"level {m}: premise lhs {sub.lhs().describe()} is not "
                     f"the level predicate",
                 ))
-            if not sub.rhs().entails(lower, program.space):
+            if not pred_entails(sub.rhs(), lower, program):
                 result.failures.append(ProofFailure(
                     path,
                     f"level {m}: premise rhs {sub.rhs().describe()} does not "

@@ -53,6 +53,7 @@ from repro.semantics.scheduler import (
 from repro.semantics.simulate import Trace, simulate
 from repro.semantics.strong_fairness import (
     check_leadsto_strong,
+    check_transient_strong,
     fairness_gap,
     strong_fair_scc_analysis,
 )
@@ -98,6 +99,7 @@ __all__ = [
     "simulate",
     "synthesize_leadsto_proof",
     "check_leadsto_strong",
+    "check_transient_strong",
     "fairness_gap",
     "strong_fair_scc_analysis",
     "semantic_wp",

@@ -15,6 +15,18 @@ encoded space is the single vectorized test ``¬p_mask ∨ q_mask[table_c]``.
 Checkers return a :class:`CheckResult` carrying a decoded counterexample
 when the property fails — the failing state, the command, and its successor
 — which the test suite and examples surface directly.
+
+Tier routing.  Spaces above the sparse threshold route every checker here
+to its reachable-restricted twin in
+:mod:`repro.semantics.sparse.checkers` (results carry
+``witness["tier"] == "sparse"``), falling back to the dense tier when the
+sparse tier cannot decide — the same policy ``check_leadsto`` has always
+used.  This is what lets the proof kernel discharge the obligations of
+synthesized certificates on 10¹²-state composition stacks: every leaf
+(``transient``/``next``/validity/``init``) is decided over the reachable
+subspace through the frontier kernels, never a full-space mask.  Callers
+that need the paper's inductive all-states judgment on a large space can
+force the dense tier via ``repro.semantics.sparse.SPARSE_THRESHOLD``.
 """
 
 from __future__ import annotations
@@ -65,12 +77,58 @@ class CheckResult:
         return f"[{status}] {self.kind}: {self.subject}{tail}"
 
 
+#: Lazily-bound ``(sparse package, ExplorationError, sparse checkers)``
+#: triple — resolved once, then reused on every routed check.  The
+#: checkers here sit on proof-kernel hot paths (one call per obligation),
+#: where per-call ``import`` statements would dominate small instances;
+#: the import must still be lazy because :mod:`repro.semantics.sparse`
+#: imports this module.
+_SPARSE_BINDINGS = None
+
+
+def _sparse_bindings():
+    global _SPARSE_BINDINGS
+    if _SPARSE_BINDINGS is None:
+        from repro.errors import ExplorationError
+        from repro.semantics import sparse
+        from repro.semantics.sparse import checkers
+
+        _SPARSE_BINDINGS = (sparse, ExplorationError, checkers)
+    return _SPARSE_BINDINGS
+
+
+def _try_sparse(program: Program, checker_name: str, args, dense_op: str):
+    """Run the sparse twin of a checker when the space routes sparse.
+
+    Returns the sparse :class:`CheckResult`, or ``None`` when the check
+    should run densely — either the space is below the threshold, or the
+    sparse tier failed *and* the space fits the dense tier (beyond
+    ``DENSE_MAX`` the fallback refuses with a
+    :class:`~repro.errors.CapacityError` carrying the sparse failure).
+    """
+    sparse, exploration_error, checkers = _sparse_bindings()
+    space = program.space
+    if not sparse.sparse_enabled(space):
+        return None
+    try:
+        return getattr(checkers, checker_name)(program, *args)
+    except exploration_error as exc:
+        space.require_dense(
+            f"the dense fallback for {dense_op} (sparse tier failed: {exc})"
+        )
+        return None
+
+
 def check_validity(program: Program, p: Predicate, q: Predicate) -> CheckResult:
-    """Predicate-calculus validity ``p ⇒ q`` over the whole space.
+    """Predicate-calculus validity ``p ⇒ q`` over the whole space
+    (reachable-restricted on sparse-routed spaces; see module docstring).
 
     This is the side condition of the paper's *Implication* rule for
     leads-to and of ``init``-weakening steps.
     """
+    routed = _try_sparse(program, "check_validity_sparse", (p, q), "check_validity")
+    if routed is not None:
+        return routed
     space = program.space
     bad = p.mask(space) & ~q.mask(space)
     idx = np.flatnonzero(bad)
@@ -88,6 +146,9 @@ def check_validity(program: Program, p: Predicate, q: Predicate) -> CheckResult:
 
 def check_init(program: Program, p: Predicate) -> CheckResult:
     """``init p``: every state satisfying ``initially`` satisfies ``p``."""
+    routed = _try_sparse(program, "check_init_sparse", (p,), "check_init")
+    if routed is not None:
+        return routed
     space = program.space
     bad = program.initial_mask() & ~p.mask(space)
     idx = np.flatnonzero(bad)
@@ -105,6 +166,9 @@ def check_init(program: Program, p: Predicate) -> CheckResult:
 
 def check_next(program: Program, p: Predicate, q: Predicate) -> CheckResult:
     """``p next q``: every command maps every ``p``-state to a ``q``-state."""
+    routed = _try_sparse(program, "check_next_sparse", (p, q), "check_next")
+    if routed is not None:
+        return routed
     ts = TransitionSystem.for_program(program)
     space = ts.space
     pm = p.mask(space)
@@ -136,7 +200,11 @@ def check_next(program: Program, p: Predicate, q: Predicate) -> CheckResult:
 
 
 def check_stable(program: Program, p: Predicate) -> CheckResult:
-    """``stable p ≡ p next p``."""
+    """``stable p ≡ p next p`` (decided by its sparse twin on routed
+    spaces, densely through :func:`check_next` otherwise)."""
+    routed = _try_sparse(program, "check_stable_sparse", (p,), "check_stable")
+    if routed is not None:
+        return routed
     result = check_next(program, p, p)
     return CheckResult(
         result.holds,
@@ -151,6 +219,9 @@ def check_transient(program: Program, p: Predicate) -> CheckResult:
     """``transient p``: some fair command falsifies ``p`` from every
     ``p``-state.  The witness reports the helpful command when the
     property holds, and per-command failure states when it fails."""
+    routed = _try_sparse(program, "check_transient_sparse", (p,), "check_transient")
+    if routed is not None:
+        return routed
     ts = TransitionSystem.for_program(program)
     space = ts.space
     pm = p.mask(space)

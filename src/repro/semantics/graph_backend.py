@@ -170,6 +170,65 @@ class GraphBackend:
             dist[frontier] = level
         return dist
 
+    def path_between(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        allowed: np.ndarray | None = None,
+    ) -> np.ndarray | None:
+        """Node ids of a shortest path from ``sources`` into ``targets``.
+
+        BFS with parent tracking over the forward CSR: intermediate and
+        target nodes must satisfy ``allowed`` when given (source nodes are
+        not filtered, matching the closure kernels).  Returns the path as
+        an ``int64`` array (first entry a source, last a target), or
+        ``None`` when no such path exists.  This is the witness-path
+        kernel behind the *confining path* diagnostics of the leads-to
+        checkers: with ``allowed = ¬q`` it exhibits a concrete
+        ``¬q``-confined walk from a violating state into a fair SCC.
+        """
+        src_idx = np.flatnonzero(sources)
+        if src_idx.size == 0:
+            return None
+        hit = src_idx[targets[src_idx]]
+        if hit.size:
+            return np.array([int(hit[0])], dtype=np.int64)
+        indptr, nbr = self.forward_csr()
+        # Node-id-sized parents (int32 whenever the graph fits): the only
+        # O(n) scratch of this kernel, kept no wider than the CSR itself.
+        parent = np.full(self.n, -1, dtype=self.dtype)
+        visited = sources.astype(bool).copy()
+        frontier = src_idx
+        while frontier.size:
+            deg = (indptr[frontier + 1] - indptr[frontier]).astype(np.int64)
+            cand = csr_neighbors(indptr, nbr, frontier).astype(
+                np.int64, copy=False
+            )
+            step_src = np.repeat(frontier, deg)
+            keep = ~visited[cand]
+            if allowed is not None:
+                keep &= allowed[cand]
+            cand = cand[keep]
+            step_src = step_src[keep]
+            if cand.size == 0:
+                return None
+            # Keep the first producing edge per node (deterministic in
+            # frontier order) so the parent chain is well defined.
+            uniq, first = np.unique(cand, return_index=True)
+            parent[uniq] = step_src[first]
+            visited[uniq] = True
+            hit = uniq[targets[uniq]]
+            if hit.size:
+                node = int(hit[0])
+                path = [node]
+                while parent[node] >= 0:
+                    node = int(parent[node])
+                    path.append(node)
+                path.reverse()
+                return np.array(path, dtype=np.int64)
+            frontier = uniq
+        return None
+
     # -- SCC ----------------------------------------------------------------
 
     #: Number of per-mask condensations to memoize.  Repeated ``p ↝ q``

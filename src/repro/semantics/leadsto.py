@@ -203,8 +203,12 @@ def check_leadsto(program: Program, p: Predicate, q: Predicate) -> CheckResult:
     """Check ``p ↝ q`` under weak fairness of ``D``.
 
     The witness of a failure contains a ``p``-state from which the
-    scheduler can confine the execution to ``¬q`` forever, plus a state of
-    the fair SCC it settles in.
+    scheduler can confine the execution to ``¬q`` forever, a state of the
+    fair SCC it settles in, and ``witness["confining_path"]`` — a
+    concrete shortest ``¬q``-confined walk from that ``p``-state into the
+    fair SCC (on the sparse tier the witness additionally carries
+    ``witness["path"]``, the BFS-parent command path showing the
+    ``p``-state is reachable).
 
     Spaces above the sparse threshold are decided by the sparse tier over
     the reachable subspace (see :mod:`repro.semantics.sparse`); if the
@@ -241,14 +245,28 @@ def check_leadsto(program: Program, p: Predicate, q: Predicate) -> CheckResult:
                 f"{int(analysis.avoid_mask.sum())} avoidable, none satisfy p"
             ),
         )
-    state = space.state_at(int(idx[0]))
-    # Locate some fair SCC for the diagnostic (any one reachable suffices
-    # for the message; exact path reconstruction is not needed).
+    i = int(idx[0])
+    state = space.state_at(i)
+    # Locate some fair SCC for the diagnostic, plus a concrete confining
+    # path: a ¬q-confined walk from the violating p-state into a fair SCC
+    # — the scheduler's avoidance strategy, state by state.
     fair_state = None
     for k, comp in enumerate(analysis.cond.components):
         if analysis.fair_flags[k]:
             fair_state = space.state_at(int(comp[0]))
             break
+    sources = np.zeros(space.size, dtype=bool)
+    sources[i] = True
+    confining = TransitionSystem.for_program(program).graph().path_between(
+        sources,
+        _fair_seed_mask(analysis.cond, analysis.fair_flags),
+        allowed=analysis.notq_mask,
+    )
+    confining_states = (
+        [space.state_at(int(s)) for s in confining]
+        if confining is not None
+        else [state]
+    )
     return CheckResult(
         False,
         "leadsto",
@@ -261,5 +279,6 @@ def check_leadsto(program: Program, p: Predicate, q: Predicate) -> CheckResult:
             "state": state,
             "fair_scc_state": fair_state,
             "violations": int(idx.size),
+            "confining_path": confining_states,
         },
     )

@@ -33,9 +33,15 @@ induction certificate):
 The invariant is established explicitly by a vectorized Kahn pass over the
 condensed DAG (peel sink components level by level), with ties inside a
 level broken by smallest member state, making the order *canonical*: any
-correct SCC partition yields the same ``Condensation``.  The legacy
-explicit-stack Tarjan is kept as :func:`tarjan_condensation`, the reference
-oracle for randomized differential tests.
+correct SCC partition yields the same ``Condensation``.  Canonicity is
+what makes the invariant **tier-portable**: the sparse engine's local-id
+sub-CSR preserves global index order (``ReachableSubspace.global_ids``
+is sorted), so "smallest member" names the same state on both tiers and
+the local condensation of ``reach ∧ mask`` equals the dense one
+component for component — sparse-synthesized certificates therefore
+carry the same variant metric as dense ones (see ``docs/proofs.md``).
+The legacy explicit-stack Tarjan is kept as :func:`tarjan_condensation`,
+the reference oracle for randomized differential tests.
 """
 
 from __future__ import annotations

@@ -23,7 +23,10 @@ Layout
   :mod:`repro.util.csr` kernels and :mod:`repro.semantics.scc`
   condensation unchanged.
 - :mod:`repro.semantics.sparse.checkers` — leads-to (weak and strong
-  fairness) and reachable-invariant checks over local ids.
+  fairness) and reachable-invariant checks over local ids, plus the
+  reachable-restricted obligation checkers (validity / init / next /
+  stable / transient / strong transient) that discharge the leaves of
+  synthesized proof certificates through the frontier kernels.
 
 Routing
 -------
@@ -42,11 +45,25 @@ exactly on properties whose counterexamples are unreachable (the
 restriction every execution-based interpretation uses anyway).  Each
 sparse :class:`~repro.semantics.checker.CheckResult` records the
 restriction in its message and witness.
+
+Certification.  Since the sparse tier decides judgments, it also
+*certifies* them: :func:`repro.semantics.synthesis.synthesize_leadsto_proof`
+builds reachable-restricted induction certificates directly on a
+:class:`ReachableSubspace`, with levels that are
+:class:`~repro.core.predicates.SupportPredicate` sets of reachable global
+indices and leaf obligations discharged by this package's obligation
+checkers.  The variant metric of those certificates is the **canonical
+sinks-first SCC emission order** of :mod:`repro.semantics.scc`, which the
+local-id sub-CSR reproduces exactly (``global_ids`` is sorted, so local
+ids preserve the global order and every canonical tie-break) — see
+``docs/proofs.md`` for the full invariant and its paper cross-references
+(§2 proof rules, §4.6 metric induction).
 """
 
 from __future__ import annotations
 
 from repro.core.state import StateSpace
+from repro.errors import ExplorationError
 
 from repro.semantics.sparse.explorer import (
     ReachableSubspace,
@@ -56,22 +73,39 @@ from repro.semantics.sparse.explorer import (
 )
 from repro.semantics.sparse.subgraph import assemble_backend
 from repro.semantics.sparse.checkers import (
+    LocalFairAnalysis,
+    check_init_sparse,
     check_leadsto_sparse,
     check_leadsto_strong_sparse,
+    check_next_sparse,
     check_reachable_invariant_sparse,
+    check_stable_sparse,
+    check_transient_sparse,
+    check_transient_strong_sparse,
+    check_validity_sparse,
+    sparse_fair_analysis,
 )
 
 __all__ = [
     "SPARSE_THRESHOLD",
     "sparse_enabled",
+    "routed_subspace",
     "ReachableSubspace",
     "explore",
     "initial_indices",
     "reachable_subspace",
     "assemble_backend",
+    "LocalFairAnalysis",
+    "sparse_fair_analysis",
     "check_leadsto_sparse",
     "check_leadsto_strong_sparse",
     "check_reachable_invariant_sparse",
+    "check_validity_sparse",
+    "check_init_sparse",
+    "check_next_sparse",
+    "check_stable_sparse",
+    "check_transient_sparse",
+    "check_transient_strong_sparse",
 ]
 
 #: Spaces larger than this are routed to the sparse tier by the dense
@@ -90,3 +124,27 @@ SPARSE_THRESHOLD: float = 1_000_000
 def sparse_enabled(space: StateSpace) -> bool:
     """True iff checks over ``space`` should run on the sparse tier."""
     return space.size > SPARSE_THRESHOLD
+
+
+def routed_subspace(program, dense_op: str):
+    """The cached reachable subspace when ``program`` routes sparse.
+
+    The single source of the tier-routing fallback policy for callers
+    that work on the subspace directly (proof side conditions, the proof
+    synthesizer; the routed checkers in :mod:`repro.semantics.checker`
+    wrap their sparse twins the same way).  Returns ``None`` when the
+    caller should run densely — either the space is below the threshold,
+    or the sparse tier failed *and* the space fits the dense tier (beyond
+    ``DENSE_MAX`` the fallback refuses with a
+    :class:`~repro.errors.CapacityError` carrying the sparse failure).
+    """
+    space = program.space
+    if not sparse_enabled(space):
+        return None
+    try:
+        return reachable_subspace(program)
+    except ExplorationError as exc:
+        space.require_dense(
+            f"the dense fallback for {dense_op} (sparse tier failed: {exc})"
+        )
+        return None

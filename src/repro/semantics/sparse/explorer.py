@@ -17,8 +17,23 @@ Two pieces live here:
    search per level; Python work per BFS *level*, not per state).  The
    result is a :class:`ReachableSubspace`: sorted global ids (the local id
    of a state is its rank), per-command **local** successor columns, BFS
-   distances, and the local initial set — everything the sub-CSR assembly
-   (:mod:`repro.semantics.sparse.subgraph`) and the sparse checkers need.
+   distances, **BFS parents** (first-discovery edges, so every reachable
+   state carries a concrete command path back to the initial set — the raw
+   material of the witness paths attached by the sparse checkers and the
+   proof synthesizer's refusal diagnostics), and the local initial set —
+   everything the sub-CSR assembly (:mod:`repro.semantics.sparse.subgraph`)
+   and the sparse checkers need.
+
+Canonical-order invariant (documented; relied on by
+:mod:`repro.semantics.synthesis`): ``global_ids`` is sorted ascending, so
+local ids preserve the global index order.  The canonical sinks-first SCC
+emission of :mod:`repro.semantics.scc` breaks ties by smallest member
+node; because the order-preserving id map keeps "smallest member" the
+same state on both tiers, the local condensation of the sub-CSR equals
+the dense condensation restricted to reachable states *component for
+component, in the same order* — which is exactly what lets the sparse
+proof synthesizer reuse the emission order as its variant metric (cf.
+the paper's §4.6 "induction on the cardinality of A*(i)").
 
 No function in this module allocates an array of length ``space.size``;
 all work is proportional to the reachable set and the frontier.
@@ -36,6 +51,7 @@ from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.core.state import State, StateSpace
 from repro.errors import ExplorationError, PropertyError
+from repro.util.csr import in_sorted
 
 __all__ = [
     "DEFAULT_NODE_LIMIT",
@@ -146,15 +162,6 @@ def initial_indices(
 # ---------------------------------------------------------------------------
 
 
-def _in_sorted(sorted_arr: np.ndarray, vals: np.ndarray) -> np.ndarray:
-    """Membership mask of ``vals`` in the sorted array ``sorted_arr``."""
-    if sorted_arr.size == 0:
-        return np.zeros(vals.shape[0], dtype=bool)
-    pos = np.searchsorted(sorted_arr, vals)
-    clipped = np.minimum(pos, sorted_arr.size - 1)
-    return (pos < sorted_arr.size) & (sorted_arr[clipped] == vals)
-
-
 class ReachableSubspace:
     """The reachable slice of a program's encoded space, on compact ids.
 
@@ -181,11 +188,33 @@ class ReachableSubspace:
         Local ids of the initial states.
     levels:
         Number of BFS levels the exploration ran.
+    parent:
+        BFS parent per local id: the local id of the state whose command
+        application first discovered it (``-1`` for the initial states).
+        Following parents yields a shortest command path back to the
+        initial set (:meth:`path_to_local` / :meth:`witness_path`).
+    parent_cmd:
+        Index into :attr:`mover_names` of the discovering command per
+        local id (``-1`` for the initial states).
+    mover_names:
+        Names of the non-skip commands, in exploration order —
+        the label namespace of :attr:`parent_cmd`.
     """
 
     __slots__ = (
-        "_program_ref", "space", "global_ids", "dist", "init_local",
-        "levels", "_succ", "_enabled", "_graph", "__weakref__",
+        "_program_ref",
+        "space",
+        "global_ids",
+        "dist",
+        "init_local",
+        "levels",
+        "parent",
+        "parent_cmd",
+        "mover_names",
+        "_succ",
+        "_enabled",
+        "_graph",
+        "__weakref__",
     )
 
     def __init__(
@@ -196,6 +225,9 @@ class ReachableSubspace:
         dist: np.ndarray,
         init_local: np.ndarray,
         levels: int,
+        parent: np.ndarray | None = None,
+        parent_cmd: np.ndarray | None = None,
+        mover_names: tuple[str, ...] = (),
     ) -> None:
         self._program_ref = weakref.ref(program)
         self.space = space
@@ -203,6 +235,12 @@ class ReachableSubspace:
         self.dist = dist
         self.init_local = init_local
         self.levels = levels
+        m = int(global_ids.shape[0])
+        self.parent = parent if parent is not None else np.full(m, -1, dtype=np.int64)
+        self.parent_cmd = (
+            parent_cmd if parent_cmd is not None else np.full(m, -1, dtype=np.int64)
+        )
+        self.mover_names = mover_names
         self._succ: dict[str, np.ndarray] = {}
         self._enabled: dict[str, np.ndarray] = {}
         self._graph: object | None = None
@@ -229,7 +267,7 @@ class ReachableSubspace:
         """Map global state indices to local ids (must all be members)."""
         global_idx = np.asarray(global_idx, dtype=np.int64)
         pos = np.searchsorted(self.global_ids, global_idx)
-        ok = _in_sorted(self.global_ids, global_idx)
+        ok = in_sorted(self.global_ids, global_idx)
         if not ok.all():
             missing = global_idx[~ok][:3].tolist()
             raise ExplorationError(
@@ -241,6 +279,36 @@ class ReachableSubspace:
         """Decode local id ``k`` into a :class:`State`."""
         return self.space.state_at(int(self.global_ids[int(k)]))
 
+    # -- witness paths ---------------------------------------------------------
+
+    def path_to_local(self, k: int) -> list[int]:
+        """Local ids of a shortest path from the initial set to ``k``.
+
+        Reconstructed from the BFS parents; the first entry is an initial
+        state, the last is ``k``, and consecutive entries are related by
+        one command application (named by :meth:`witness_path`).
+        """
+        k = int(k)
+        path = [k]
+        while self.parent[path[-1]] >= 0:
+            path.append(int(self.parent[path[-1]]))
+            if len(path) > self.levels + 1:  # pragma: no cover - invariant
+                raise ExplorationError("BFS parent chain exceeds level count")
+        path.reverse()
+        return path
+
+    def witness_path(self, k: int) -> tuple[list[State], list[str]]:
+        """Decoded shortest path from the initial set to local state ``k``.
+
+        Returns ``(states, commands)`` with ``len(commands) ==
+        len(states) - 1``: ``commands[i]`` is the command stepping
+        ``states[i]`` to ``states[i + 1]``.
+        """
+        locs = self.path_to_local(k)
+        states = [self.state_at_local(i) for i in locs]
+        commands = [self.mover_names[int(self.parent_cmd[i])] for i in locs[1:]]
+        return states, commands
+
     # -- per-command columns ---------------------------------------------------
 
     def succ_local(self, command: Command | str) -> np.ndarray:
@@ -250,11 +318,10 @@ class ReachableSubspace:
         total: ``succ_local(c)[k]`` is the local id of ``c``'s successor of
         local state ``k``.
         """
-        cmd = (
-            self.program.command_named(command)
-            if isinstance(command, str)
-            else command
-        )
+        if isinstance(command, str):
+            cmd = self.program.command_named(command)
+        else:
+            cmd = command
         col = self._succ.get(cmd.name)
         if col is None:
             if cmd.is_skip():
@@ -266,11 +333,10 @@ class ReachableSubspace:
 
     def enabled_local(self, command: Command | str) -> np.ndarray:
         """Local enabledness column of one command (length ``size``)."""
-        cmd = (
-            self.program.command_named(command)
-            if isinstance(command, str)
-            else command
-        )
+        if isinstance(command, str):
+            cmd = self.program.command_named(command)
+        else:
+            cmd = command
         col = self._enabled.get(cmd.name)
         if col is None:
             col = cmd.enabled_at(self.space, self.global_ids)
@@ -342,9 +408,7 @@ def explore(
     else:
         start = np.unique(np.asarray(seeds, dtype=np.int64))
         if start.size and (start[0] < 0 or start[-1] >= space.size):
-            raise ExplorationError(
-                f"seed indices outside [0, {space.size})"
-            )
+            raise ExplorationError(f"seed indices outside [0, {space.size})")
     if start.size > node_limit:
         raise ExplorationError(
             f"start set of {program.name} already exceeds "
@@ -354,12 +418,17 @@ def explore(
     known = start
     frontier = start
     level_sets = [start]
+    # Per level, aligned with level_sets: the *global* parent index and
+    # mover index that first produced each fresh state (-1 for roots).
+    parent_sets = [np.full(start.shape[0], -1, dtype=np.int64)]
+    pcmd_sets = [np.full(start.shape[0], -1, dtype=np.int64)]
     while frontier.size:
         cols = [cmd.succ_of(space, frontier) for cmd in movers]
         if not cols:
             break
-        cand = np.unique(np.concatenate(cols))
-        fresh = cand[~_in_sorted(known, cand)]
+        all_succ = np.concatenate(cols)
+        cand = np.unique(all_succ)
+        fresh = cand[~in_sorted(known, cand)]
         if fresh.size == 0:
             break
         # Both arrays are sorted and disjoint: a positional insert is the
@@ -371,13 +440,35 @@ def explore(
                 f"node_limit={node_limit} (encoded space {space.size}); "
                 "raise the limit if the workload is expected"
             )
+        # First-discovery parents: among the stacked (command, frontier)
+        # successor entries that land on fresh states, keep the first per
+        # state — deterministic in (command order, frontier order), which
+        # pins the witness paths across runs.
+        take = in_sorted(fresh, all_succ)
+        succ_f = all_succ[take]
+        src_f = np.tile(frontier, len(cols))[take]
+        cmd_ids = np.repeat(np.arange(len(cols), dtype=np.int64), frontier.shape[0])
+        cmd_f = cmd_ids[take]
+        _, first = np.unique(succ_f, return_index=True)
+        parent_sets.append(src_f[first])
+        pcmd_sets.append(cmd_f[first])
         level_sets.append(fresh)
         frontier = fresh
     m = known.shape[0]
     dist = np.full(m, -1, dtype=np.int64)
+    parent = np.full(m, -1, dtype=np.int64)
+    parent_cmd = np.full(m, -1, dtype=np.int64)
     for level, nodes in enumerate(level_sets):
         if nodes.size:
-            dist[np.searchsorted(known, nodes)] = level
+            loc = np.searchsorted(known, nodes)
+            dist[loc] = level
+            pg = parent_sets[level]
+            has = pg >= 0
+            if has.any():
+                ploc = np.full(nodes.shape[0], -1, dtype=np.int64)
+                ploc[has] = np.searchsorted(known, pg[has])
+                parent[loc] = ploc
+                parent_cmd[loc] = pcmd_sets[level]
     return ReachableSubspace(
         program,
         space,
@@ -385,6 +476,9 @@ def explore(
         dist,
         np.searchsorted(known, start) if m else start,
         len(level_sets),
+        parent,
+        parent_cmd,
+        tuple(c.name for c in movers),
     )
 
 

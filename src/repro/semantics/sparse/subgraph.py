@@ -35,11 +35,7 @@ def assemble_backend(sub: ReachableSubspace) -> GraphBackend:
     spaces.  Prefer :meth:`ReachableSubspace.graph`, which caches the
     assembly per subspace.
     """
-    tables = [
-        sub.succ_local(cmd)
-        for cmd in sub.program.commands
-        if not cmd.is_skip()
-    ]
+    tables = [sub.succ_local(cmd) for cmd in sub.program.commands if not cmd.is_skip()]
     return GraphBackend(sub.size, tables)
 
 

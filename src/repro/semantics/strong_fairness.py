@@ -41,7 +41,12 @@ from repro.semantics.checker import CheckResult
 from repro.semantics.leadsto import FairAnalysis, _fair_flags, _fair_seed_mask
 from repro.semantics.transition import TransitionSystem
 
-__all__ = ["strong_fair_scc_analysis", "check_leadsto_strong", "fairness_gap"]
+__all__ = [
+    "strong_fair_scc_analysis",
+    "check_leadsto_strong",
+    "check_transient_strong",
+    "fairness_gap",
+]
 
 
 def strong_fair_scc_analysis(program: Program, q: Predicate) -> FairAnalysis:
@@ -74,6 +79,69 @@ def strong_fair_scc_analysis(program: Program, q: Predicate) -> FairAnalysis:
     return FairAnalysis(
         q_mask=qm, notq_mask=notq, cond=cond, fair_flags=fair_flags,
         avoid_mask=avoid,
+    )
+
+
+def check_transient_strong(program: Program, p: Predicate) -> CheckResult:
+    """``p`` is transient under **strong** fairness of ``D``.
+
+    Finite-state criterion, dual to the per-SCC avoidance test above: no
+    SCC of the ``p``-subgraph passes the strong-fairness test — every
+    component has a helpful ``d ∈ D`` that some member enables and that
+    exits the component from *every* member enabling it, so a
+    strongly-fair execution must keep descending the condensation DAG
+    until it leaves ``p``.  This is the semantic leaf behind
+    :class:`repro.core.rules.StrongTransientBasis`, the rule the proof
+    synthesizer uses to certify strong-fairness leads-to verdicts (e.g.
+    the pipeline∘allocator delivery property, which *fails* under weak
+    fairness).
+
+    Spaces above the sparse threshold are decided reachable-restricted by
+    :func:`repro.semantics.sparse.checkers.check_transient_strong_sparse`.
+    """
+    from repro.semantics.checker import _try_sparse
+
+    routed = _try_sparse(
+        program, "check_transient_strong_sparse", (p,), "check_transient_strong"
+    )
+    if routed is not None:
+        return routed
+    ts = TransitionSystem.for_program(program)
+    space = ts.space
+    subject = f"transient[strong] {p.describe()}"
+    pm = p.mask(space)
+    if not pm.any():
+        return CheckResult(
+            True, "transient-strong", subject,
+            message="p is unsatisfiable (vacuously transient)",
+        )
+    fair_cmds = program.fair_commands
+    cond = ts.graph().condensation(pm)
+    flags = _fair_flags(
+        cond,
+        [ts.tables[cmd.name] for cmd in fair_cmds],
+        enabled=[
+            (lambda c=cmd: c.enabled_mask(space)) for cmd in fair_cmds
+        ],
+    )
+    hit = np.flatnonzero(flags)
+    if hit.size == 0:
+        return CheckResult(
+            True, "transient-strong", subject,
+            message=(
+                f"every SCC of the p-subgraph ({cond.count} component(s)) "
+                "has an enabled exiting fair command"
+            ),
+            witness={"components": cond.count},
+        )
+    state = space.state_at(int(cond.components[int(hit[0])][0]))
+    return CheckResult(
+        False, "transient-strong", subject,
+        message=(
+            "a strongly-fair execution can stay inside p forever "
+            f"(e.g. in the component of {state!r})"
+        ),
+        witness={"state": state, "fair_components": int(hit.size)},
     )
 
 

@@ -6,7 +6,8 @@ creativity.  On *finite* instances, that creative gap closes: whenever the
 fair-SCC model checker validates ``p ↝ q``, this module reconstructs a
 proof object that the kernel re-checks using **only the paper's proof
 system** (Transient, Implication, Disjunction, Transitivity, PSP — via the
-derived ``Ensures`` and ``MetricInduction`` constructions).
+derived ``Ensures`` and ``MetricInduction`` constructions; §2 of the
+paper, and §4.6 for the metric-induction closing step).
 
 Construction.  Work in the ``¬q`` transition graph restricted to the
 *safe* region (states from which ``q`` is inevitable) and to the forward
@@ -15,7 +16,7 @@ closure ``R`` of ``p ∧ ¬q``:
 - every SCC ``H`` of this region is **unfair** — some ``d ∈ D`` has no edge
   staying inside ``H`` — hence ``transient H`` holds with witness ``d``;
 - all other edges of ``H`` stay in ``H`` or exit to lower SCCs or ``q``
-  (Tarjan emission order), hence ``H next (H ∨ exit)``;
+  (canonical sinks-first emission order), hence ``H next (H ∨ exit)``;
 - together: ``H ensures exit(H)`` — one :class:`~repro.core.rules.Ensures`
   step per SCC;
 - the SCC emission order is a well-founded variant, closing the argument
@@ -24,13 +25,50 @@ closure ``R`` of ``p ∧ ¬q``:
 The synthesized certificate is linear in the number of SCCs, and checking
 it is independent of the model checker's verdict — the kernel re-discharges
 every ``transient``/``next``/validity obligation from scratch.
+
+Canonical-order invariant.  The variant metric *is* the SCC emission
+order of :mod:`repro.semantics.scc`: components arrive sinks-first
+(reverse topological, ties by smallest member state), so "every exit goes
+to ``q`` or an earlier level" holds by construction.  That order is
+canonical — any correct SCC partition of the same subgraph re-emits
+identically — and it is preserved verbatim on the sparse tier: a
+:class:`~repro.semantics.sparse.explorer.ReachableSubspace` keeps
+``global_ids`` sorted, local ids preserve global order, so the local-id
+sub-CSR condensation equals the dense condensation restricted to
+reachable states *component for component*.  Dense and sparse synthesis
+therefore produce certificates with identical level structure wherever
+both tiers can run (pinned by ``tests/test_sparse_synthesis.py``).
+
+Tier routing.  Spaces above the sparse threshold synthesize on the
+reachable subspace: levels are
+:class:`~repro.core.predicates.SupportPredicate` sets of reachable global
+indices, obligations are discharged by the reachable-restricted checkers
+of :mod:`repro.semantics.sparse.checkers` through the frontier kernels
+(``Command.succ_of`` / ``Predicate.mask_at``), and nothing of length
+``space.size`` is ever allocated — certificates for 2⁴⁰-state
+compositions in working memory proportional to the *reachable* set.  The
+resulting proof certifies the **reachable-restricted** judgment (the one
+the sparse checkers decide; see the :mod:`repro.semantics.sparse` package
+docstring).
+
+Fairness.  ``fairness="strong"`` certifies the strong-fairness judgment
+instead, swapping the per-level basis for
+:class:`~repro.core.rules.StrongTransientBasis` (each safe-region SCC has
+an *enabled-exiting* fair command rather than an unconditionally exiting
+one) — this is what certifies the pipeline∘allocator delivery property,
+which fails under weak fairness.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.predicates import MaskPredicate, Predicate
+from repro.core.predicates import (
+    MaskPredicate,
+    Predicate,
+    PrefixSupportPredicate,
+    SupportPredicate,
+)
 from repro.core.program import Program
 from repro.core.rules import Ensures, Implication, LeadsToProof, MetricInduction
 from repro.errors import ProofError
@@ -41,16 +79,53 @@ __all__ = ["synthesize_leadsto_proof"]
 
 
 def synthesize_leadsto_proof(
-    program: Program, p: Predicate, q: Predicate
+    program: Program,
+    p: Predicate,
+    q: Predicate,
+    *,
+    fairness: str = "weak",
+    subspace=None,
 ) -> LeadsToProof:
     """Build a kernel-checkable certificate for ``p ↝ q``.
 
     Raises :class:`ProofError` if the property does not hold (no proof
     exists), quoting the model checker's counterexample.
+
+    ``fairness`` selects the scheduler assumption: ``"weak"`` (the
+    paper's model — certificates use only the paper's proof system) or
+    ``"strong"`` (certificates additionally use
+    :class:`~repro.core.rules.StrongTransientBasis`).
+
+    ``subspace`` forces synthesis on an explicit
+    :class:`~repro.semantics.sparse.explorer.ReachableSubspace`; by
+    default spaces above the sparse threshold use the cached reachable
+    subspace and smaller spaces synthesize densely, mirroring the
+    checkers' tier routing.
     """
+    if fairness not in ("weak", "strong"):
+        raise ProofError(f"unknown fairness notion {fairness!r}")
+    if subspace is not None:
+        return _synthesize_sparse(subspace, p, q, fairness)
+    from repro.semantics.sparse import routed_subspace
+
+    sub = routed_subspace(program, "proof synthesis")
+    if sub is not None:
+        return _synthesize_sparse(sub, p, q, fairness)
+    return _synthesize_dense(program, p, q, fairness)
+
+
+def _synthesize_dense(
+    program: Program, p: Predicate, q: Predicate, fairness: str
+) -> LeadsToProof:
+    """Dense-tier synthesis over full-space masks and successor tables."""
     ts = TransitionSystem.for_program(program)
     space = ts.space
-    analysis = fair_scc_analysis(program, q)
+    if fairness == "strong":
+        from repro.semantics.strong_fairness import strong_fair_scc_analysis
+
+        analysis = strong_fair_scc_analysis(program, q)
+    else:
+        analysis = fair_scc_analysis(program, q)
     pm = p.mask(space)
 
     bad = pm & analysis.avoid_mask
@@ -58,7 +133,8 @@ def synthesize_leadsto_proof(
         state = space.state_at(int(np.flatnonzero(bad)[0]))
         raise ProofError(
             f"cannot synthesize a proof of {p.describe()} ~> {q.describe()}: "
-            f"the property fails (scheduler can avoid q from {state!r})"
+            f"the property fails under {fairness} fairness (scheduler can "
+            f"avoid q from {state!r})"
         )
 
     # Restrict to the part of the safe region the obligation actually
@@ -71,9 +147,9 @@ def synthesize_leadsto_proof(
         # p ⇒ q: a single Implication suffices.
         return Implication(p, q)
 
-    # Levels: SCCs intersecting the region, in Tarjan emission (sinks-first)
-    # order.  An SCC intersecting the region is contained in it (regions are
-    # closed and SCC members are mutually reachable).
+    # Levels: SCCs intersecting the region, in canonical emission
+    # (sinks-first) order.  An SCC intersecting the region is contained in
+    # it (regions are closed and SCC members are mutually reachable).
     levels: list[Predicate] = []
     subs: list[LeadsToProof] = []
     lower_mask = q.mask(space).copy()
@@ -90,8 +166,88 @@ def synthesize_leadsto_proof(
             space, lower_mask.copy(), f"exit[{n_level}] (q or lower levels)"
         )
         levels.append(level_pred)
-        subs.append(Ensures(level_pred, exit_pred))
+        subs.append(Ensures(level_pred, exit_pred, fairness=fairness))
         lower_mask |= member_mask
         n_level += 1
+
+    return MetricInduction(p, q, levels, subs)
+
+
+def _synthesize_sparse(sub, p: Predicate, q: Predicate, fairness: str) -> LeadsToProof:
+    """Sparse-tier synthesis over a reachable subspace (local ids only).
+
+    The same construction as :func:`_synthesize_dense`, with every
+    full-space artifact replaced by its local-id twin: the fair analysis
+    runs on the sub-CSR (:func:`~repro.semantics.sparse.checkers.
+    sparse_fair_analysis`), the levels become
+    :class:`~repro.core.predicates.SupportPredicate` sets of reachable
+    global indices, and each ``exit`` predicate is ``q ∨ support(lower
+    levels)`` — a combinator, not a mask.  The certificate concludes the
+    reachable-restricted judgment and is re-checked end to end through
+    the tier-routed obligation checkers.
+    """
+    from repro.semantics.sparse.checkers import sparse_fair_analysis
+
+    space = sub.space
+    analysis = sparse_fair_analysis(sub, q, strong=(fairness == "strong"))
+    pm = sub.pred_mask(p)
+
+    bad = pm & analysis.avoid
+    if bad.any():
+        k = int(np.flatnonzero(bad)[0])
+        state = sub.state_at_local(k)
+        sources = np.zeros(sub.size, dtype=bool)
+        sources[k] = True
+        confining = sub.graph().path_between(
+            sources, analysis.fair_seed_mask(), allowed=analysis.notq
+        )
+        steps = 0 if confining is None else confining.shape[0] - 1
+        raise ProofError(
+            f"cannot synthesize a proof of {p.describe()} ~> {q.describe()}: "
+            f"the property fails under {fairness} fairness on the sparse "
+            f"tier (scheduler can avoid q from reachable {state!r}, "
+            f"reaching a fair SCC in {steps} ¬q-confined step(s))"
+        )
+
+    seeds = pm & analysis.notq
+    region = sub.graph().forward_closure(seeds, allowed=analysis.notq)
+
+    if not region.any():
+        return Implication(p, q)
+
+    comps = [
+        (k, members)
+        for k, members in enumerate(analysis.cond.components)
+        if region[members[0]]
+    ]
+    # Exit ladder: one shared sorted array of all level members with their
+    # level index; exit[n] is the rank-gated prefix "some level below n"
+    # (O(1) per level instead of a re-sorted prefix union per level).
+    all_globals = np.concatenate([sub.global_ids[members] for _, members in comps])
+    all_levels = np.repeat(
+        np.arange(len(comps), dtype=np.int64),
+        [members.shape[0] for _, members in comps],
+    )
+    order = np.argsort(all_globals)
+    sorted_globals = all_globals[order]
+    sorted_levels = all_levels[order]
+
+    levels: list[Predicate] = []
+    subs: list[LeadsToProof] = []
+    for n_level, (k, members) in enumerate(comps):
+        level_pred = SupportPredicate(
+            space,
+            sub.global_ids[members],
+            f"level[{n_level}] (scc #{k}, {members.size} reachable states)",
+        )
+        exit_pred = q | PrefixSupportPredicate(
+            space,
+            sorted_globals,
+            sorted_levels,
+            n_level,
+            f"exit[{n_level}] (lower levels)",
+        )
+        levels.append(level_pred)
+        subs.append(Ensures(level_pred, exit_pred, fairness=fairness))
 
     return MetricInduction(p, q, levels, subs)

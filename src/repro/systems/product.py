@@ -30,8 +30,15 @@ point of the exhibit:
   eventually, and every enabled fair move strictly advances tokens toward
   ``done``.
 
-Both verdicts are decided by the sparse tier end to end (the differential
-suite pins the same verdicts densely on a small instance).
+Both verdicts are decided **and certified** by the sparse tier end to
+end: ``check_leadsto`` refuses delivery under weak fairness with a
+confining-path witness into the starving clients' fair SCC, and
+``synthesize_leadsto_proof(..., fairness="strong")`` produces a
+kernel-checked induction certificate (~1 100 variant levels over the
+1 771 reachable states) without ever allocating a full-space array —
+``python -m repro scenario product --prove`` prints both artifacts.
+The differential suite pins the same verdicts densely on a small
+instance.
 """
 
 from __future__ import annotations
@@ -102,7 +109,10 @@ class PipelineAllocatorSystem:
         under strong fairness** — check it with both
         :func:`~repro.semantics.leadsto.check_leadsto` and
         :func:`~repro.semantics.strong_fairness.check_leadsto_strong` to
-        see the composition-induced fairness gap.
+        see the composition-induced fairness gap, and certify the strong
+        verdict with :func:`~repro.semantics.synthesis.
+        synthesize_leadsto_proof` (``fairness="strong"``), which builds
+        the induction certificate on the reachable subspace.
         """
         return LeadsTo(
             self.conservation_predicate(),

@@ -25,6 +25,7 @@ import numpy as np
 
 __all__ = [
     "minimal_int_dtype",
+    "in_sorted",
     "build_csr",
     "dedup_edges",
     "union_edges",
@@ -36,6 +37,20 @@ __all__ = [
 def minimal_int_dtype(n: int) -> np.dtype:
     """Smallest signed integer dtype able to index ``n`` nodes."""
     return np.dtype(np.int32) if n < 2**31 else np.dtype(np.int64)
+
+
+def in_sorted(sorted_arr: np.ndarray, vals: np.ndarray) -> np.ndarray:
+    """Membership mask of ``vals`` in the sorted array ``sorted_arr``.
+
+    The binary-search membership kernel shared by the sparse explorer's
+    interning BFS and the support-backed predicates
+    (:class:`repro.core.predicates.SupportPredicate`).
+    """
+    if sorted_arr.size == 0:
+        return np.zeros(vals.shape[0], dtype=bool)
+    pos = np.searchsorted(sorted_arr, vals)
+    clipped = np.minimum(pos, sorted_arr.size - 1)
+    return (pos < sorted_arr.size) & (sorted_arr[clipped] == vals)
 
 
 #: Largest node count for which the scalar pair key ``src * n + dst`` stays

@@ -1,0 +1,57 @@
+"""The project documentation never dangles: every relative link in
+``README.md`` and ``docs/*.md`` must resolve (mirrors the CI docs step,
+which runs ``tools/check_links.py`` over the same set)."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links",
+        REPO_ROOT / "tools" / "check_links.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _doc_files() -> list[Path]:
+    return [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+
+def test_docs_exist():
+    names = [p.name for p in _doc_files()]
+    assert "README.md" in names
+    assert "architecture.md" in names
+    assert "proofs.md" in names
+
+
+def test_all_relative_links_resolve():
+    checker = _load_checker()
+    failures = []
+    for path in _doc_files():
+        for lineno, target in checker.broken_links(path):
+            failures.append(f"{path.name}:{lineno}: {target}")
+    assert not failures, "broken doc links: " + ", ".join(failures)
+
+
+def test_checker_flags_broken_links(tmp_path):
+    checker = _load_checker()
+    doc = tmp_path / "doc.md"
+    doc.write_text("[ok](#a) [ext](https://example.com) [bad](missing.md)\n")
+    assert checker.broken_links(doc) == [(1, "missing.md")]
+    assert checker.main([str(doc)]) == 1
+    (tmp_path / "missing.md").write_text("found\n")
+    assert checker.main([str(doc)]) == 0
+
+
+def test_checker_cli_exit_codes(capsys):
+    checker = _load_checker()
+    assert checker.main([]) == 2
+    assert checker.main(["/nonexistent/doc.md"]) == 1
+    capsys.readouterr()

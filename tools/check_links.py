@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in Markdown files.
+
+Usage::
+
+    python tools/check_links.py README.md docs/*.md
+
+Checks every inline Markdown link ``[text](target)`` whose target is a
+relative path: the referenced file (or directory) must exist relative to
+the Markdown file containing the link.  External schemes (``http://``,
+``https://``, ``mailto:``) and pure in-page anchors (``#section``) are
+skipped; an anchor suffix on a relative link (``file.md#section``) is
+stripped before the existence check.
+
+Exits non-zero listing every broken link — the CI docs step runs this
+over ``README.md`` and ``docs/*.md`` so the project documentation never
+dangles.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def broken_links(path: Path) -> list[tuple[int, str]]:
+    """``(line number, target)`` pairs for broken relative links."""
+    out: list[tuple[int, str]] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            resolved = path.parent / target.split("#", 1)[0]
+            if not resolved.exists():
+                out.append((lineno, target))
+    return out
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        for lineno, target in broken_links(path):
+            print(f"{name}:{lineno}: broken link -> {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {len(argv)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
