@@ -1,0 +1,107 @@
+"""Certificate-checking benchmarks: the batched columnar kernel vs the
+per-level oracle.
+
+The batched kernel (:func:`repro.semantics.synthesis.
+check_certificate_batched`) discharges every induction level's
+obligations in one vectorized pass per command; the per-level tree walk
+(:meth:`~repro.core.proofs.ProofNode.check`) stays the differential
+oracle.  The headline entry is the **full CLI-scale pipeline∘allocator
+certificate** (16 stages, 4^21 ≈ 4.4·10¹² encoded states, ~1.1k levels)
+— the per-level oracle needs ~13 s for it (see BENCH_4 commentary), the
+batched kernel tens of milliseconds; the oracle-vs-batched pair on the
+dense ladder makes the same ratio visible inside one snapshot.
+
+Assertions pin verdicts (and oracle/batched agreement), so a semantic
+regression fails the bench run, not just the timing.
+"""
+
+import pytest
+
+from repro.core.commands import GuardedCommand
+from repro.core.domains import IntRange
+from repro.core.predicates import ExprPredicate, TRUE
+from repro.core.program import Program
+from repro.core.variables import Var
+from repro.semantics.sparse.explorer import reachable_subspace
+from repro.semantics.synthesis import (
+    check_certificate_batched,
+    synthesize_leadsto_proof,
+)
+from repro.systems.philosophers import build_philosopher_grid
+from repro.systems.product import build_pipeline_allocator
+
+
+def ladder(depth: int):
+    x = Var.shared("x", IntRange(0, depth))
+    ups = [
+        GuardedCommand(f"up{k}", x.ref() == k, [(x, k + 1)])
+        for k in range(depth)
+    ]
+    prog = Program(
+        "Ladder", [x], ExprPredicate(x.ref() == 0), ups,
+        fair=[f"up{k}" for k in range(depth)],
+    )
+    return prog, ExprPredicate(x.ref() == depth)
+
+
+@pytest.mark.benchmark(group="proof-check")
+def test_batched_check_product_full(benchmark):
+    """Batched kernel check of the full CLI-scale product certificate
+    (16 stages, strong fairness, ~1139 levels) — the certificate the
+    per-level oracle takes ~13 s to re-check."""
+    pa = build_pipeline_allocator(16)
+    d = pa.delivery()
+    proof = synthesize_leadsto_proof(pa.system, d.p, d.q, fairness="strong")
+
+    def run():
+        return check_certificate_batched(proof, pa.system)
+
+    result = benchmark(run)
+    assert result.ok and result.mode == "batched", result.explain()
+    assert len(proof.levels) > 1000
+
+
+@pytest.mark.benchmark(group="proof-check")
+def test_batched_check_grid3x3(benchmark):
+    """Batched check of the 3×3 philosopher-grid weak certificate
+    (~hundreds of levels; the 4×4 instance with ~43k levels checks the
+    same way in ~0.5 s — CLI-scale, too slow to benchmark in rounds)."""
+    ps = build_philosopher_grid(3, 3)
+    lv = ps.liveness(0)
+    sub = reachable_subspace(ps.system)
+    proof = synthesize_leadsto_proof(ps.system, lv.p, lv.q, subspace=sub)
+
+    def run():
+        return check_certificate_batched(proof, ps.system, subspace=sub)
+
+    result = benchmark(run)
+    assert result.ok and result.mode == "batched", result.explain()
+
+
+@pytest.mark.benchmark(group="proof-check")
+@pytest.mark.parametrize("depth", [64], ids=lambda d: f"depth{d}")
+def test_batched_check_ladder(benchmark, depth):
+    """Dense tier, batched: one vectorized pass over a 64-level ladder."""
+    prog, target = ladder(depth)
+    proof = synthesize_leadsto_proof(prog, TRUE, target)
+
+    def run():
+        return check_certificate_batched(proof, prog)
+
+    result = benchmark(run)
+    assert result.ok and result.mode == "batched", result.explain()
+
+
+@pytest.mark.benchmark(group="proof-check")
+@pytest.mark.parametrize("depth", [64], ids=lambda d: f"depth{d}")
+def test_perlevel_oracle_ladder(benchmark, depth):
+    """Dense tier, per-level oracle on the same ladder certificate —
+    the in-snapshot baseline for the batched entry above."""
+    prog, target = ladder(depth)
+    proof = synthesize_leadsto_proof(prog, TRUE, target)
+
+    def run():
+        return proof.check(prog)
+
+    result = benchmark(run)
+    assert result.ok, result.explain()

@@ -4,8 +4,11 @@ on composition stacks decided entirely by the sparse tier.
 Assertions pin the certification story (weak refusal, strong kernel-OK,
 confining-path witnesses), so a semantic regression fails the bench run,
 not just the timing.  Smaller instances than the CLI defaults keep the
-measurement rounds honest (the 16-stage product certificate re-checks in
-~13 s — benchmarkable once, not across rounds).
+measurement rounds honest.  ``test_sparse_check_product_certificate``
+deliberately times the **per-level oracle** walk — it is the baseline
+the batched columnar kernel (``benchmarks/bench_proof_check.py``, which
+handles the 16-stage certificate the oracle needs ~13 s for) is measured
+against.
 """
 
 import pytest

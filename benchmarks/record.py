@@ -22,7 +22,8 @@ CI smoke (crash check only, no timing, no snapshot)::
 
     PYTHONPATH=src python benchmarks/record.py --smoke
 
-``--smoke`` runs the sparse-tier scenario benchmarks with timing disabled:
+``--smoke`` runs the sparse-tier scenario and certificate-check
+benchmarks with timing disabled:
 it fails on crash or assertion regression, never on a timing regression,
 keeping the committed ``BENCH_<n>.json`` trajectory the only place where
 numbers live.
@@ -64,15 +65,19 @@ def run_benchmarks(targets: list[str], extra: list[str]) -> dict[str, float]:
 def diff(old_path: Path, new_path: Path, *, github: bool = False) -> None:
     old = json.loads(old_path.read_text())["medians"]
     new = json.loads(new_path.read_text())["medians"]
-    # One comparison pass, two renderers: rows are (key, old_s | None,
-    # new_s, ratio | None); old_s/ratio are None for new benchmarks.
+    # One comparison pass over the UNION of ids, two renderers: rows are
+    # (key, old_s | None, new_s | None, ratio | None).  Benchmarks present
+    # in only one snapshot get first-class "new"/"removed" rows — an id
+    # that appears or disappears is trajectory information, not noise to
+    # silently intersect away.
     rows = []
-    for key in sorted(new):
-        if key in old and old[key] > 0:
-            rows.append((key, old[key], new[key], old[key] / new[key]))
-        else:
-            rows.append((key, None, new[key], None))
-    dropped = sorted(set(old) - set(new))
+    for key in sorted(set(old) | set(new)):
+        old_s = old.get(key)
+        new_s = new.get(key)
+        ratio = old_s / new_s if old_s and new_s else None
+        rows.append((key, old_s, new_s, ratio))
+    added = sum(1 for _, old_s, _, _ in rows if old_s is None)
+    removed = sum(1 for _, _, new_s, _ in rows if new_s is None)
     if github:
         print(f"### Benchmark drift: `{old_path.name}` vs fresh run")
         print()
@@ -82,24 +87,34 @@ def diff(old_path: Path, new_path: Path, *, github: bool = False) -> None:
         print("| benchmark | old (ms) | new (ms) | speedup |")
         print("| --- | ---: | ---: | ---: |")
         for key, old_s, new_s, ratio in rows:
-            if ratio is None:
+            if old_s is None:
                 print(f"| `{key}` | — | {new_s * 1e3:.3f} | new |")
+            elif new_s is None:
+                print(f"| `{key}` | {old_s * 1e3:.3f} | — | removed |")
+            elif ratio is None:
+                print(f"| `{key}` | {old_s * 1e3:.3f} | "
+                      f"{new_s * 1e3:.3f} | — |")
             else:
                 print(f"| `{key}` | {old_s * 1e3:.3f} | "
                       f"{new_s * 1e3:.3f} | {ratio:.2f}x |")
-        if dropped:
+        if added or removed:
             print()
-            print("dropped: " + ", ".join(f"`{k}`" for k in dropped))
+            print(f"_{added} new, {removed} removed benchmark id(s)._")
         return
-    width = max((len(k) for k in new), default=0)
+    width = max((len(k) for k, *_ in rows), default=0)
     for key, old_s, new_s, ratio in rows:
-        if ratio is None:
+        if old_s is None:
             print(f"{key:<{width}}  {'new':>9} -> {new_s * 1e3:9.3f}ms")
+        elif new_s is None:
+            print(f"{key:<{width}}  {old_s * 1e3:9.3f}ms -> {'removed':>9}")
+        elif ratio is None:
+            print(f"{key:<{width}}  {old_s * 1e3:9.3f}ms -> "
+                  f"{new_s * 1e3:9.3f}ms")
         else:
             print(f"{key:<{width}}  {old_s * 1e3:9.3f}ms -> "
                   f"{new_s * 1e3:9.3f}ms   {ratio:5.2f}x")
-    if dropped:
-        print("dropped: " + ", ".join(dropped))
+    if added or removed:
+        print(f"({added} new, {removed} removed benchmark id(s))")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -131,6 +146,7 @@ def main(argv: list[str] | None = None) -> int:
         cmd = [
             sys.executable, "-m", "pytest",
             str(BENCH_DIR / "bench_sparse.py"),
+            str(BENCH_DIR / "bench_proof_check.py"),
             "--benchmark-disable", "-q", *args.extra,
         ]
         proc = subprocess.run(cmd, cwd=REPO_ROOT)
@@ -140,7 +156,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     targets = (
-        [str(BENCH_DIR / "bench_leadsto_engine.py")]
+        [
+            str(BENCH_DIR / "bench_leadsto_engine.py"),
+            str(BENCH_DIR / "bench_proof_check.py"),
+        ]
         if args.quick
         else [str(BENCH_DIR)]
     )

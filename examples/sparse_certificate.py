@@ -13,7 +13,10 @@ composition stacks — it *certifies* them, both ways:
   ``MetricInduction`` over the canonical sinks-first SCC emission order
   — whose every obligation the proof kernel re-discharges through the
   reachable-restricted checkers.  Nothing of length ``space.size`` is
-  ever allocated.
+  ever allocated.  The certificate is *columnar* (all level members in
+  one ``SupportTable``), so the batched kernel re-checks all ~1.1k
+  levels in one vectorized pass per command — milliseconds where the
+  per-level walk (kept as the differential oracle) takes ~13 s.
 
 The exhibit is the pipeline∘allocator composition (4^21 ≈ 4.4e12
 encoded states, 1 771 reachable): delivery fails under weak fairness
@@ -27,7 +30,10 @@ import time
 
 from repro.errors import ProofError
 from repro.semantics import check_leadsto
-from repro.semantics.synthesis import synthesize_leadsto_proof
+from repro.semantics.synthesis import (
+    check_certificate_batched,
+    synthesize_leadsto_proof,
+)
 from repro.systems.product import build_pipeline_allocator
 
 
@@ -66,10 +72,14 @@ def main() -> None:
     print("  rules:", ", ".join(f"{k}×{v}" for k, v in sorted(hist.items())))
 
     t0 = time.perf_counter()
-    check = proof.check(program)
+    check = check_certificate_batched(proof, program)
     check_dt = time.perf_counter() - t0
-    print(f"  kernel re-check: {check.explain()} ({check_dt:.1f} s)")
-    assert check.ok
+    rate = len(proof.levels) / check_dt if check_dt > 0 else 0.0
+    print(f"  kernel re-check: {check.explain()}")
+    print(f"  ({check.mode} pass, {check_dt * 1e3:.0f} ms, "
+          f"{rate:,.0f} levels/s; the per-level oracle re-checks the same "
+          "certificate in ~13 s)")
+    assert check.ok and check.mode == "batched"
 
 
 if __name__ == "__main__":

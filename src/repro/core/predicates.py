@@ -54,6 +54,7 @@ __all__ = [
     "MaskPredicate",
     "SupportPredicate",
     "PrefixSupportPredicate",
+    "SupportTable",
     "TRUE",
     "FALSE",
     "forall_range",
@@ -424,6 +425,83 @@ class PrefixSupportPredicate(SupportPredicate):
         if hits.size == 0:
             return None
         return space.state_at(int(self.members[int(hits[0])]))
+
+
+class SupportTable:
+    """Columnar layout for a family of disjoint support sets ("levels").
+
+    The proof synthesizer's induction certificates used to carry one
+    member array per level plus one shared sorted array for the exit
+    ladder; this class makes that sharing explicit and *columnar*: every
+    level's members live in **one** pair of parallel ``int64`` columns,
+
+    - level-major (``stacked`` + CSR ``offsets``): level ``n``'s members
+      are the slice ``stacked[offsets[n]:offsets[n+1]]``, sorted
+      ascending — the layout segmented reductions want
+      (:mod:`repro.semantics.obligations` reduces one flag per level per
+      command over it);
+    - globally sorted (``members`` + ``ranks``): the same entries ordered
+      by state index with their level id alongside — the layout binary
+      searches want (:class:`PrefixSupportPredicate` shares these arrays
+      verbatim, so the whole exit ladder costs one table).
+
+    Levels must be pairwise disjoint (their union strictly increasing),
+    which is what makes the two orderings permutations of each other.
+    :meth:`level_pred` / :meth:`prefix_pred` hand out zero-copy predicate
+    views, so a certificate with 10⁵ levels stores two arrays, not 10⁵.
+    """
+
+    __slots__ = ("space", "stacked", "offsets", "members", "ranks")
+
+    def __init__(self, space: StateSpace, level_members: list[np.ndarray]) -> None:
+        counts = np.array([np.asarray(m).shape[0] for m in level_members], dtype=np.int64)
+        self.space = space
+        self.offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+        self.stacked = (
+            np.concatenate([np.asarray(m, dtype=np.int64) for m in level_members])
+            if level_members
+            else np.empty(0, dtype=np.int64)
+        )
+        order = np.argsort(self.stacked, kind="stable")
+        self.members = self.stacked[order]
+        if self.members.size and (
+            self.members[0] < 0
+            or self.members[-1] >= space.size
+            or np.any(self.members[1:] <= self.members[:-1])
+        ):
+            raise PropertyError(
+                "support-table levels must be disjoint sets of indices "
+                f"inside [0, {space.size})"
+            )
+        self.ranks = np.repeat(
+            np.arange(counts.shape[0], dtype=np.int64), counts
+        )[order]
+
+    @property
+    def n_levels(self) -> int:
+        return int(self.offsets.shape[0] - 1)
+
+    @property
+    def total(self) -> int:
+        """Total member count across all levels."""
+        return int(self.stacked.shape[0])
+
+    def level_members(self, n: int) -> np.ndarray:
+        """Members of level ``n`` (sorted; a zero-copy view)."""
+        return self.stacked[self.offsets[n] : self.offsets[n + 1]]
+
+    def level_pred(self, n: int, description: str) -> SupportPredicate:
+        """Level ``n`` as a :class:`SupportPredicate` view."""
+        return SupportPredicate(self.space, self.level_members(n), description)
+
+    def prefix_pred(self, n: int, description: str) -> PrefixSupportPredicate:
+        """"Some level below ``n``" as a rank-gated view of the shared
+        sorted columns."""
+        return PrefixSupportPredicate(
+            self.space, self.members, self.ranks, n, description
+        )
 
 
 class _Composite(Predicate):

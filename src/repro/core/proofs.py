@@ -134,11 +134,21 @@ class ProofFailure:
 
 @dataclass
 class ProofCheckResult:
-    """Outcome of checking a proof tree."""
+    """Outcome of checking a proof tree.
+
+    ``mode`` records which kernel produced the verdict: ``"per-level"``
+    for the obligation-at-a-time tree walk (:meth:`ProofNode.check`, the
+    differential oracle), ``"batched"`` for the vectorized columnar
+    kernel (:func:`repro.semantics.synthesis.check_certificate_batched`).
+    Both kernels discharge the same obligations and count them the same
+    way; the batched one discharges each obligation family in one
+    segmented pass over all levels instead of one call per level.
+    """
 
     failures: list[ProofFailure] = field(default_factory=list)
     nodes_checked: int = 0
     obligations_checked: int = 0
+    mode: str = "per-level"
 
     @property
     def ok(self) -> bool:

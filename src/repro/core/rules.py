@@ -219,22 +219,26 @@ class Disjunction(LeadsToProof):
         for i, sub in enumerate(self.subs[1:], start=1):
             result.obligations_checked += 1
             if not masks_equal(sub.rhs(), q, program):
-                result.failures.append(ProofFailure(
-                    path,
-                    f"premise {i} concludes a different right-hand side: "
-                    f"{sub.rhs().describe()} vs {q.describe()}",
-                ))
+                result.failures.append(
+                    ProofFailure(
+                        path,
+                        f"premise {i} concludes a different right-hand side: "
+                        f"{sub.rhs().describe()} vs {q.describe()}",
+                    )
+                )
         if self._conclude_lhs is not None:
             fold = self.subs[0].lhs()
             for sub in self.subs[1:]:
                 fold = fold | sub.lhs()
             result.obligations_checked += 1
             if not masks_equal(self._conclude_lhs, fold, program):
-                result.failures.append(ProofFailure(
-                    path,
-                    "declared left-hand side is not equivalent to the "
-                    "disjunction of the premises' left-hand sides",
-                ))
+                result.failures.append(
+                    ProofFailure(
+                        path,
+                        "declared left-hand side is not equivalent to the "
+                        "disjunction of the premises' left-hand sides",
+                    )
+                )
 
 
 class Transitivity(LeadsToProof):
@@ -258,11 +262,14 @@ class Transitivity(LeadsToProof):
     def _local_check(self, program, result: ProofCheckResult, path: str) -> None:
         result.obligations_checked += 1
         if not masks_equal(self.left.rhs(), self.right.lhs(), program):
-            result.failures.append(ProofFailure(
-                path,
-                "intermediate predicates disagree: "
-                f"{self.left.rhs().describe()} vs {self.right.lhs().describe()}",
-            ))
+            result.failures.append(
+                ProofFailure(
+                    path,
+                    "intermediate predicates disagree: "
+                    f"{self.left.rhs().describe()} vs "
+                    f"{self.right.lhs().describe()}",
+                )
+            )
 
 
 class PSP(LeadsToProof):
@@ -323,9 +330,7 @@ class Ensures(LeadsToProof):
 
     rule_name = "ensures"
 
-    def __init__(
-        self, p: Predicate, q: Predicate, *, fairness: str = "weak"
-    ) -> None:
+    def __init__(self, p: Predicate, q: Predicate, *, fairness: str = "weak") -> None:
         if fairness not in ("weak", "strong"):
             raise ProofError(f"unknown fairness notion {fairness!r}")
         self.p = p
@@ -347,11 +352,11 @@ class Ensures(LeadsToProof):
             if self.fairness == "strong":
                 basis: LeadsToProof = StrongTransientBasis(pnq)
             else:
-                basis = TransientBasis(pnq)             # true ↝ ¬(p∧¬q)
-            psp = PSP(basis, s=pnq, t=p | q)            # (p∧¬q) ↝ X
-            to_q = Implication(psp.rhs(), q)            # X ↝ q   (X ≡ q)
-            left = Transitivity(psp, to_q)              # (p∧¬q) ↝ q
-            right = Implication(p & q, q)               # (p∧q) ↝ q
+                basis = TransientBasis(pnq)  # true ↝ ¬(p∧¬q)
+            psp = PSP(basis, s=pnq, t=p | q)  # (p∧¬q) ↝ X
+            to_q = Implication(psp.rhs(), q)  # X ↝ q   (X ≡ q)
+            left = Transitivity(psp, to_q)  # (p∧¬q) ↝ q
+            right = Implication(p & q, q)  # (p∧q) ↝ q
             self._expansion = Disjunction([left, right], conclude_lhs=p)
         return self._expansion
 
@@ -365,9 +370,9 @@ class Ensures(LeadsToProof):
         result.obligations_checked += 1
         exp = self.expand()
         if not masks_equal(exp.rhs(), self.q, program):
-            result.failures.append(ProofFailure(
-                path, "expansion right-hand side is not equivalent to q"
-            ))
+            result.failures.append(
+                ProofFailure(path, "expansion right-hand side is not equivalent to q")
+            )
 
 
 class MetricInduction(LeadsToProof):
@@ -390,6 +395,8 @@ class MetricInduction(LeadsToProof):
         q: Predicate,
         levels: Sequence[Predicate],
         subs: Sequence[LeadsToProof],
+        *,
+        support_table=None,
     ) -> None:
         if len(levels) != len(subs):
             raise ProofError(
@@ -399,6 +406,12 @@ class MetricInduction(LeadsToProof):
         self.q = q
         self.levels = tuple(levels)
         self.subs = tuple(subs)
+        #: Optional :class:`~repro.core.predicates.SupportTable` the levels
+        #: are views of (attached by the synthesizer).  Purely an
+        #: annotation: checking never consults it, but the batched kernel
+        #: driver (:func:`repro.semantics.synthesis.
+        #: check_certificate_batched`) and introspection tools do.
+        self.support_table = support_table
 
     def premises(self) -> tuple[ProofNode, ...]:
         return self.subs
@@ -419,9 +432,11 @@ class MetricInduction(LeadsToProof):
             cover = cover | lv
         res = check_validity(program, self.p, cover)
         if not res.holds:
-            result.failures.append(ProofFailure(
-                path, f"p is not covered by q and the levels: {res.message}"
-            ))
+            result.failures.append(
+                ProofFailure(
+                    path, f"p is not covered by q and the levels: {res.message}"
+                )
+            )
         # Each level's premise must conclude L_m ↝ R with R ⇒ (q ∨ lower
         # levels); the weakening is derivable (Implication + Transitivity),
         # accepting it directly keeps hand-written proofs natural.
@@ -429,15 +444,19 @@ class MetricInduction(LeadsToProof):
         for m, (lv, sub) in enumerate(zip(self.levels, self.subs)):
             result.obligations_checked += 2
             if not masks_equal(sub.lhs(), lv, program):
-                result.failures.append(ProofFailure(
-                    path,
-                    f"level {m}: premise lhs {sub.lhs().describe()} is not "
-                    f"the level predicate",
-                ))
+                result.failures.append(
+                    ProofFailure(
+                        path,
+                        f"level {m}: premise lhs {sub.lhs().describe()} is not "
+                        f"the level predicate",
+                    )
+                )
             if not pred_entails(sub.rhs(), lower, program):
-                result.failures.append(ProofFailure(
-                    path,
-                    f"level {m}: premise rhs {sub.rhs().describe()} does not "
-                    f"entail (q ∨ lower levels)",
-                ))
+                result.failures.append(
+                    ProofFailure(
+                        path,
+                        f"level {m}: premise rhs {sub.rhs().describe()} does not "
+                        f"entail (q ∨ lower levels)",
+                    )
+                )
             lower = lower | lv

@@ -333,7 +333,10 @@ def run_e13() -> list[ExperimentRow]:
     sparse threshold (decided and certified entirely on local ids)."""
     from repro.errors import ProofError
     from repro.semantics.leadsto import check_leadsto
-    from repro.semantics.synthesis import synthesize_leadsto_proof
+    from repro.semantics.synthesis import (
+        check_certificate_batched,
+        synthesize_leadsto_proof,
+    )
     from repro.systems.product import build_pipeline_allocator
 
     pa = build_pipeline_allocator(8)   # 4^13 ≈ 6.7e7 encoded: sparse tier
@@ -364,9 +367,13 @@ def run_e13() -> list[ExperimentRow]:
         proof = synthesize_leadsto_proof(
             pa.system, prop.p, prop.q, fairness="strong"
         )
-        res = proof.check(pa.system)
-        ok = res.ok and proof.verify_semantically(
-            pa.system, fairness="strong"
+        # Batched columnar kernel; the per-level walk stays the oracle
+        # (tests/test_batched_check.py pins their verdict equality).
+        res = check_certificate_batched(proof, pa.system)
+        ok = (
+            res.ok
+            and res.mode == "batched"
+            and proof.verify_semantically(pa.system, fairness="strong")
         )
         return "kernel-OK" if ok else "kernel-FAIL"
 

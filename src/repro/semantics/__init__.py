@@ -63,7 +63,10 @@ from repro.semantics.sparse import (
     reachable_subspace,
     sparse_enabled,
 )
-from repro.semantics.synthesis import synthesize_leadsto_proof
+from repro.semantics.synthesis import (
+    check_certificate_batched,
+    synthesize_leadsto_proof,
+)
 from repro.semantics.transition import TransitionSystem
 from repro.semantics.wp import semantic_wp, wp_agreement
 
@@ -98,6 +101,7 @@ __all__ = [
     "Trace",
     "simulate",
     "synthesize_leadsto_proof",
+    "check_certificate_batched",
     "check_leadsto_strong",
     "check_transient_strong",
     "fairness_gap",

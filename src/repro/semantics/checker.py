@@ -50,6 +50,7 @@ __all__ = [
     "check_transient",
     "check_invariant",
     "check_reachable_invariant",
+    "check_obligations_batched",
 ]
 
 
@@ -232,11 +233,15 @@ def check_transient(program: Program, p: Predicate) -> CheckResult:
         # unsatisfiable predicate is transient.
         if not pm.any():
             return CheckResult(
-                True, "transient", subject,
+                True,
+                "transient",
+                subject,
                 message="p is unsatisfiable (vacuously transient)",
             )
         return CheckResult(
-            False, "transient", subject,
+            False,
+            "transient",
+            subject,
             message="the program has no fair commands (D = ∅)",
         )
     failures: dict[str, Any] = {}
@@ -264,20 +269,70 @@ def check_transient(program: Program, p: Predicate) -> CheckResult:
     )
 
 
+def check_obligations_batched(program: Program, layout):
+    """Dense twin of the batched certificate kernel: discharge every
+    obligation of a columnar certificate over the full encoded space.
+
+    The levels' member indices are used directly as global ids, the
+    cached successor tables of :class:`~repro.semantics.transition.
+    TransitionSystem` supply one gather per command over all level
+    members at once, and enabledness (strong certificates only) is
+    evaluated by the frontier kernel ``Command.enabled_at`` at the member
+    rows.  Called through
+    :func:`repro.semantics.synthesis.check_certificate_batched`; the
+    per-level tree walk (:meth:`~repro.core.proofs.ProofNode.check`)
+    remains the differential oracle.
+    """
+    from repro.semantics.obligations import check_columnar_obligations
+
+    ts = TransitionSystem.for_program(program)
+    space = ts.space
+    commands = [
+        (cmd.name, (lambda ids, t=table: t[ids]))
+        for cmd, table in ts.all_tables()
+    ]
+    fair = [
+        (cmd.name, (lambda ids, t=table: t[ids]))
+        for cmd, table in ts.fair_tables()
+    ]
+
+    def enabled_at(name: str, ids: np.ndarray) -> np.ndarray:
+        return program.command_named(name).enabled_at(space, ids)
+
+    return check_columnar_obligations(
+        n=space.size,
+        p_mask=layout.p.mask(space),
+        q_mask=layout.q.mask(space),
+        level_members=list(layout.level_members),
+        prefix_members=layout.prefix_members,
+        prefix_ranks=layout.prefix_ranks,
+        commands=commands,
+        fair=fair,
+        strong=layout.fairness == "strong",
+        enabled_at=enabled_at,
+        decode=space.state_at,
+        tier="dense tier",
+    )
+
+
 def check_invariant(program: Program, p: Predicate) -> CheckResult:
     """``invariant p ≡ (init p) ∧ (stable p)`` (inductive, full space)."""
     subject = f"invariant {p.describe()}"
     init_res = check_init(program, p)
     if not init_res.holds:
         return CheckResult(
-            False, "invariant", subject,
+            False,
+            "invariant",
+            subject,
             message=f"init part fails: {init_res.message}",
             witness=init_res.witness,
         )
     stab_res = check_stable(program, p)
     if not stab_res.holds:
         return CheckResult(
-            False, "invariant", subject,
+            False,
+            "invariant",
+            subject,
             message=f"stable part fails: {stab_res.message}",
             witness=stab_res.witness,
         )
@@ -316,7 +371,9 @@ def check_reachable_invariant(program: Program, p: Predicate) -> CheckResult:
     subject = f"reachable-invariant {p.describe()}"
     if idx.size == 0:
         return CheckResult(
-            True, "reachable-invariant", subject,
+            True,
+            "reachable-invariant",
+            subject,
             message=f"holds on all {int(reach.sum())} reachable states",
         )
     state = space.state_at(int(idx[0]))

@@ -1,0 +1,393 @@
+"""Batched obligation kernels for columnar induction certificates.
+
+The per-level proof kernel (:meth:`repro.core.proofs.ProofNode.check`)
+discharges roughly ten semantic obligations per induction level — one
+``check_next``/``check_transient``/validity call each, every one paying
+predicate-mask evaluation over the working state set.  For the
+certificates the synthesizer emits (10⁴–10⁵ levels on composition
+stacks), that per-level loop is the entire cost of checking: the 4×4
+philosopher-grid certificate synthesizes in seconds but its ~43k levels
+made the old kernel walk infeasible.
+
+This module is the batched twin.  It exploits the *columnar* certificate
+layout (:class:`repro.core.predicates.SupportTable`): every level's
+members sit in one level-major table, so each obligation family becomes
+**one vectorized pass per command over all levels at once** —
+
+- *coverage* (``p ⇒ q ∨ ⋁ levels``): one membership scatter;
+- *exit-ladder entailment* (``exit[n] ⇒ q ∨ lower levels`` for every
+  ``n``): one cumulative-membership comparison over the shared sorted
+  ``(member, rank)`` columns — each entry is checked against its own
+  tightest cutoff instead of re-deriving the quadratic ``lower`` union
+  per level;
+- *next* (``Lₙ∧¬Eₙ next Lₙ∨Eₙ``): per command, gather the successors of
+  **all** level members once, decide membership by ``np.searchsorted``
+  rank lookups against the stacked table, and reduce one flag per level
+  with a segmented ``bincount``;
+- *weak transient*: same stacked pass per fair command, accumulating
+  "some fair command exits everywhere" per level;
+- *strong transient*: the per-level SCC criterion, evaluated as **one**
+  condensation of the disjoint union of the per-level subgraphs (a
+  "position graph" whose nodes are table entries, so levels never merge)
+  followed by one batched :func:`repro.semantics.leadsto._fair_flags`
+  pass.
+
+Everything else the per-level walk checks — the ``Ensures`` expansion's
+intermediate equalities, the implication leaves ``X ⇒ exit`` and
+``L ∧ exit ⇒ exit``, the declared disjunction left-hand sides — is a
+predicate-calculus tautology *for any table contents* once the
+certificate has the synthesized shape (the driver verifies that shape
+structurally; see :func:`repro.semantics.synthesis.
+check_certificate_batched`).  The batched kernel therefore discharges
+exactly the same obligation set as the per-level oracle and counts it
+identically; ``tests/test_batched_check.py`` pins verdict equality on
+both tiers, including injected-fault certificates.
+
+The kernel is tier-agnostic: it works over a compact id universe
+(global indices on the dense tier, local ids on the sparse tier) through
+a handful of array-valued callables, so nothing here ever allocates an
+array of length ``space.size`` unless the adapter's universe *is* the
+space.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predicates import Predicate
+from repro.core.proofs import ProofCheckResult, ProofFailure
+
+__all__ = ["CertificateLayout", "check_columnar_obligations"]
+
+
+@dataclass
+class CertificateLayout:
+    """The validated columnar view of a synthesized certificate.
+
+    Extracted (and structurally verified) from a
+    :class:`~repro.core.rules.MetricInduction` tree by
+    :func:`repro.semantics.synthesis.check_certificate_batched`; consumed
+    by the tier adapters (:func:`repro.semantics.checker.
+    check_obligations_batched` and :func:`repro.semantics.sparse.checkers.
+    check_obligations_batched_sparse`).
+
+    ``level_members[n]`` is level ``n``'s sorted global-index array (the
+    backing array of its :class:`~repro.core.predicates.SupportPredicate`);
+    ``prefix_members``/``prefix_ranks`` are the shared sorted columns of
+    the rank-gated exit ladder.  The two describe the *same* table for a
+    healthy certificate, but the kernel treats them independently — an
+    injected inconsistency (corrupted member, broken rank gate) must be
+    refused, not assumed away.
+    """
+
+    p: Predicate
+    q: Predicate
+    level_members: list[np.ndarray]
+    prefix_members: np.ndarray
+    prefix_ranks: np.ndarray
+    fairness: str
+
+
+def _rank_lookup(
+    sorted_ids: np.ndarray, ranks: np.ndarray, ids: np.ndarray, sentinel: int
+) -> np.ndarray:
+    """``ranks`` gathered at the positions of ``ids`` in ``sorted_ids``
+    (``sentinel`` where absent)."""
+    out = np.full(ids.shape[0], sentinel, dtype=np.int64)
+    if sorted_ids.size:
+        pos = np.searchsorted(sorted_ids, ids)
+        clipped = np.minimum(pos, sorted_ids.size - 1)
+        hit = (pos < sorted_ids.size) & (sorted_ids[clipped] == ids)
+        out[hit] = ranks[clipped[hit]]
+    return out
+
+
+def _seg_any(level_ids: np.ndarray, flags: np.ndarray, n_levels: int) -> np.ndarray:
+    """Per-level "any flag set" — the segmented reduction over the
+    level-major table (``bincount`` is empty-segment-safe, unlike
+    ``logical_or.reduceat``)."""
+    if not flags.any():
+        return np.zeros(n_levels, dtype=bool)
+    return np.bincount(level_ids[flags], minlength=n_levels) > 0
+
+
+#: Cap on the example states decoded per obligation family (a corrupted
+#: 10⁵-level certificate should refuse with a handful of witnesses, not
+#: one failure record per level).
+_MAX_REPORTED = 5
+
+
+def check_columnar_obligations(
+    *,
+    n: int,
+    p_mask: np.ndarray,
+    q_mask: np.ndarray,
+    level_members: list[np.ndarray],
+    prefix_members: np.ndarray,
+    prefix_ranks: np.ndarray,
+    commands: list[tuple[str, Callable[[np.ndarray], np.ndarray]]],
+    fair: list[tuple[str, Callable[[np.ndarray], np.ndarray]]],
+    strong: bool,
+    enabled_at: Callable[[str, np.ndarray], np.ndarray] | None,
+    decode: Callable[[int], object],
+    tier: str,
+) -> ProofCheckResult:
+    """Discharge every obligation of a columnar certificate, batched.
+
+    All ids live in the adapter's compact universe ``[0, n)``:
+    ``level_members``/``prefix_members`` are the layout's arrays already
+    mapped into it (entries outside the universe dropped — they are
+    invisible to every mask the per-level oracle computes over it).
+    ``commands`` maps **all** commands to successor gathers; ``fair``
+    the fair subset; ``enabled_at`` is required exactly when ``strong``.
+
+    Returns a :class:`~repro.core.proofs.ProofCheckResult` whose verdict,
+    node count and obligation count equal the per-level oracle's on the
+    same certificate.
+    """
+    n_levels = len(level_members)
+    sizes = np.array([m.shape[0] for m in level_members], dtype=np.int64)
+    mem = (
+        np.concatenate(level_members)
+        if n_levels
+        else np.empty(0, dtype=np.int64)
+    )
+    lvl = np.repeat(np.arange(n_levels, dtype=np.int64), sizes)
+    result = ProofCheckResult(mode="batched")
+    # One metric-induction node plus seven nodes per level (ensures and
+    # its six-node expansion); one coverage obligation plus ten per level
+    # — the same accounting the per-level walk produces.
+    result.nodes_checked = 1 + 7 * n_levels
+    result.obligations_checked = 1 + 10 * n_levels
+
+    def report(path: str, message: str, bad_ids: np.ndarray) -> None:
+        shown = bad_ids[:_MAX_REPORTED]
+        states = ", ".join(repr(decode(int(i))) for i in shown)
+        more = (
+            f" (+{bad_ids.size - shown.size} more)"
+            if bad_ids.size > shown.size
+            else ""
+        )
+        result.failures.append(
+            ProofFailure(path, f"{message}: e.g. {states}{more} [{tier}]")
+        )
+
+    # ------------------------------------------------------------------
+    # Coverage: p ⇒ q ∨ ⋁ levels (the metric-induction side condition).
+    # ------------------------------------------------------------------
+    covered = np.zeros(n, dtype=bool)
+    if mem.size:
+        covered[mem] = True
+    bad = np.flatnonzero(p_mask & ~q_mask & ~covered)
+    if bad.size:
+        report(
+            "metric-induction",
+            "p is not covered by q and the levels",
+            bad,
+        )
+
+    # ------------------------------------------------------------------
+    # Exit-ladder entailment: exit[m] ⇒ q ∨ (levels below m), for every
+    # m, collapsed to one pass: each sorted-table entry (s, r) belongs to
+    # every exit[m] with m > r, and the tightest of those demands that s
+    # is in q or in some level ≤ r.  "Some level ≤ r" is a cumulative-
+    # membership comparison against the minimum level actually containing
+    # s (per the level-member arrays, which the gate must agree with).
+    # ------------------------------------------------------------------
+    if mem.size:
+        # np.unique returns first-occurrence indices; mem is level-major,
+        # so the first occurrence of a state carries its minimum level.
+        uniq_mem, first = np.unique(mem, return_index=True)
+        min_level = lvl[first]
+    else:
+        uniq_mem = np.empty(0, dtype=np.int64)
+        min_level = np.empty(0, dtype=np.int64)
+    # Entries whose rank r can gate some checked exit (m ≤ n_levels - 1
+    # needs r < m, i.e. r ≤ n_levels - 2; corrupted negative ranks gate
+    # every exit and are caught by the same comparison).
+    active_gate = prefix_ranks <= n_levels - 2
+    if active_gate.any():
+        gids = prefix_members[active_gate]
+        grank = prefix_ranks[active_gate]
+        glev = _rank_lookup(uniq_mem, min_level, gids, n_levels)
+        viol = ~q_mask[gids] & ~(glev <= grank)
+        vidx = np.flatnonzero(viol)
+        if vidx.size:
+            first_level = int(max(grank[vidx[0]] + 1, 0))
+            report(
+                "metric-induction",
+                f"level {first_level}: premise rhs does not entail "
+                "(q ∨ lower levels) — the rank-gated exit ladder admits "
+                "states outside every lower level",
+                gids[vidx],
+            )
+
+    if n_levels == 0:
+        return result
+
+    # ------------------------------------------------------------------
+    # Stacked-table membership machinery.  Keys (level, member) are
+    # strictly increasing in level-major order, so one searchsorted per
+    # command decides "successor lands in the *same* level" for every
+    # member at once; the hit position doubles as the successor's table
+    # position (the node id of the strong-fairness position graph).
+    # ------------------------------------------------------------------
+    keys = lvl * np.int64(n) + mem
+
+    def same_level_pos(succ: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(hit mask, table position) of each member's successor within
+        its own level; position is the table size where absent."""
+        k = lvl * np.int64(n) + succ
+        pos = np.searchsorted(keys, k)
+        clipped = np.minimum(pos, keys.size - 1)
+        hit = (pos < keys.size) & (keys[clipped] == k)
+        pos = np.where(hit, clipped, keys.size)
+        return hit, pos
+
+    q_mem = q_mask[mem]
+    pr_mem = _rank_lookup(prefix_members, prefix_ranks, mem, n_levels)
+    # pnq: member of its level, outside exit[level] = q ∨ prefix(<level).
+    active = ~q_mem & ~(pr_mem < lvl)
+
+    # ------------------------------------------------------------------
+    # Next + transient, one stacked pass per command.
+    # ------------------------------------------------------------------
+    next_fail = np.zeros(n_levels, dtype=bool)
+    next_example: dict[int, tuple[str, int, int]] = {}
+    trans_ok = np.zeros(n_levels, dtype=bool)
+    fair_names = {name for name, _ in fair}
+    in_level_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, succ_at in commands:
+        succ = succ_at(mem)
+        hit, pos = same_level_pos(succ)
+        in_level_cache[name] = (hit, pos)
+        q_succ = q_mask[succ]
+        pr_succ = _rank_lookup(prefix_members, prefix_ranks, succ, n_levels)
+        # next: successor must be in L ∨ exit = L ∨ q ∨ prefix(<level).
+        bad = active & ~(hit | q_succ | (pr_succ < lvl))
+        fails = _seg_any(lvl, bad, n_levels)
+        fresh = fails & ~next_fail
+        if fresh.any():
+            bad_idx = np.flatnonzero(bad)
+            _, firsts = np.unique(lvl[bad_idx], return_index=True)
+            for j in firsts:
+                i = int(bad_idx[int(j)])
+                next_example.setdefault(
+                    int(lvl[i]), (name, int(mem[i]), int(succ[i]))
+                )
+            next_fail |= fails
+        if not strong and name in fair_names:
+            # weak transient: succ stays in the same level's pnq set; a
+            # fair command is helpful for a level iff no member is stuck.
+            stuck = active & hit & ~q_succ & ~(pr_succ < lvl)
+            trans_ok |= ~_seg_any(lvl, stuck, n_levels)
+
+    for m in sorted(next_example)[:_MAX_REPORTED]:
+        name, src, dst = next_example[m]
+        result.failures.append(ProofFailure(
+            f"metric-induction.{m}:ensures.0:disjunction.0:transitivity.0:psp",
+            f"[FAILS] next: command {name} steps {decode(src)!r} to "
+            f"{decode(dst)!r}, which leaves level ∨ exit [{tier}]",
+        ))
+    if len(next_example) > _MAX_REPORTED:
+        result.failures.append(ProofFailure(
+            "metric-induction",
+            f"... {len(next_example) - _MAX_REPORTED} more level(s) fail "
+            "their next obligation",
+        ))
+
+    # ------------------------------------------------------------------
+    # Transient per level: weak — some fair command exits the level's
+    # pnq set from every member; strong — the per-level SCC criterion on
+    # the disjoint union of the per-level subgraphs.
+    # ------------------------------------------------------------------
+    act_count = np.bincount(lvl[active], minlength=n_levels)
+    if strong:
+        trans_fail = _strong_transient_fail(
+            n_levels, lvl, active, fair, enabled_at, mem,
+            in_level_cache, commands,
+        )
+        kind = "transient-strong"
+        why = "a strongly-fair execution can stay inside the level forever"
+    else:
+        if not fair:
+            trans_ok = act_count == 0
+        else:
+            trans_ok |= act_count == 0
+        trans_fail = ~trans_ok
+        kind = "transient"
+        why = (
+            "no single fair command falsifies the level's p ∧ ¬exit from "
+            "every member"
+            if fair
+            else "the program has no fair commands (D = ∅)"
+        )
+    for m in np.flatnonzero(trans_fail)[:_MAX_REPORTED]:
+        m = int(m)
+        members_m = mem[(lvl == m) & active]
+        example = f": e.g. {decode(int(members_m[0]))!r}" if members_m.size else ""
+        result.failures.append(ProofFailure(
+            f"metric-induction.{m}:ensures.0:disjunction.0:transitivity"
+            f".0:psp.0:{kind}",
+            f"[FAILS] {kind}: {why}{example} [{tier}]",
+        ))
+    extra_t = int(trans_fail.sum()) - _MAX_REPORTED
+    if extra_t > 0:
+        result.failures.append(ProofFailure(
+            "metric-induction",
+            f"... {extra_t} more level(s) fail their {kind} obligation",
+        ))
+    return result
+
+
+def _strong_transient_fail(
+    n_levels: int,
+    lvl: np.ndarray,
+    active: np.ndarray,
+    fair: list[tuple[str, Callable[[np.ndarray], np.ndarray]]],
+    enabled_at: Callable[[str, np.ndarray], np.ndarray] | None,
+    mem: np.ndarray,
+    in_level_cache: dict[str, tuple[np.ndarray, np.ndarray]],
+    commands: list[tuple[str, Callable[[np.ndarray], np.ndarray]]],
+) -> np.ndarray:
+    """Per-level strong-transient refusals, via one SCC pass.
+
+    The per-level checker condenses the subgraph induced on each level's
+    ``p∧¬exit`` set separately.  Batched, that is the condensation of the
+    **disjoint union**: nodes are table positions (so overlapping or
+    duplicated levels stay separate), edges connect a position to its
+    successor's position *within the same level* only.  One
+    :func:`repro.semantics.scc.condensation` call plus one batched
+    :func:`repro.semantics.leadsto._fair_flags` pass then evaluates the
+    strong-fairness criterion for every level's every SCC at once; a
+    level fails iff one of its components is flagged.
+    """
+    from repro.semantics.leadsto import _fair_flags
+    from repro.semantics.scc import condensation
+
+    t = mem.shape[0]
+    # Position tables over t + 1 nodes (the last is the "outside" sink,
+    # excluded from the mask, so exits become cross-mask edges).
+    mask = np.append(active, False)
+    tables = []
+    by_name = {}
+    for name, _ in commands:
+        hit, pos = in_level_cache[name]
+        table = np.append(pos, t)  # sentinel self-entry (self-loop, dropped)
+        tables.append(table)
+        by_name[name] = table
+    cond = condensation(mask, tables)
+    if cond.count == 0:
+        return np.zeros(n_levels, dtype=bool)
+    fair_tables = [by_name[name] for name, _ in fair]
+    enabled_rows = [
+        np.append(enabled_at(name, mem), False) for name, _ in fair
+    ]
+    flags = _fair_flags(cond, fair_tables, enabled=enabled_rows)
+    fail = np.zeros(n_levels, dtype=bool)
+    for k in np.flatnonzero(flags):
+        fail[int(lvl[int(cond.components[int(k)][0])])] = True
+    return fail

@@ -78,6 +78,7 @@ from repro.semantics.sparse.checkers import (
     check_leadsto_sparse,
     check_leadsto_strong_sparse,
     check_next_sparse,
+    check_obligations_batched_sparse,
     check_reachable_invariant_sparse,
     check_stable_sparse,
     check_transient_sparse,
@@ -106,6 +107,7 @@ __all__ = [
     "check_stable_sparse",
     "check_transient_sparse",
     "check_transient_strong_sparse",
+    "check_obligations_batched_sparse",
 ]
 
 #: Spaces larger than this are routed to the sparse tier by the dense

@@ -62,6 +62,7 @@ __all__ = [
     "check_stable_sparse",
     "check_transient_sparse",
     "check_transient_strong_sparse",
+    "check_obligations_batched_sparse",
 ]
 
 
@@ -403,6 +404,64 @@ def check_transient_sparse(program: Program, p: Predicate) -> CheckResult:
             "p-state; per-command stuck states recorded in the witness"
         ),
         witness={"tier": "sparse", "stuck_states": failures},
+    )
+
+
+def check_obligations_batched_sparse(sub: ReachableSubspace, layout):
+    """Sparse twin of the batched certificate kernel: discharge every
+    obligation of a columnar certificate over the reachable subspace.
+
+    The local-id counterpart of
+    :func:`repro.semantics.checker.check_obligations_batched`: members
+    map to local ids (entries outside the reachable set are dropped —
+    they are invisible to every reachable-restricted mask the per-level
+    oracle computes), successors come from the cached
+    :meth:`~repro.semantics.sparse.explorer.ReachableSubspace.succ_local`
+    columns, and nothing of length ``space.size`` is allocated.  Called
+    through :func:`repro.semantics.synthesis.check_certificate_batched`.
+    """
+    from repro.semantics.obligations import check_columnar_obligations
+
+    gids = sub.global_ids
+
+    def to_local(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        # One binary search yields both the membership mask and the local
+        # positions (kept entries have pos < gids.size, so pos == clipped).
+        if gids.size == 0:
+            return arr[:0], np.zeros(arr.shape[0], dtype=bool)
+        pos = np.searchsorted(gids, arr)
+        clipped = np.minimum(pos, gids.size - 1)
+        keep = (pos < gids.size) & (gids[clipped] == arr)
+        return pos[keep], keep
+
+    level_local = [to_local(m)[0] for m in layout.level_members]
+    pref_local, pref_keep = to_local(layout.prefix_members)
+    program = sub.program
+    commands = [
+        (cmd.name, (lambda ids, c=cmd: sub.succ_local(c)[ids]))
+        for cmd in program.commands
+    ]
+    fair = [
+        (cmd.name, (lambda ids, c=cmd: sub.succ_local(c)[ids]))
+        for cmd in program.fair_commands
+    ]
+
+    def enabled_at(name: str, ids: np.ndarray) -> np.ndarray:
+        return sub.enabled_local(name)[ids]
+
+    return check_columnar_obligations(
+        n=sub.size,
+        p_mask=sub.pred_mask(layout.p),
+        q_mask=sub.pred_mask(layout.q),
+        level_members=level_local,
+        prefix_members=pref_local,
+        prefix_ranks=layout.prefix_ranks[pref_keep],
+        commands=commands,
+        fair=fair,
+        strong=layout.fairness == "strong",
+        enabled_at=enabled_at,
+        decode=sub.state_at_local,
+        tier="sparse tier",
     )
 
 

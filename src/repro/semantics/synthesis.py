@@ -26,6 +26,15 @@ The synthesized certificate is linear in the number of SCCs, and checking
 it is independent of the model checker's verdict — the kernel re-discharges
 every ``transient``/``next``/validity obligation from scratch.
 
+Certificates are **columnar**: every level's members are stacked into one
+:class:`~repro.core.predicates.SupportTable` (level-major + globally
+sorted column pairs), levels and the rank-gated exit ladder are zero-copy
+views of it, and :func:`check_certificate_batched` re-checks the whole
+tree with one vectorized pass per command over all levels — the kernel
+that makes 10⁴–10⁵-level certificates checkable in seconds.  The
+per-level tree walk (``proof.check``) is unchanged and serves as the
+differential oracle (``tests/test_batched_check.py``).
+
 Canonical-order invariant.  The variant metric *is* the SCC emission
 order of :mod:`repro.semantics.scc`: components arrive sinks-first
 (reverse topological, ties by smallest member state), so "every exit goes
@@ -64,10 +73,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.predicates import (
-    MaskPredicate,
     Predicate,
     PrefixSupportPredicate,
     SupportPredicate,
+    SupportTable,
 )
 from repro.core.program import Program
 from repro.core.rules import Ensures, Implication, LeadsToProof, MetricInduction
@@ -75,7 +84,7 @@ from repro.errors import ProofError
 from repro.semantics.leadsto import fair_scc_analysis
 from repro.semantics.transition import TransitionSystem
 
-__all__ = ["synthesize_leadsto_proof"]
+__all__ = ["synthesize_leadsto_proof", "check_certificate_batched"]
 
 
 def synthesize_leadsto_proof(
@@ -150,27 +159,12 @@ def _synthesize_dense(
     # Levels: SCCs intersecting the region, in canonical emission
     # (sinks-first) order.  An SCC intersecting the region is contained in
     # it (regions are closed and SCC members are mutually reachable).
-    levels: list[Predicate] = []
-    subs: list[LeadsToProof] = []
-    lower_mask = q.mask(space).copy()
-    n_level = 0
-    for k, members in enumerate(analysis.cond.components):
-        if not region[members[0]]:
-            continue
-        member_mask = np.zeros(space.size, dtype=bool)
-        member_mask[members] = True
-        level_pred = MaskPredicate(
-            space, member_mask, f"level[{n_level}] (scc #{k}, {members.size} states)"
-        )
-        exit_pred = MaskPredicate(
-            space, lower_mask.copy(), f"exit[{n_level}] (q or lower levels)"
-        )
-        levels.append(level_pred)
-        subs.append(Ensures(level_pred, exit_pred, fairness=fairness))
-        lower_mask |= member_mask
-        n_level += 1
-
-    return MetricInduction(p, q, levels, subs)
+    comps = [
+        (k, members)
+        for k, members in enumerate(analysis.cond.components)
+        if region[members[0]]
+    ]
+    return _columnar_induction(space, p, q, comps, fairness, member_word="states")
 
 
 def _synthesize_sparse(sub, p: Predicate, q: Predicate, fairness: str) -> LeadsToProof:
@@ -216,38 +210,155 @@ def _synthesize_sparse(sub, p: Predicate, q: Predicate, fairness: str) -> LeadsT
         return Implication(p, q)
 
     comps = [
-        (k, members)
+        (k, sub.global_ids[members])
         for k, members in enumerate(analysis.cond.components)
         if region[members[0]]
     ]
-    # Exit ladder: one shared sorted array of all level members with their
-    # level index; exit[n] is the rank-gated prefix "some level below n"
-    # (O(1) per level instead of a re-sorted prefix union per level).
-    all_globals = np.concatenate([sub.global_ids[members] for _, members in comps])
-    all_levels = np.repeat(
-        np.arange(len(comps), dtype=np.int64),
-        [members.shape[0] for _, members in comps],
+    return _columnar_induction(
+        space, p, q, comps, fairness, member_word="reachable states"
     )
-    order = np.argsort(all_globals)
-    sorted_globals = all_globals[order]
-    sorted_levels = all_levels[order]
 
+
+def _columnar_induction(
+    space, p: Predicate, q: Predicate, comps, fairness: str, *, member_word: str
+) -> MetricInduction:
+    """Assemble the metric induction from SCC components, columnar.
+
+    ``comps`` is the list of ``(scc_id, sorted global member indices)``
+    in canonical emission order.  All levels are stacked into **one**
+    :class:`~repro.core.predicates.SupportTable`; each level predicate is
+    a zero-copy view of the level-major column, and every ``exit[n]`` is
+    ``q ∨ prefix(<n)`` over the shared sorted ``(member, rank)`` columns
+    — synthesis stays linear in total member count, and the batched
+    kernel (:func:`check_certificate_batched`) checks the whole ladder
+    with searchsorted rank lookups instead of per-level mask unions.
+    Shared by both tiers (dense synthesis passes full-space component
+    arrays, sparse synthesis the reachable global ids).
+    """
+    table = SupportTable(space, [members for _, members in comps])
     levels: list[Predicate] = []
     subs: list[LeadsToProof] = []
     for n_level, (k, members) in enumerate(comps):
-        level_pred = SupportPredicate(
-            space,
-            sub.global_ids[members],
-            f"level[{n_level}] (scc #{k}, {members.size} reachable states)",
-        )
-        exit_pred = q | PrefixSupportPredicate(
-            space,
-            sorted_globals,
-            sorted_levels,
+        level_pred = table.level_pred(
             n_level,
-            f"exit[{n_level}] (lower levels)",
+            f"level[{n_level}] (scc #{k}, {members.shape[0]} {member_word})",
         )
+        exit_pred = q | table.prefix_pred(n_level, f"exit[{n_level}] (lower levels)")
         levels.append(level_pred)
         subs.append(Ensures(level_pred, exit_pred, fairness=fairness))
+    return MetricInduction(p, q, levels, subs, support_table=table)
 
-    return MetricInduction(p, q, levels, subs)
+
+# ---------------------------------------------------------------------------
+# Batched certificate checking
+# ---------------------------------------------------------------------------
+
+
+def _certificate_layout(proof: LeadsToProof):
+    """The columnar view of a synthesized certificate, or ``None``.
+
+    Verifies the *shape* the batched kernel relies on: a
+    :class:`~repro.core.rules.MetricInduction` whose premises are
+    ``Ensures(levelₙ, q ∨ prefix(<n))`` with every level a
+    :class:`~repro.core.predicates.SupportPredicate`, the level predicate
+    *identical* (``is``) to the premise's left-hand side, one fairness
+    notion throughout, and one shared ``(member, rank)`` column pair
+    behind the whole exit ladder.  Given that shape, every intermediate
+    equality of the ``Ensures`` expansion is a predicate-calculus
+    tautology for arbitrary table *contents* — so the batched kernel only
+    needs to re-discharge coverage, the rank-gate entailments, and the
+    per-level ``next``/``transient`` obligations (which it does from
+    scratch; corrupt contents are refused, see
+    ``tests/test_batched_check.py``).  Anything else — hand-written
+    certificates, mask-backed levels — returns ``None`` and is checked by
+    the per-level oracle.
+    """
+    from repro.core.predicates import _Composite
+    from repro.semantics.obligations import CertificateLayout
+
+    if not isinstance(proof, MetricInduction) or not proof.levels:
+        return None
+    fairness = None
+    prefix_members = prefix_ranks = None
+    level_members = []
+    for n, (lv, sub) in enumerate(zip(proof.levels, proof.subs)):
+        if not isinstance(sub, Ensures) or sub.p is not lv:
+            return None
+        if type(lv) is not SupportPredicate or lv.space is not proof.levels[0].space:
+            return None
+        if fairness is None:
+            fairness = sub.fairness
+        elif sub.fairness != fairness:
+            return None
+        exit_pred = sub.q
+        if not (
+            isinstance(exit_pred, _Composite)
+            and exit_pred.op == "or"
+            and len(exit_pred.parts) == 2
+            and exit_pred.parts[0] is proof.q
+            and type(exit_pred.parts[1]) is PrefixSupportPredicate
+        ):
+            return None
+        prefix = exit_pred.parts[1]
+        if prefix.cutoff != n or prefix.space is not lv.space:
+            return None
+        if prefix_members is None:
+            prefix_members, prefix_ranks = prefix.members, prefix.ranks
+        elif prefix.members is not prefix_members or prefix.ranks is not prefix_ranks:
+            return None
+        level_members.append(lv.members)
+    return CertificateLayout(
+        p=proof.p,
+        q=proof.q,
+        level_members=level_members,
+        prefix_members=prefix_members,
+        prefix_ranks=prefix_ranks,
+        fairness=fairness,
+    )
+
+
+def check_certificate_batched(proof: LeadsToProof, program: Program, *, subspace=None):
+    """Kernel-check ``proof`` with the batched columnar kernel.
+
+    The drop-in fast path for :meth:`~repro.core.proofs.ProofNode.check`
+    on synthesized certificates: instead of one
+    ``check_next``/``check_transient``/validity call per induction level
+    (ten obligations per level — the entire cost of checking 10⁴–10⁵-level
+    certificates), each obligation family runs as **one vectorized pass
+    per command over all levels** through
+    :mod:`repro.semantics.obligations`, routed by tier exactly like the
+    per-level leaf checkers (reachable subspace above the sparse
+    threshold, full space otherwise; ``subspace`` forces an explicit
+    :class:`~repro.semantics.sparse.explorer.ReachableSubspace`, matching
+    :func:`synthesize_leadsto_proof`).
+
+    Verdict, node count and obligation count equal the per-level walk's;
+    the result's ``mode`` reports ``"batched"``.  Certificates without
+    the synthesized columnar shape (hand-built trees, ``Implication``
+    shortcuts) fall back to ``proof.check(program)`` — the per-level path
+    stays available as the differential oracle either way.
+    """
+    space = program.space
+    layout = _certificate_layout(proof)
+    if layout is not None and proof.levels[0].space is not space:
+        layout = None
+    if layout is None:
+        return proof.check(program)
+    if subspace is None:
+        from repro.semantics.sparse import routed_subspace
+
+        subspace = routed_subspace(program, "the batched certificate check")
+    # int64 headroom for the kernel's (level, member) search keys over the
+    # routed universe (never binding under the default sparse node limit).
+    universe = subspace.size if subspace is not None else space.size
+    if universe and len(layout.level_members) > (2**62) // universe:
+        return proof.check(program)
+    if subspace is not None:
+        from repro.semantics.sparse.checkers import (
+            check_obligations_batched_sparse,
+        )
+
+        return check_obligations_batched_sparse(subspace, layout)
+    from repro.semantics.checker import check_obligations_batched
+
+    return check_obligations_batched(program, layout)
