@@ -23,7 +23,9 @@ CI smoke (crash check only, no timing, no snapshot)::
     PYTHONPATH=src python benchmarks/record.py --smoke
 
 ``--smoke`` runs the sparse-tier scenario and certificate-check
-benchmarks with timing disabled:
+benchmarks with timing disabled, then a checkpoint/resume round trip on
+the product scenario (budget-exhaust → UNKNOWN → resume → same verdicts
+as an unbudgeted run; see docs/robustness.md):
 it fails on crash or assertion regression, never on a timing regression,
 keeping the committed ``BENCH_<n>.json`` trajectory the only place where
 numbers live.
@@ -33,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -117,6 +120,57 @@ def diff(old_path: Path, new_path: Path, *, github: bool = False) -> None:
         print(f"({added} new, {removed} removed benchmark id(s))")
 
 
+def smoke_checkpoint_roundtrip() -> None:
+    """Budget-exhaust the product scenario, resume it, and require the
+    resumed run to reproduce the verdicts of an unbudgeted reference run
+    (docs/robustness.md; the fine-grained differential lives in
+    tests/test_checkpoint.py::TestCliDifferential)."""
+
+    def run_cli(extra: list[str], cwd: Path) -> subprocess.CompletedProcess:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "scenario", "product", *extra],
+            cwd=cwd, env=env, capture_output=True, text=True,
+        )
+
+    def verdicts(proc: subprocess.CompletedProcess) -> list[str]:
+        return [line for line in proc.stdout.splitlines()
+                if line.startswith(("[HOLDS]", "[FAILS]"))]
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        tmpdir = Path(tmp)
+        ckpt = tmpdir / "product.ckpt"
+        budgeted = run_cli(["--deadline", "0", "--checkpoint", str(ckpt)], tmpdir)
+        if budgeted.returncode != 0 or "status=unknown" not in budgeted.stdout:
+            raise SystemExit(
+                "checkpoint smoke: budget-exhausted run did not report UNKNOWN "
+                f"(exit {budgeted.returncode}):\n{budgeted.stdout}{budgeted.stderr}"
+            )
+        if verdicts(budgeted):
+            raise SystemExit(
+                "checkpoint smoke: budget-exhausted run leaked a verdict:\n"
+                + budgeted.stdout
+            )
+        if not ckpt.exists():
+            raise SystemExit(f"checkpoint smoke: no checkpoint at {ckpt}")
+        resumed = run_cli(["--resume", str(ckpt)], tmpdir)
+        reference = run_cli([], tmpdir)
+        if resumed.returncode != 0 or reference.returncode != 0:
+            raise SystemExit(
+                "checkpoint smoke: resumed/reference run failed "
+                f"(exit {resumed.returncode}/{reference.returncode}):\n"
+                f"{resumed.stdout}{resumed.stderr}{reference.stderr}"
+            )
+        if not verdicts(reference) or verdicts(resumed) != verdicts(reference):
+            raise SystemExit(
+                "checkpoint smoke: resumed verdicts differ from reference:\n"
+                f"resumed:   {verdicts(resumed)}\n"
+                f"reference: {verdicts(reference)}"
+            )
+    print("checkpoint/resume round-trip smoke ok (product scenario)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path, default=None,
@@ -152,6 +206,7 @@ def main(argv: list[str] | None = None) -> int:
         proc = subprocess.run(cmd, cwd=REPO_ROOT)
         if proc.returncode != 0:
             raise SystemExit(f"sparse benchmark smoke failed (exit {proc.returncode})")
+        smoke_checkpoint_roundtrip()
         print("sparse benchmark smoke ok")
         return 0
 

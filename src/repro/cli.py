@@ -33,6 +33,17 @@ Commands
     checks end to end in about a second (``--check-levels N`` optionally
     skips the check above N levels).  ``scenario list`` enumerates the
     scenarios.
+
+Fault tolerance (``scenario`` and ``prove``; see ``docs/robustness.md``)
+    ``--deadline S`` / ``--node-budget N`` / ``--max-levels N`` bound the
+    sparse exploration; on exhaustion the run prints a structured
+    ``status=unknown`` line plus a checkpoint path and exits 0 (UNKNOWN
+    is a clean, resumable outcome — not a failure).  ``--checkpoint
+    PATH`` chooses the checkpoint file; ``--resume PATH`` continues from
+    one, refusing (fail-closed) if the program or space changed since it
+    was written.  A resumed run completes to the same verdict and
+    witness as an uninterrupted one.  Budgets only bind on the sparse
+    tier; dense-tier runs ignore them.
 """
 
 from __future__ import annotations
@@ -74,6 +85,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PROP", help='e.g. "invariant x = 0", "true ~> x = 3"',
     )
 
+    def add_budget_args(p) -> None:
+        p.add_argument(
+            "--deadline", type=float, default=None, metavar="SECONDS",
+            help="wall-clock budget for the sparse exploration; on "
+                 "exhaustion a checkpoint is written and the run reports "
+                 "status=unknown instead of a verdict",
+        )
+        p.add_argument(
+            "--node-budget", type=int, default=None, metavar="N",
+            help="soft cap on explored states (resumable UNKNOWN, unlike "
+                 "the fail-closed node_limit)",
+        )
+        p.add_argument(
+            "--max-levels", type=int, default=None, metavar="N",
+            help="cap on completed BFS levels (resumable UNKNOWN)",
+        )
+        p.add_argument(
+            "--checkpoint", type=Path, default=None, metavar="PATH",
+            help="checkpoint file for the exploration (default when a "
+                 "budget is set: <scenario-or-module>.ckpt in the current "
+                 "directory)",
+        )
+        p.add_argument(
+            "--resume", type=Path, default=None, metavar="PATH",
+            help="resume the exploration from a checkpoint (refused, "
+                 "fail-closed, if the program or space changed since it "
+                 "was written)",
+        )
+
     p_prove = sub.add_parser("prove", help="synthesize a leads-to certificate")
     add_file_args(p_prove)
     p_prove.add_argument("--from", dest="lhs", required=True, metavar="P")
@@ -81,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prove.add_argument(
         "--quiet", action="store_true", help="suppress the proof tree"
     )
+    add_budget_args(p_prove)
 
     p_sim = sub.add_parser("simulate", help="run a fair trace")
     add_file_args(p_sim)
@@ -130,7 +171,55 @@ def build_parser() -> argparse.ArgumentParser:
              "more than N variant levels (default: no cap — the batched "
              "kernel checks 10^5-level certificates in seconds)",
     )
+    add_budget_args(p_scen)
     return parser
+
+
+def _budget_of(args):
+    """A :class:`~repro.semantics.budget.Budget` from CLI flags, or None."""
+    if (
+        args.deadline is None
+        and args.node_budget is None
+        and args.max_levels is None
+    ):
+        return None
+    from repro.semantics.budget import Budget
+
+    return Budget(
+        deadline=args.deadline,
+        node_budget=args.node_budget,
+        max_levels=args.max_levels,
+    )
+
+
+def _checkpoint_of(args, default_stem: str, budget):
+    """The checkpoint policy implied by the CLI flags, or None.
+
+    An explicit ``--checkpoint`` always wins; ``--resume`` keeps writing
+    to the file it resumes from; a budget with neither defaults to
+    ``<default_stem>.ckpt`` so exhaustion always leaves a resume path.
+    """
+    from repro.semantics.sparse import CheckpointPolicy
+
+    if args.checkpoint is not None:
+        return CheckpointPolicy(path=str(args.checkpoint), every_levels=8)
+    if args.resume is not None:
+        return CheckpointPolicy(path=str(args.resume), every_levels=8)
+    if budget is not None:
+        return CheckpointPolicy(path=f"{default_stem}.ckpt", every_levels=8)
+    return None
+
+
+def _report_unknown(partial) -> int:
+    """Print a :class:`~repro.semantics.budget.PartialResult` and exit 0.
+
+    UNKNOWN is a *clean* outcome (the acceptance contract of graceful
+    degradation): the budget ran out, the state is checkpointed, and the
+    caller is told exactly where to resume — that is not a failure.
+    """
+    print(partial.explain())
+    print(f"status=unknown checkpoint={partial.checkpoint_path or '-'}")
+    return 0
 
 
 def _load_program(path: Path, name: str | None = None):
@@ -212,11 +301,33 @@ def _cmd_prove(args) -> int:
     program = _load_program(args.file, args.program)
     p = _parse_pred(args.lhs, program)
     q = _parse_pred(args.rhs, program)
+    budget = _budget_of(args)
+    policy = _checkpoint_of(args, args.file.stem, budget)
+    if args.resume is not None:
+        from repro.semantics.budget import PartialResult
+        from repro.semantics.sparse import resume_exploration
+        from repro.errors import BudgetExhausted
+
+        try:
+            resume_exploration(
+                args.resume, program, budget=budget, checkpoint=policy
+            )
+        except BudgetExhausted as exc:
+            return _report_unknown(
+                PartialResult.from_exhaustion(
+                    exc, kind="exploration", subject=program.name
+                )
+            )
+        print(f"resumed: {args.resume}")
     try:
-        proof = synthesize_leadsto_proof(program, p, q)
+        proof = synthesize_leadsto_proof(
+            program, p, q, budget=budget, checkpoint=policy
+        )
     except ProofError as exc:
         print(f"NOT PROVABLE: {exc}")
         return 1
+    if getattr(proof, "status", None) == "unknown":
+        return _report_unknown(proof)
     result = check_certificate_batched(proof, program)
     if not args.quiet:
         print(proof.render())
@@ -325,10 +436,30 @@ def _cmd_scenario(args) -> int:
     tier = "sparse" if sparse else "dense"
     print(program.name)
     print(f"encoded space : {program.space.size} states ({tier} tier)")
+    budget = _budget_of(args)
+    policy = _checkpoint_of(args, args.name, budget)
     if sparse:
+        from repro.errors import BudgetExhausted
+        from repro.semantics.budget import PartialResult
+        from repro.semantics.sparse import resume_exploration
         from repro.semantics.sparse.explorer import reachable_subspace
 
-        sub = reachable_subspace(program)
+        try:
+            if args.resume is not None:
+                sub = resume_exploration(
+                    args.resume, program, budget=budget, checkpoint=policy
+                )
+                print(f"resumed       : {args.resume}")
+            else:
+                sub = reachable_subspace(
+                    program, budget=budget, checkpoint=policy
+                )
+        except BudgetExhausted as exc:
+            return _report_unknown(
+                PartialResult.from_exhaustion(
+                    exc, kind="exploration", subject=program.name
+                )
+            )
         print(f"reachable     : {sub.size} states in {sub.levels} BFS levels")
     else:
         # Dense tier: count via the cached union CSR (the checkers below

@@ -245,9 +245,7 @@ class MaskPredicate(Predicate):
 
     __slots__ = ("space", "_mask", "_description")
 
-    def __init__(
-        self, space: StateSpace, mask: np.ndarray, description: str
-    ) -> None:
+    def __init__(self, space: StateSpace, mask: np.ndarray, description: str) -> None:
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != (space.size,):
             raise PropertyError(
@@ -454,11 +452,11 @@ class SupportTable:
     __slots__ = ("space", "stacked", "offsets", "members", "ranks")
 
     def __init__(self, space: StateSpace, level_members: list[np.ndarray]) -> None:
-        counts = np.array([np.asarray(m).shape[0] for m in level_members], dtype=np.int64)
-        self.space = space
-        self.offsets = np.concatenate(
-            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        counts = np.array(
+            [np.asarray(m).shape[0] for m in level_members], dtype=np.int64
         )
+        self.space = space
+        self.offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
         self.stacked = (
             np.concatenate([np.asarray(m, dtype=np.int64) for m in level_members])
             if level_members
@@ -475,9 +473,9 @@ class SupportTable:
                 "support-table levels must be disjoint sets of indices "
                 f"inside [0, {space.size})"
             )
-        self.ranks = np.repeat(
-            np.arange(counts.shape[0], dtype=np.int64), counts
-        )[order]
+        self.ranks = np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)[
+            order
+        ]
 
     @property
     def n_levels(self) -> int:
@@ -608,9 +606,7 @@ TRUE = ExprPredicate(BoolConst(True))
 FALSE = ExprPredicate(BoolConst(False))
 
 
-def forall_range(
-    values: Iterable[Any], fn: Callable[[Any], Predicate]
-) -> Predicate:
+def forall_range(values: Iterable[Any], fn: Callable[[Any], Predicate]) -> Predicate:
     """Finite universal quantification: ``⋀_{v ∈ values} fn(v)``.
 
     The paper's specifications quantify over counter values ``k``; on finite
@@ -625,9 +621,7 @@ def forall_range(
     return out
 
 
-def exists_range(
-    values: Iterable[Any], fn: Callable[[Any], Predicate]
-) -> Predicate:
+def exists_range(values: Iterable[Any], fn: Callable[[Any], Predicate]) -> Predicate:
     """Finite existential quantification: ``⋁_{v ∈ values} fn(v)``."""
     parts = [_as_pred(fn(v)) for v in values]
     if not parts:

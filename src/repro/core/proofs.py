@@ -182,7 +182,9 @@ class ProofNode:
         """Rendering of the judgment this node concludes."""
         raise NotImplementedError
 
-    def _local_check(self, program: "Program", result: ProofCheckResult, path: str) -> None:
+    def _local_check(
+        self, program: "Program", result: ProofCheckResult, path: str
+    ) -> None:
         """Discharge this node's own side conditions and leaf obligations.
 
         Implementations append to ``result.failures`` and increment
@@ -198,7 +200,9 @@ class ProofNode:
         self._check_into(program, result, self.rule_name)
         return result
 
-    def _check_into(self, program: "Program", result: ProofCheckResult, path: str) -> None:
+    def _check_into(
+        self, program: "Program", result: ProofCheckResult, path: str
+    ) -> None:
         result.nodes_checked += 1
         self._local_check(program, result, path)
         for i, sub in enumerate(self.premises()):
@@ -258,7 +262,9 @@ def _expect_form(
     got_form, pred = sub.concludes()
     if got_form != form:
         result.failures.append(
-            ProofFailure(path, f"{role} must conclude a {form} property, got {got_form}")
+            ProofFailure(
+                path, f"{role} must conclude a {form} property, got {got_form}"
+            )
         )
         return None
     return pred
@@ -275,7 +281,9 @@ class StableLeaf(SafetyProof):
     def concludes(self) -> tuple[str, Predicate]:
         return ("stable", self.p)
 
-    def _local_check(self, program: "Program", result: ProofCheckResult, path: str) -> None:
+    def _local_check(
+        self, program: "Program", result: ProofCheckResult, path: str
+    ) -> None:
         from repro.semantics.checker import check_stable
 
         result.obligations_checked += 1
@@ -295,7 +303,9 @@ class InitLeaf(SafetyProof):
     def concludes(self) -> tuple[str, Predicate]:
         return ("init", self.p)
 
-    def _local_check(self, program: "Program", result: ProofCheckResult, path: str) -> None:
+    def _local_check(
+        self, program: "Program", result: ProofCheckResult, path: str
+    ) -> None:
         from repro.semantics.checker import check_init
 
         result.obligations_checked += 1
@@ -327,7 +337,9 @@ class StableConjunction(SafetyProof):
             out = out & sub.concludes()[1]
         return ("stable", out)
 
-    def _local_check(self, program: "Program", result: ProofCheckResult, path: str) -> None:
+    def _local_check(
+        self, program: "Program", result: ProofCheckResult, path: str
+    ) -> None:
         for i, sub in enumerate(self.subs):
             _expect_form(sub, "stable", result, f"{path}[{i}]", "premise")
 
@@ -364,7 +376,9 @@ class ConstantExpressions(SafetyProof):
         kept = ", ".join(str(e) for e in self.exprs)
         return f"stable {self.target.describe()}   [constants: {kept}]"
 
-    def _local_check(self, program: "Program", result: ProofCheckResult, path: str) -> None:
+    def _local_check(
+        self, program: "Program", result: ProofCheckResult, path: str
+    ) -> None:
         from repro.semantics.transition import TransitionSystem
 
         ts = TransitionSystem.for_program(program)
@@ -382,11 +396,13 @@ class ConstantExpressions(SafetyProof):
             for cmd, table in ts.all_tables():
                 if not np.array_equal(vals[table], vals):
                     bad = int(np.flatnonzero(vals[table] != vals)[0])
-                    result.failures.append(ProofFailure(
-                        path,
-                        f"expression {expr} is not constant under command "
-                        f"{cmd.name} (e.g. at {space.state_at(bad)!r})",
-                    ))
+                    result.failures.append(
+                        ProofFailure(
+                            path,
+                            f"expression {expr} is not constant under command "
+                            f"{cmd.name} (e.g. at {space.state_at(bad)!r})",
+                        )
+                    )
                     break
 
         # 2. functional dependence of the target on the expression values
@@ -406,13 +422,15 @@ class ConstantExpressions(SafetyProof):
         if mixed.size:
             g = int(mixed[0])
             members = np.flatnonzero(gid == g)
-            result.failures.append(ProofFailure(
-                path,
-                "target is not a function of the constant expressions: "
-                f"states {space.state_at(int(members[0]))!r} and "
-                f"{space.state_at(int(members[-1]))!r} agree on them but "
-                "disagree on the target",
-            ))
+            result.failures.append(
+                ProofFailure(
+                    path,
+                    "target is not a function of the constant expressions: "
+                    f"states {space.state_at(int(members[0]))!r} and "
+                    f"{space.state_at(int(members[-1]))!r} agree on them but "
+                    "disagree on the target",
+                )
+            )
 
 
 class UniversalLift(SafetyProof):
@@ -451,27 +469,33 @@ class UniversalLift(SafetyProof):
         names = ", ".join(comp.name for comp, _ in self.parts)
         return f"stable {self.concludes()[1].describe()}   [by all of: {names}]"
 
-    def _local_check(self, program: "Program", result: ProofCheckResult, path: str) -> None:
+    def _local_check(
+        self, program: "Program", result: ProofCheckResult, path: str
+    ) -> None:
         target = self.concludes()[1]
         covered: set[tuple] = set()
         for comp, sub in self.parts:
             sub_path = f"{path}<{comp.name}>"
             if comp.variables != program.variables:
-                result.failures.append(ProofFailure(
-                    sub_path,
-                    "component is not declared over the system's variables "
-                    "(lift it with repro.core.composition.lifted)",
-                ))
+                result.failures.append(
+                    ProofFailure(
+                        sub_path,
+                        "component is not declared over the system's variables "
+                        "(lift it with repro.core.composition.lifted)",
+                    )
+                )
                 continue
             pred = _expect_form(sub, "stable", result, sub_path, "component proof")
             if pred is None:
                 continue
             if not masks_equal(pred, target, program):
-                result.failures.append(ProofFailure(
-                    sub_path,
-                    f"component concludes stable {pred.describe()}, which is "
-                    f"not equivalent to the lifted predicate",
-                ))
+                result.failures.append(
+                    ProofFailure(
+                        sub_path,
+                        f"component concludes stable {pred.describe()}, which is "
+                        f"not equivalent to the lifted predicate",
+                    )
+                )
                 continue
             sub_result = sub.check(comp)
             result.nodes_checked += sub_result.nodes_checked
@@ -481,14 +505,14 @@ class UniversalLift(SafetyProof):
                 for f in sub_result.failures
             )
             covered |= {c.body_key() for c in comp.commands}
-        missing = [
-            c.name for c in program.commands if c.body_key() not in covered
-        ]
+        missing = [c.name for c in program.commands if c.body_key() not in covered]
         if missing:
-            result.failures.append(ProofFailure(
-                path,
-                f"system commands {missing} are not covered by any component",
-            ))
+            result.failures.append(
+                ProofFailure(
+                    path,
+                    f"system commands {missing} are not covered by any component",
+                )
+            )
 
     def render(self, indent: int = 0) -> str:
         pad = "  " * indent
@@ -526,17 +550,21 @@ class InitLift(SafetyProof):
     def conclusion_text(self) -> str:
         return f"init {self.concludes()[1].describe()}   [from {self.component.name}]"
 
-    def _local_check(self, program: "Program", result: ProofCheckResult, path: str) -> None:
+    def _local_check(
+        self, program: "Program", result: ProofCheckResult, path: str
+    ) -> None:
         pred = _expect_form(self.sub, "init", result, path, "component proof")
         if pred is None:
             return
         result.obligations_checked += 1
         if not program.init.entails(self.component.init, program.space):
-            result.failures.append(ProofFailure(
-                path,
-                f"system initially does not entail {self.component.name}'s "
-                "initially (is the component part of this system?)",
-            ))
+            result.failures.append(
+                ProofFailure(
+                    path,
+                    f"system initially does not entail {self.component.name}'s "
+                    "initially (is the component part of this system?)",
+                )
+            )
             return
         sub_result = self.sub.check(self.component)
         result.nodes_checked += sub_result.nodes_checked
@@ -564,7 +592,9 @@ class InitWeaken(SafetyProof):
     def concludes(self) -> tuple[str, Predicate]:
         return ("init", self.q)
 
-    def _local_check(self, program: "Program", result: ProofCheckResult, path: str) -> None:
+    def _local_check(
+        self, program: "Program", result: ProofCheckResult, path: str
+    ) -> None:
         from repro.semantics.checker import check_validity
 
         pred = _expect_form(self.sub, "init", result, path, "premise")
@@ -595,7 +625,9 @@ class InitConjunction(SafetyProof):
             out = out & sub.concludes()[1]
         return ("init", out)
 
-    def _local_check(self, program: "Program", result: ProofCheckResult, path: str) -> None:
+    def _local_check(
+        self, program: "Program", result: ProofCheckResult, path: str
+    ) -> None:
         for i, sub in enumerate(self.subs):
             _expect_form(sub, "init", result, f"{path}[{i}]", "premise")
 
@@ -616,15 +648,21 @@ class InvariantIntro(SafetyProof):
     def concludes(self) -> tuple[str, Predicate]:
         return ("invariant", self.init_proof.concludes()[1])
 
-    def _local_check(self, program: "Program", result: ProofCheckResult, path: str) -> None:
+    def _local_check(
+        self, program: "Program", result: ProofCheckResult, path: str
+    ) -> None:
         p_init = _expect_form(self.init_proof, "init", result, path, "first premise")
-        p_stab = _expect_form(self.stable_proof, "stable", result, path, "second premise")
+        p_stab = _expect_form(
+            self.stable_proof, "stable", result, path, "second premise"
+        )
         if p_init is None or p_stab is None:
             return
         result.obligations_checked += 1
         if not masks_equal(p_init, p_stab, program):
-            result.failures.append(ProofFailure(
-                path,
-                "init and stable premises conclude inequivalent predicates: "
-                f"{p_init.describe()} vs {p_stab.describe()}",
-            ))
+            result.failures.append(
+                ProofFailure(
+                    path,
+                    "init and stable premises conclude inequivalent predicates: "
+                    f"{p_init.describe()} vs {p_stab.describe()}",
+                )
+            )

@@ -19,6 +19,8 @@ __all__ = [
     "CompositionError",
     "PropertyError",
     "ExplorationError",
+    "BudgetExhausted",
+    "CheckpointError",
     "ProofError",
     "GraphError",
     "DslError",
@@ -81,6 +83,62 @@ class ExplorationError(ReproError, ValueError):
 
     Also a :class:`ValueError` for backward compatibility with callers that
     caught the old bare ``ValueError`` from ``reachable_states``.
+    """
+
+
+class BudgetExhausted(ReproError):
+    """A run budget (deadline, soft node limit, level cap) ran out.
+
+    Deliberately **not** an :class:`ExplorationError`: the sparse→dense
+    fallback sites catch ``ExplorationError`` to mean "the sparse tier
+    cannot decide this instance", and a budget running out is neither a
+    tier failure nor grounds for silently restarting the same work on the
+    dense tier.  Budget-aware callers (the routed checkers, the proof
+    synthesizer, the CLI) catch this class explicitly and degrade to a
+    structured ``status="unknown"`` :class:`~repro.semantics.budget.
+    PartialResult`; everyone else fails loudly.
+
+    Attributes
+    ----------
+    reason:
+        Which budget ran out: ``"deadline"``, ``"node-budget"`` or
+        ``"level-budget"``.
+    explored:
+        Number of states interned when the budget ran out.
+    levels:
+        Number of **completed** BFS levels (the checkpoint, if any,
+        reflects exactly these).
+    elapsed:
+        Wall-clock seconds spent exploring.
+    checkpoint_path:
+        Path of the checkpoint emitted on exhaustion, or ``None`` when no
+        checkpoint policy was active.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str,
+        explored: int,
+        levels: int,
+        elapsed: float,
+        checkpoint_path: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.explored = explored
+        self.levels = levels
+        self.elapsed = elapsed
+        self.checkpoint_path = checkpoint_path
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file was refused (corrupt, truncated, wrong program).
+
+    Fail-closed by design: a checkpoint that does not validate end to end
+    — magic, header, payload digest, program digest — is never partially
+    loaded, and exploration never resumes from it.
     """
 
 

@@ -22,9 +22,14 @@ substitution axiom, no implicit restriction to reachable states):
   finite-state leads-to validated by the model checker;
 - execution — fair schedulers and trace simulation
   (:mod:`repro.semantics.scheduler`, :mod:`repro.semantics.simulate`);
-- ``wp`` cross-validation — :mod:`repro.semantics.wp`.
+- ``wp`` cross-validation — :mod:`repro.semantics.wp`;
+- **fault tolerance** — :mod:`repro.semantics.budget` (run budgets and
+  the resumable ``status="unknown"`` :class:`PartialResult`) and
+  :mod:`repro.semantics.sparse.checkpoint` (atomic, digest-keyed BFS
+  checkpoints); see ``docs/robustness.md``.
 """
 
+from repro.semantics.budget import Budget, PartialResult
 from repro.semantics.checker import (
     CheckResult,
     check_init,
@@ -58,9 +63,11 @@ from repro.semantics.strong_fairness import (
     strong_fair_scc_analysis,
 )
 from repro.semantics.sparse import (
+    CheckpointPolicy,
     ReachableSubspace,
     explore,
     reachable_subspace,
+    resume_exploration,
     sparse_enabled,
 )
 from repro.semantics.synthesis import (
@@ -90,6 +97,10 @@ __all__ = [
     "explore",
     "reachable_subspace",
     "sparse_enabled",
+    "Budget",
+    "PartialResult",
+    "CheckpointPolicy",
+    "resume_exploration",
     "auto_invariant",
     "inductive_strengthening",
     "strongest_invariant",

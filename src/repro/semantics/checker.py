@@ -98,25 +98,25 @@ def _sparse_bindings():
     return _SPARSE_BINDINGS
 
 
-def _try_sparse(program: Program, checker_name: str, args, dense_op: str):
+def _try_sparse(program: Program, checker_name: str, args, dense_op: str, **kwargs):
     """Run the sparse twin of a checker when the space routes sparse.
 
     Returns the sparse :class:`CheckResult`, or ``None`` when the check
     should run densely — either the space is below the threshold, or the
     sparse tier failed *and* the space fits the dense tier (beyond
     ``DENSE_MAX`` the fallback refuses with a
-    :class:`~repro.errors.CapacityError` carrying the sparse failure).
+    :class:`~repro.errors.CapacityError` whose ``__cause__`` is the
+    sparse failure).  ``kwargs`` (budget/checkpoint) are forwarded to the
+    sparse twin verbatim.
     """
     sparse, exploration_error, checkers = _sparse_bindings()
     space = program.space
     if not sparse.sparse_enabled(space):
         return None
     try:
-        return getattr(checkers, checker_name)(program, *args)
+        return getattr(checkers, checker_name)(program, *args, **kwargs)
     except exploration_error as exc:
-        space.require_dense(
-            f"the dense fallback for {dense_op} (sparse tier failed: {exc})"
-        )
+        sparse.dense_fallback(space, dense_op, exc)
         return None
 
 
@@ -339,7 +339,9 @@ def check_invariant(program: Program, p: Predicate) -> CheckResult:
     return CheckResult(True, "invariant", subject)
 
 
-def check_reachable_invariant(program: Program, p: Predicate) -> CheckResult:
+def check_reachable_invariant(
+    program: Program, p: Predicate, *, budget=None, checkpoint=None
+) -> CheckResult:
     """The weaker, *non-inductive* notion: ``p`` holds on every reachable
     state.  Not part of the paper's logic (it corresponds to the
     substitution-axiom strengthening the paper avoids); provided for
@@ -348,10 +350,13 @@ def check_reachable_invariant(program: Program, p: Predicate) -> CheckResult:
     Spaces above the sparse threshold are decided by the sparse tier
     (:mod:`repro.semantics.sparse`) — same judgment, no full-space arrays
     — falling back to the dense tier when the sparse tier cannot decide.
+    With a ``budget``, exhaustion on the sparse tier degrades to a
+    resumable ``status="unknown"`` :class:`~repro.semantics.budget.
+    PartialResult` instead of raising (see ``docs/robustness.md``).
     """
     space = program.space
     from repro.errors import ExplorationError
-    from repro.semantics.sparse import sparse_enabled
+    from repro.semantics.sparse import dense_fallback, sparse_enabled
 
     if sparse_enabled(space):
         from repro.semantics.sparse.checkers import (
@@ -359,12 +364,11 @@ def check_reachable_invariant(program: Program, p: Predicate) -> CheckResult:
         )
 
         try:
-            return check_reachable_invariant_sparse(program, p)
-        except ExplorationError as exc:
-            space.require_dense(
-                f"the dense fallback for check_reachable_invariant "
-                f"(sparse tier failed: {exc})"
+            return check_reachable_invariant_sparse(
+                program, p, budget=budget, checkpoint=checkpoint
             )
+        except ExplorationError as exc:
+            dense_fallback(space, "check_reachable_invariant", exc)
     reach = reachable_mask(program)
     bad = reach & ~p.mask(space)
     idx = np.flatnonzero(bad)

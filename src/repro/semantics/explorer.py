@@ -69,11 +69,11 @@ def reachable_states(
         except ExplorationError as exc:
             # Sparse tier cannot decide (non-expression init, reachable
             # set over its node_limit): fall back to the dense mask —
-            # refusing with a CapacityError when even that cannot run.
-            program.space.require_dense(
-                f"the dense fallback for reachable_states (sparse tier "
-                f"failed: {exc})"
-            )
+            # refusing with a CapacityError (chaining the sparse failure
+            # as __cause__) when even that cannot run.
+            from repro.semantics.sparse import dense_fallback
+
+            dense_fallback(program.space, "reachable_states", exc)
             idx = None
     if idx is None:
         idx = np.flatnonzero(reachable_mask(program, from_mask=from_mask))

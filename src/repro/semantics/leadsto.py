@@ -199,7 +199,14 @@ def fair_scc_analysis(program: Program, q: Predicate) -> FairAnalysis:
     )
 
 
-def check_leadsto(program: Program, p: Predicate, q: Predicate) -> CheckResult:
+def check_leadsto(
+    program: Program,
+    p: Predicate,
+    q: Predicate,
+    *,
+    budget=None,
+    checkpoint=None,
+) -> CheckResult:
     """Check ``p ↝ q`` under weak fairness of ``D``.
 
     The witness of a failure contains a ``p``-state from which the
@@ -216,23 +223,26 @@ def check_leadsto(program: Program, p: Predicate, q: Predicate) -> CheckResult:
     set above its ``node_limit``) the check falls back to the dense tier,
     which handles anything up to ``StateSpace.DENSE_MAX`` at dense memory
     cost — exactly the pre-sparse behaviour.  Beyond ``DENSE_MAX`` the
-    fallback refuses with a :class:`~repro.errors.CapacityError` that
-    carries the sparse failure.
+    fallback refuses with a :class:`~repro.errors.CapacityError` whose
+    ``__cause__`` is the sparse failure.
+
+    With a ``budget``, sparse-tier exhaustion degrades to a resumable
+    ``status="unknown"`` :class:`~repro.semantics.budget.PartialResult`
+    instead of raising (see ``docs/robustness.md``).
     """
     space = program.space
     from repro.errors import ExplorationError
-    from repro.semantics.sparse import sparse_enabled
+    from repro.semantics.sparse import dense_fallback, sparse_enabled
 
     if sparse_enabled(space):
         from repro.semantics.sparse.checkers import check_leadsto_sparse
 
         try:
-            return check_leadsto_sparse(program, p, q)
-        except ExplorationError as exc:
-            space.require_dense(
-                f"the dense fallback for check_leadsto (sparse tier "
-                f"failed: {exc})"
+            return check_leadsto_sparse(
+                program, p, q, budget=budget, checkpoint=checkpoint
             )
+        except ExplorationError as exc:
+            dense_fallback(space, "check_leadsto", exc)
     subject = f"{p.describe()} ~> {q.describe()}"
     analysis = fair_scc_analysis(program, q)
     bad = p.mask(space) & analysis.avoid_mask

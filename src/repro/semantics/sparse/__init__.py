@@ -63,13 +63,21 @@ ids preserve the global order and every canonical tie-break) — see
 from __future__ import annotations
 
 from repro.core.state import StateSpace
-from repro.errors import ExplorationError
+from repro.errors import CapacityError, ExplorationError
 
 from repro.semantics.sparse.explorer import (
     ReachableSubspace,
+    adopt_subspace,
     explore,
     initial_indices,
     reachable_subspace,
+)
+from repro.semantics.sparse.checkpoint import (
+    CheckpointPolicy,
+    load_checkpoint,
+    program_digest,
+    resume_exploration,
+    save_subspace,
 )
 from repro.semantics.sparse.subgraph import assemble_backend
 from repro.semantics.sparse.checkers import (
@@ -91,10 +99,17 @@ __all__ = [
     "SPARSE_THRESHOLD",
     "sparse_enabled",
     "routed_subspace",
+    "dense_fallback",
     "ReachableSubspace",
     "explore",
     "initial_indices",
     "reachable_subspace",
+    "adopt_subspace",
+    "CheckpointPolicy",
+    "load_checkpoint",
+    "program_digest",
+    "resume_exploration",
+    "save_subspace",
     "assemble_backend",
     "LocalFairAnalysis",
     "sparse_fair_analysis",
@@ -128,7 +143,26 @@ def sparse_enabled(space: StateSpace) -> bool:
     return space.size > SPARSE_THRESHOLD
 
 
-def routed_subspace(program, dense_op: str):
+def dense_fallback(space: StateSpace, dense_op: str, exc: Exception) -> None:
+    """Gate the sparse→dense fallback, chaining the sparse failure.
+
+    The single place every fallback site goes through after the sparse
+    tier raised ``exc``: returns normally when the space fits the dense
+    tier (the caller then runs densely), and re-raises the
+    :class:`~repro.errors.CapacityError` **with ``exc`` as its
+    ``__cause__``** when it does not — so the original traceback (and any
+    checkpoint path riding on it) survives the tier router instead of
+    being flattened into a message string.
+    """
+    try:
+        space.require_dense(
+            f"the dense fallback for {dense_op} (sparse tier failed: {exc})"
+        )
+    except CapacityError as cap:
+        raise cap from exc
+
+
+def routed_subspace(program, dense_op: str, *, budget=None, checkpoint=None):
     """The cached reachable subspace when ``program`` routes sparse.
 
     The single source of the tier-routing fallback policy for callers
@@ -138,15 +172,17 @@ def routed_subspace(program, dense_op: str):
     caller should run densely — either the space is below the threshold,
     or the sparse tier failed *and* the space fits the dense tier (beyond
     ``DENSE_MAX`` the fallback refuses with a
-    :class:`~repro.errors.CapacityError` carrying the sparse failure).
+    :class:`~repro.errors.CapacityError` chaining the sparse failure).
+
+    ``budget`` / ``checkpoint`` are forwarded to the exploration;
+    :class:`~repro.errors.BudgetExhausted` propagates to the caller
+    (budget exhaustion is resumable, never grounds for a dense restart).
     """
     space = program.space
     if not sparse_enabled(space):
         return None
     try:
-        return reachable_subspace(program)
+        return reachable_subspace(program, budget=budget, checkpoint=checkpoint)
     except ExplorationError as exc:
-        space.require_dense(
-            f"the dense fallback for {dense_op} (sparse tier failed: {exc})"
-        )
+        dense_fallback(space, dense_op, exc)
         return None

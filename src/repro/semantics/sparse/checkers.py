@@ -45,6 +45,8 @@ import numpy as np
 
 from repro.core.predicates import Predicate
 from repro.core.program import Program
+from repro.errors import BudgetExhausted
+from repro.semantics.budget import PartialResult
 from repro.semantics.checker import CheckResult
 from repro.semantics.leadsto import _fair_flags, _fair_seed_mask
 from repro.semantics.scc import Condensation
@@ -138,11 +140,20 @@ def _leadsto_result(
     q: Predicate,
     *,
     strong: bool,
-) -> CheckResult:
-    sub = reachable_subspace(program)
+    budget=None,
+    checkpoint=None,
+) -> CheckResult | PartialResult:
     kind = "leadsto-strong" if strong else "leadsto"
     arrow = "~>[strong]" if strong else "~>"
     subject = f"{p.describe()} {arrow} {q.describe()}"
+    try:
+        sub = reachable_subspace(program, budget=budget, checkpoint=checkpoint)
+    except BudgetExhausted as exc:
+        # Graceful degradation: the budget ran out before the reachable
+        # closure was complete, so no verdict is sound — return the
+        # structured UNKNOWN (with the resume path) instead of letting
+        # the exception unwind through the tier router.
+        return PartialResult.from_exhaustion(exc, kind=kind, subject=subject)
     if sub.size == 0:
         return CheckResult(
             True,
@@ -200,24 +211,58 @@ def _leadsto_result(
     )
 
 
-def check_leadsto_sparse(program: Program, p: Predicate, q: Predicate) -> CheckResult:
-    """``p ↝ q`` under weak fairness, from every **reachable** ``p``-state."""
-    return _leadsto_result(program, p, q, strong=False)
+def check_leadsto_sparse(
+    program: Program,
+    p: Predicate,
+    q: Predicate,
+    *,
+    budget=None,
+    checkpoint=None,
+) -> CheckResult | PartialResult:
+    """``p ↝ q`` under weak fairness, from every **reachable** ``p``-state.
+
+    With a ``budget``, exhaustion degrades to a
+    :class:`~repro.semantics.budget.PartialResult` (``status="unknown"``,
+    resumable) instead of raising.
+    """
+    return _leadsto_result(
+        program, p, q, strong=False, budget=budget, checkpoint=checkpoint
+    )
 
 
 def check_leadsto_strong_sparse(
-    program: Program, p: Predicate, q: Predicate
-) -> CheckResult:
+    program: Program,
+    p: Predicate,
+    q: Predicate,
+    *,
+    budget=None,
+    checkpoint=None,
+) -> CheckResult | PartialResult:
     """``p ↝ q`` under strong fairness, from every **reachable** ``p``-state."""
-    return _leadsto_result(program, p, q, strong=True)
+    return _leadsto_result(
+        program, p, q, strong=True, budget=budget, checkpoint=checkpoint
+    )
 
 
-def check_reachable_invariant_sparse(program: Program, p: Predicate) -> CheckResult:
+def check_reachable_invariant_sparse(
+    program: Program,
+    p: Predicate,
+    *,
+    budget=None,
+    checkpoint=None,
+) -> CheckResult | PartialResult:
     """``p`` holds on every reachable state — the same judgment as
     :func:`repro.semantics.checker.check_reachable_invariant`, decided
-    without full-space arrays."""
-    sub = reachable_subspace(program)
+    without full-space arrays.  With a ``budget``, exhaustion degrades to
+    a resumable ``status="unknown"`` :class:`~repro.semantics.budget.
+    PartialResult` instead of raising."""
     subject = f"reachable-invariant {p.describe()}"
+    try:
+        sub = reachable_subspace(program, budget=budget, checkpoint=checkpoint)
+    except BudgetExhausted as exc:
+        return PartialResult.from_exhaustion(
+            exc, kind="reachable-invariant", subject=subject
+        )
     bad = ~sub.pred_mask(p)
     idx = np.flatnonzero(bad)
     if idx.size == 0:

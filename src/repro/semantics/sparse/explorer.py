@@ -41,7 +41,9 @@ all work is proportional to the reachable set and the frontier.
 
 from __future__ import annotations
 
+import traceback as _traceback
 import weakref
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -50,8 +52,10 @@ from repro.core.expressions import And, Expr
 from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.core.state import State, StateSpace
-from repro.errors import ExplorationError, PropertyError
+from repro.errors import BudgetExhausted, ExplorationError, PropertyError
+from repro.semantics.budget import Budget
 from repro.util.csr import in_sorted
+from repro.util.faultinject import fault_point
 
 __all__ = [
     "DEFAULT_NODE_LIMIT",
@@ -60,7 +64,9 @@ __all__ = [
     "initial_indices",
     "explore",
     "reachable_subspace",
+    "adopt_subspace",
     "ReachableSubspace",
+    "ExplorationFailure",
 ]
 
 #: Default cap on the number of **discovered** reachable states.  This is
@@ -373,13 +379,232 @@ class ReachableSubspace:
         )
 
 
-#: Weak per-program cache of the default exploration.  Values are either
-#: the :class:`ReachableSubspace` or, for programs the sparse tier cannot
-#: decide, the failure message (a negative entry — message only, never
-#: the exception object, whose traceback would strongly pin the program).
-_CACHE: "weakref.WeakKeyDictionary[Program, ReachableSubspace | str]" = (
-    weakref.WeakKeyDictionary()
-)
+@dataclass
+class _BfsState:
+    """Mutable BFS progress — exactly what a checkpoint must capture.
+
+    ``level_nodes[d]`` are the sorted global indices first discovered at
+    distance ``d`` (``level_nodes[0]`` is the start set); ``level_parents``
+    and ``level_pcmds`` are aligned per level with the *global* parent
+    index and mover index that first produced each fresh state (``-1``
+    for roots).  ``known`` is the sorted union of all levels — the intern
+    table.  The level counter is ``len(level_nodes)``: no RNG, no clock,
+    nothing ambient — which is what makes a resumed run bit-identical to
+    an uninterrupted one.
+    """
+
+    level_nodes: list[np.ndarray]
+    level_parents: list[np.ndarray]
+    level_pcmds: list[np.ndarray]
+    known: np.ndarray
+
+    @property
+    def levels(self) -> int:
+        """Completed BFS levels (the RNG-free progress counter)."""
+        return len(self.level_nodes)
+
+    @property
+    def explored(self) -> int:
+        return int(self.known.shape[0])
+
+    @property
+    def frontier(self) -> np.ndarray:
+        return self.level_nodes[-1]
+
+
+def _assemble(program: Program, state: _BfsState, movers) -> ReachableSubspace:
+    """Fold completed BFS levels into a :class:`ReachableSubspace`.
+
+    Deterministic in the level structure alone, so assembling a resumed
+    run yields arrays bit-identical to the uninterrupted exploration.
+    """
+    known = state.known
+    m = known.shape[0]
+    dist = np.full(m, -1, dtype=np.int64)
+    parent = np.full(m, -1, dtype=np.int64)
+    parent_cmd = np.full(m, -1, dtype=np.int64)
+    for level, nodes in enumerate(state.level_nodes):
+        if nodes.size:
+            loc = np.searchsorted(known, nodes)
+            dist[loc] = level
+            pg = state.level_parents[level]
+            has = pg >= 0
+            if has.any():
+                ploc = np.full(nodes.shape[0], -1, dtype=np.int64)
+                ploc[has] = np.searchsorted(known, pg[has])
+                parent[loc] = ploc
+                parent_cmd[loc] = state.level_pcmds[level]
+    start = state.level_nodes[0]
+    return ReachableSubspace(
+        program,
+        program.space,
+        known,
+        dist,
+        np.searchsorted(known, start) if m else start,
+        state.levels,
+        parent,
+        parent_cmd,
+        tuple(c.name for c in movers),
+    )
+
+
+def _run_bfs(
+    program: Program,
+    state: _BfsState,
+    *,
+    node_limit: int,
+    budget: Budget | None = None,
+    checkpoint=None,
+) -> ReachableSubspace:
+    """Drive the BFS loop from ``state`` to closure (the resumable core).
+
+    ``budget`` bounds the run (deadline checked between per-command
+    kernels, node/level budgets at level boundaries); on exhaustion a
+    checkpoint is written (if a policy is active) and
+    :class:`~repro.errors.BudgetExhausted` carries its path.
+    ``checkpoint`` is a :class:`~repro.semantics.sparse.checkpoint.
+    CheckpointPolicy`; snapshots are written atomically at level
+    boundaries per its cadence, plus one final snapshot marked complete.
+    """
+    movers = [c for c in program.commands if not c.is_skip()]
+    clock = budget.start() if budget is not None else None
+
+    def write_snapshot(*, complete: bool) -> str:
+        from repro.semantics.sparse.checkpoint import write_checkpoint
+
+        path = write_checkpoint(
+            checkpoint.path,
+            program,
+            level_nodes=state.level_nodes,
+            level_parents=state.level_parents,
+            level_pcmds=state.level_pcmds,
+            mover_names=[c.name for c in movers],
+            complete=complete,
+        )
+        return str(path)
+
+    def exhaust(reason: str) -> None:
+        path = write_snapshot(complete=False) if checkpoint is not None else None
+        raise BudgetExhausted(
+            f"exploration of {program.name} ran out of budget ({reason}) "
+            f"after {state.levels} completed BFS level(s), "
+            f"{state.explored} state(s), {clock.elapsed:.3f}s"
+            + (f"; resume from {path}" if path else ""),
+            reason=reason,
+            explored=state.explored,
+            levels=state.levels,
+            elapsed=clock.elapsed,
+            checkpoint_path=path,
+        )
+
+    frontier = state.frontier
+    try:
+        frontier = _bfs_loop(
+            program,
+            state,
+            movers,
+            frontier,
+            node_limit=node_limit,
+            clock=clock,
+            checkpoint=checkpoint,
+            exhaust=exhaust,
+            write_snapshot=write_snapshot if checkpoint is not None else None,
+        )
+    except KeyboardInterrupt:
+        # Interrupted mid-run: salvage the completed levels.  A partially
+        # recorded level (the interrupt can land between the per-level
+        # appends) is dropped before the snapshot, so the checkpoint is
+        # always a consistent level-boundary state — never half a level.
+        if checkpoint is not None:
+            n = len(state.level_nodes)
+            del state.level_parents[n:]
+            del state.level_pcmds[n:]
+            write_snapshot(complete=False)
+        raise
+    if checkpoint is not None:
+        write_snapshot(complete=True)
+    return _assemble(program, state, movers)
+
+
+def _bfs_loop(
+    program: Program,
+    state: _BfsState,
+    movers,
+    frontier: np.ndarray,
+    *,
+    node_limit: int,
+    clock,
+    checkpoint,
+    exhaust,
+    write_snapshot,
+):
+    """The level loop of :func:`_run_bfs` (split out so the interrupt
+    handler in the driver sees every exit path uniformly)."""
+    space = program.space
+    last_write_level = state.levels
+    last_write_nodes = state.explored
+    while frontier.size:
+        fault_point(
+            "sparse.explore.level", level=state.levels, explored=state.explored
+        )
+        if clock is not None:
+            reason = clock.exhausted(explored=state.explored, levels=state.levels)
+            if reason is not None:
+                exhaust(reason)
+        deadline = None if clock is None else clock.budget.deadline
+        cols = []
+        for cmd in movers:
+            cols.append(cmd.succ_of(space, frontier))
+            # Deadline granularity is per command kernel, not per level:
+            # an aborted level is discarded whole, so the checkpoint (and
+            # the exhaustion statistics) reflect completed levels only.
+            if deadline is not None and clock.elapsed > deadline:
+                exhaust("deadline")
+        if not cols:
+            break
+        fault_point(
+            "sparse.explore.alloc",
+            level=state.levels,
+            entries=frontier.shape[0] * len(cols),
+        )
+        all_succ = np.concatenate(cols)
+        cand = np.unique(all_succ)
+        fresh = cand[~in_sorted(state.known, cand)]
+        if fresh.size == 0:
+            break
+        # Both arrays are sorted and disjoint: a positional insert is the
+        # O(m) merge (no per-level re-sort of the whole intern table).
+        state.known = np.insert(
+            state.known, np.searchsorted(state.known, fresh), fresh
+        )
+        if state.known.size > node_limit:
+            raise ExplorationError(
+                f"reachable exploration of {program.name} exceeded "
+                f"node_limit={node_limit} (encoded space {space.size}); "
+                "raise the limit if the workload is expected"
+            )
+        # First-discovery parents: among the stacked (command, frontier)
+        # successor entries that land on fresh states, keep the first per
+        # state — deterministic in (command order, frontier order), which
+        # pins the witness paths across runs.
+        take = in_sorted(fresh, all_succ)
+        succ_f = all_succ[take]
+        src_f = np.tile(frontier, len(cols))[take]
+        cmd_ids = np.repeat(np.arange(len(cols), dtype=np.int64), frontier.shape[0])
+        cmd_f = cmd_ids[take]
+        _, first = np.unique(succ_f, return_index=True)
+        state.level_parents.append(src_f[first])
+        state.level_pcmds.append(cmd_f[first])
+        state.level_nodes.append(fresh)
+        frontier = fresh
+        if checkpoint is not None and checkpoint.due(
+            levels_since=state.levels - last_write_level,
+            nodes_since=state.explored - last_write_nodes,
+        ):
+            write_snapshot(complete=False)
+            last_write_level = state.levels
+            last_write_nodes = state.explored
+    return frontier
 
 
 def explore(
@@ -389,6 +614,8 @@ def explore(
     node_limit: int | None = None,
     max_states: int | None = None,
     join_limit: int = DEFAULT_JOIN_LIMIT,
+    budget: Budget | None = None,
+    checkpoint=None,
 ) -> ReachableSubspace:
     """BFS-expand the reachable subspace of ``program``.
 
@@ -396,8 +623,18 @@ def explore(
     enumeration of ``initially``).  Raises :class:`ExplorationError` when
     the discovered set exceeds ``node_limit`` (default
     :data:`DEFAULT_NODE_LIMIT`; ``max_states`` is the deprecated alias) —
-    the sparse tier's only size wall: the *encoded* space is unbounded up
-    to the ``int64`` index range.
+    the sparse tier's only **hard** size wall: the *encoded* space is
+    unbounded up to the ``int64`` index range.
+
+    ``budget`` bounds the run softly (see :class:`~repro.semantics.
+    budget.Budget`): on exhaustion the exploration raises
+    :class:`~repro.errors.BudgetExhausted` — resumable, not fail-closed.
+    ``checkpoint`` takes a :class:`~repro.semantics.sparse.checkpoint.
+    CheckpointPolicy`; BFS state is snapshotted atomically at level
+    boundaries per its cadence (plus once on budget exhaustion and once,
+    marked complete, at closure), and
+    :func:`~repro.semantics.sparse.checkpoint.resume_exploration`
+    round-trips bit-identically with an uninterrupted run.
     """
     if node_limit is None:
         node_limit = max_states if max_states is not None else DEFAULT_NODE_LIMIT
@@ -414,92 +651,92 @@ def explore(
             f"start set of {program.name} already exceeds "
             f"node_limit={node_limit}"
         )
-    movers = [c for c in program.commands if not c.is_skip()]
-    known = start
-    frontier = start
-    level_sets = [start]
-    # Per level, aligned with level_sets: the *global* parent index and
-    # mover index that first produced each fresh state (-1 for roots).
-    parent_sets = [np.full(start.shape[0], -1, dtype=np.int64)]
-    pcmd_sets = [np.full(start.shape[0], -1, dtype=np.int64)]
-    while frontier.size:
-        cols = [cmd.succ_of(space, frontier) for cmd in movers]
-        if not cols:
-            break
-        all_succ = np.concatenate(cols)
-        cand = np.unique(all_succ)
-        fresh = cand[~in_sorted(known, cand)]
-        if fresh.size == 0:
-            break
-        # Both arrays are sorted and disjoint: a positional insert is the
-        # O(m) merge (no per-level re-sort of the whole intern table).
-        known = np.insert(known, np.searchsorted(known, fresh), fresh)
-        if known.size > node_limit:
-            raise ExplorationError(
-                f"reachable exploration of {program.name} exceeded "
-                f"node_limit={node_limit} (encoded space {space.size}); "
-                "raise the limit if the workload is expected"
-            )
-        # First-discovery parents: among the stacked (command, frontier)
-        # successor entries that land on fresh states, keep the first per
-        # state — deterministic in (command order, frontier order), which
-        # pins the witness paths across runs.
-        take = in_sorted(fresh, all_succ)
-        succ_f = all_succ[take]
-        src_f = np.tile(frontier, len(cols))[take]
-        cmd_ids = np.repeat(np.arange(len(cols), dtype=np.int64), frontier.shape[0])
-        cmd_f = cmd_ids[take]
-        _, first = np.unique(succ_f, return_index=True)
-        parent_sets.append(src_f[first])
-        pcmd_sets.append(cmd_f[first])
-        level_sets.append(fresh)
-        frontier = fresh
-    m = known.shape[0]
-    dist = np.full(m, -1, dtype=np.int64)
-    parent = np.full(m, -1, dtype=np.int64)
-    parent_cmd = np.full(m, -1, dtype=np.int64)
-    for level, nodes in enumerate(level_sets):
-        if nodes.size:
-            loc = np.searchsorted(known, nodes)
-            dist[loc] = level
-            pg = parent_sets[level]
-            has = pg >= 0
-            if has.any():
-                ploc = np.full(nodes.shape[0], -1, dtype=np.int64)
-                ploc[has] = np.searchsorted(known, pg[has])
-                parent[loc] = ploc
-                parent_cmd[loc] = pcmd_sets[level]
-    return ReachableSubspace(
-        program,
-        space,
-        known,
-        dist,
-        np.searchsorted(known, start) if m else start,
-        len(level_sets),
-        parent,
-        parent_cmd,
-        tuple(c.name for c in movers),
+    state = _BfsState(
+        level_nodes=[start],
+        level_parents=[np.full(start.shape[0], -1, dtype=np.int64)],
+        level_pcmds=[np.full(start.shape[0], -1, dtype=np.int64)],
+        known=start,
+    )
+    return _run_bfs(
+        program, state, node_limit=node_limit, budget=budget, checkpoint=checkpoint
     )
 
 
-def reachable_subspace(program: Program) -> ReachableSubspace:
+@dataclass(frozen=True)
+class ExplorationFailure:
+    """Structured record of a cached sparse-tier failure.
+
+    The negative cache must not hold the exception object itself (its
+    traceback would strongly pin the program and every array hanging off
+    it), but a bare message string loses the original raise site and any
+    checkpoint the failed run left behind.  This record keeps both as
+    plain strings: re-raises carry it as ``exc.failure``.
+    """
+
+    message: str
+    exc_type: str
+    traceback: str
+    checkpoint_path: str | None = None
+
+
+#: Weak per-program cache of the default exploration.  Values are either
+#: the :class:`ReachableSubspace` or, for programs the sparse tier cannot
+#: decide, an :class:`ExplorationFailure` (a negative entry — structured
+#: strings only, never the exception object, whose traceback would
+#: strongly pin the program).
+_CACHE: "weakref.WeakKeyDictionary[Program, ReachableSubspace | ExplorationFailure]" = weakref.WeakKeyDictionary()
+
+
+def adopt_subspace(program: Program, sub: ReachableSubspace) -> None:
+    """Publish a completed exploration as ``program``'s cached subspace.
+
+    Used by :func:`~repro.semantics.sparse.checkpoint.resume_exploration`
+    so that checks routed after a resume reuse the resumed work instead
+    of re-exploring from scratch.  Overwrites any negative entry.
+    """
+    _CACHE[program] = sub
+
+
+def reachable_subspace(
+    program: Program,
+    *,
+    budget: Budget | None = None,
+    checkpoint=None,
+) -> ReachableSubspace:
     """The (weakly) cached default exploration of ``program``.
 
     Mirrors ``TransitionSystem.for_program``: repeated sparse checks — the
     normal mode for the paper's proof chains — share one exploration.
-    Failures are cached too (as negative entries), so a proof chain over a
-    program the sparse tier cannot decide pays the doomed BFS once, not
-    once per routed check, before each check's dense fallback.
+    Failures are cached too (as structured negative entries, see
+    :class:`ExplorationFailure`), so a proof chain over a program the
+    sparse tier cannot decide pays the doomed BFS once, not once per
+    routed check, before each check's dense fallback.
+
+    ``budget`` / ``checkpoint`` are forwarded to :func:`explore` on a
+    cache miss (a cached complete subspace satisfies any budget
+    trivially).  :class:`~repro.errors.BudgetExhausted` is **not**
+    cached: running out of budget is transient, not a property of the
+    program.
     """
     cached = _CACHE.get(program)
     if isinstance(cached, ReachableSubspace):
         return cached
     if cached is not None:
-        raise ExplorationError(cached)
+        err = ExplorationError(
+            f"{cached.message} (cached sparse-tier failure; the original "
+            "traceback is preserved on this exception's .failure record)"
+        )
+        err.failure = cached
+        raise err
     try:
-        sub = explore(program)
+        sub = explore(program, budget=budget, checkpoint=checkpoint)
     except ExplorationError as exc:
-        _CACHE[program] = str(exc)
+        _CACHE[program] = ExplorationFailure(
+            message=str(exc),
+            exc_type=type(exc).__name__,
+            traceback="".join(_traceback.format_exception(exc)),
+            checkpoint_path=getattr(exc, "checkpoint_path", None),
+        )
         raise
     _CACHE[program] = sub
     return sub

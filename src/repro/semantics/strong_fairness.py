@@ -145,27 +145,37 @@ def check_transient_strong(program: Program, p: Predicate) -> CheckResult:
     )
 
 
-def check_leadsto_strong(program: Program, p: Predicate, q: Predicate) -> CheckResult:
+def check_leadsto_strong(
+    program: Program,
+    p: Predicate,
+    q: Predicate,
+    *,
+    budget=None,
+    checkpoint=None,
+) -> CheckResult:
     """Check ``p ↝ q`` assuming **strong** fairness of ``D``.
 
     Spaces above the sparse threshold are decided by the sparse tier over
     the reachable subspace (see :mod:`repro.semantics.sparse`), falling
-    back to the dense tier when the sparse tier cannot decide.
+    back to the dense tier when the sparse tier cannot decide (the
+    :class:`~repro.errors.CapacityError` of an impossible fallback chains
+    the sparse failure as ``__cause__``).  With a ``budget``, sparse-tier
+    exhaustion degrades to a resumable ``status="unknown"``
+    :class:`~repro.semantics.budget.PartialResult` instead of raising.
     """
     space = program.space
     from repro.errors import ExplorationError
-    from repro.semantics.sparse import sparse_enabled
+    from repro.semantics.sparse import dense_fallback, sparse_enabled
 
     if sparse_enabled(space):
         from repro.semantics.sparse.checkers import check_leadsto_strong_sparse
 
         try:
-            return check_leadsto_strong_sparse(program, p, q)
-        except ExplorationError as exc:
-            space.require_dense(
-                f"the dense fallback for check_leadsto_strong (sparse "
-                f"tier failed: {exc})"
+            return check_leadsto_strong_sparse(
+                program, p, q, budget=budget, checkpoint=checkpoint
             )
+        except ExplorationError as exc:
+            dense_fallback(space, "check_leadsto_strong", exc)
     subject = f"{p.describe()} ~>[strong] {q.describe()}"
     analysis = strong_fair_scc_analysis(program, q)
     bad = p.mask(space) & analysis.avoid_mask

@@ -94,6 +94,8 @@ def synthesize_leadsto_proof(
     *,
     fairness: str = "weak",
     subspace=None,
+    budget=None,
+    checkpoint=None,
 ) -> LeadsToProof:
     """Build a kernel-checkable certificate for ``p ↝ q``.
 
@@ -110,14 +112,32 @@ def synthesize_leadsto_proof(
     default spaces above the sparse threshold use the cached reachable
     subspace and smaller spaces synthesize densely, mirroring the
     checkers' tier routing.
+
+    ``budget`` / ``checkpoint`` bound the sparse exploration feeding the
+    synthesis; on exhaustion this returns a resumable
+    ``status="unknown"`` :class:`~repro.semantics.budget.PartialResult`
+    instead of a proof (callers must check for it — it is not a
+    :class:`LeadsToProof` and refuses ``bool()``).
     """
     if fairness not in ("weak", "strong"):
         raise ProofError(f"unknown fairness notion {fairness!r}")
     if subspace is not None:
         return _synthesize_sparse(subspace, p, q, fairness)
+    from repro.errors import BudgetExhausted
+    from repro.semantics.budget import PartialResult
     from repro.semantics.sparse import routed_subspace
 
-    sub = routed_subspace(program, "proof synthesis")
+    try:
+        sub = routed_subspace(
+            program, "proof synthesis", budget=budget, checkpoint=checkpoint
+        )
+    except BudgetExhausted as exc:
+        arrow = "~>[strong]" if fairness == "strong" else "~>"
+        return PartialResult.from_exhaustion(
+            exc,
+            kind="proof-synthesis",
+            subject=f"{p.describe()} {arrow} {q.describe()}",
+        )
     if sub is not None:
         return _synthesize_sparse(sub, p, q, fairness)
     return _synthesize_dense(program, p, q, fairness)

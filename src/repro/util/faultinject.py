@@ -1,0 +1,179 @@
+"""Fault-injection harness: prove the engine fails closed, by breaking it.
+
+The fault-tolerance layer (checkpoints, budgets, graceful degradation)
+makes claims that only hold if every kernel behaves correctly *under
+failure*: an interrupt at a BFS-level boundary must never publish a
+half-written checkpoint, a corrupted checkpoint must be refused before a
+single array is trusted, and no failure path may ever turn a partially
+explored subspace into a HOLDS/FAILS verdict.  This module provides the
+controlled failures those tests need.
+
+Design
+------
+Production code calls :func:`fault_point` at its instrumented sites —
+a name plus optional diagnostic detail.  With nothing armed this is one
+module-global boolean check (no dict lookup, no allocation), so the
+instrumentation is free on hot paths.  Tests arm a site with
+:func:`inject`::
+
+    with inject("sparse.explore.level", KeyboardInterrupt, after=3):
+        explore(program, checkpoint=policy)   # interrupted at level 4
+
+Instrumented sites
+------------------
+``sparse.explore.level``
+    Start of each BFS level in :func:`repro.semantics.sparse.explorer.
+    explore` (detail: ``level``, ``explored``).  The canonical place to
+    simulate interrupts/crashes between levels.
+``sparse.explore.alloc``
+    Before the per-level successor concatenation — the explorer's
+    dominant allocation (detail: ``level``, ``entries``).  Arm with
+    ``MemoryError`` to simulate a memory spike mid-exploration.
+``checkpoint.write.begin``
+    After the temp file is opened, before any byte is written.
+``checkpoint.write.payload``
+    After each payload array is written to the temp file — firing here
+    leaves a structurally truncated temp file behind.
+``checkpoint.write.rename``
+    After the temp file is fsynced, before the atomic publish
+    (``os.replace``) — the "crash at the worst moment" point: a valid
+    temp file exists but the destination must be untouched.
+
+File-corruption helpers (:func:`flip_byte`, :func:`truncate_file`) are
+provided for tests that damage a *published* checkpoint rather than
+interrupting a write.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "InjectedFault",
+    "fault_point",
+    "inject",
+    "active_sites",
+    "flip_byte",
+    "truncate_file",
+]
+
+
+class InjectedFault(Exception):
+    """Default exception raised at an armed fault point.
+
+    Intentionally **not** a :class:`~repro.errors.ReproError`: injected
+    faults simulate *environmental* failures (crashes, memory spikes,
+    interrupts), which the library's own ``except ReproError`` clauses
+    must never swallow.
+    """
+
+
+@dataclass
+class _Plan:
+    """One armed site: which hit fires, what it raises, how often."""
+
+    site: str
+    make: Callable[[], BaseException]
+    after: int
+    times: int | None
+    hits: int = 0
+    fired: int = 0
+    log: list[dict] = field(default_factory=list)
+
+
+_PLANS: dict[str, _Plan] = {}
+_ARMED: bool = False  # fast-path guard: False ⇒ fault_point is a no-op
+
+
+def fault_point(site: str, **detail) -> None:
+    """Fire the armed fault for ``site``, if any.
+
+    Called by production code at instrumented sites.  With no fault
+    armed anywhere this returns after a single boolean check.
+    """
+    if not _ARMED:
+        return
+    plan = _PLANS.get(site)
+    if plan is None:
+        return
+    plan.hits += 1
+    plan.log.append(detail)
+    if plan.hits <= plan.after:
+        return
+    if plan.times is not None and plan.fired >= plan.times:
+        return
+    plan.fired += 1
+    raise plan.make()
+
+
+def _factory(exc) -> Callable[[], BaseException]:
+    if isinstance(exc, BaseException):
+        return lambda: exc
+    if isinstance(exc, type) and issubclass(exc, BaseException):
+        return exc
+    if callable(exc):
+        return exc
+    raise TypeError(f"exc must be an exception, class or factory, got {exc!r}")
+
+
+@contextmanager
+def inject(
+    site: str,
+    exc: object = InjectedFault,
+    *,
+    after: int = 0,
+    times: int | None = 1,
+) -> Iterator[_Plan]:
+    """Arm ``site`` to raise ``exc`` for the duration of the block.
+
+    ``exc`` may be an exception instance, class, or zero-argument
+    factory.  The first ``after`` hits pass through; the fault then
+    fires ``times`` times (``None`` = every subsequent hit).  Yields the
+    plan, whose ``hits``/``fired``/``log`` fields let tests assert the
+    site was actually reached.  Re-arming an already-armed site is a
+    test bug and raises ``RuntimeError``.
+    """
+    global _ARMED
+    if site in _PLANS:
+        raise RuntimeError(f"fault site {site!r} is already armed")
+    plan = _Plan(site=site, make=_factory(exc), after=after, times=times)
+    _PLANS[site] = plan
+    _ARMED = True
+    try:
+        yield plan
+    finally:
+        _PLANS.pop(site, None)
+        _ARMED = bool(_PLANS)
+
+
+def active_sites() -> tuple[str, ...]:
+    """Names of currently armed sites (diagnostic)."""
+    return tuple(sorted(_PLANS))
+
+
+# ---------------------------------------------------------------------------
+# File-corruption helpers
+# ---------------------------------------------------------------------------
+
+
+def flip_byte(path, offset: int) -> None:
+    """XOR one byte of ``path`` in place (negative offsets from the end)."""
+    with open(path, "r+b") as f:
+        size = os.fstat(f.fileno()).st_size
+        if offset < 0:
+            offset += size
+        if not 0 <= offset < size:
+            raise ValueError(f"offset {offset} outside file of {size} bytes")
+        f.seek(offset)
+        byte = f.read(1)
+        f.seek(offset)
+        f.write(bytes([byte[0] ^ 0xFF]))
+
+
+def truncate_file(path, nbytes: int) -> None:
+    """Truncate ``path`` to its first ``nbytes`` bytes."""
+    with open(path, "r+b") as f:
+        f.truncate(nbytes)

@@ -1,0 +1,456 @@
+"""Checkpointed resumable BFS, run budgets, and graceful degradation.
+
+Pins the fault-tolerance contracts of ``docs/robustness.md``:
+
+- checkpoint/resume round-trips **bit-identically** with an
+  uninterrupted exploration (global ids, distances, parents, successor
+  columns), both from a budget-exhausted prefix and from a complete
+  :func:`~repro.semantics.sparse.checkpoint.save_subspace` snapshot;
+- budgets degrade gracefully: exhaustion surfaces as a structured
+  ``status="unknown"`` :class:`~repro.semantics.budget.PartialResult`
+  from every budget-aware entry point (checkers, synthesis, CLI), while
+  the hard ``node_limit`` keeps its fail-closed meaning;
+- ``BudgetExhausted`` is transient — never negatively cached — while
+  genuine sparse-tier failures are cached as structured
+  :class:`~repro.semantics.sparse.explorer.ExplorationFailure` records
+  that keep the original traceback;
+- every sparse→dense fallback chains the sparse failure as
+  ``__cause__`` on the resulting :class:`~repro.errors.CapacityError`;
+- the CLI differential: ``scenario product --deadline …`` exits 0 with
+  ``status=unknown`` plus a checkpoint, and ``--resume`` completes to
+  the same verdicts as an unbudgeted run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.commands import GuardedCommand
+from repro.core.domains import IntRange
+from repro.core.predicates import ExprPredicate, FnPredicate
+from repro.core.program import Program
+from repro.core.variables import Var
+from repro.errors import (
+    BudgetExhausted,
+    CapacityError,
+    CheckpointError,
+    ExplorationError,
+)
+from repro.semantics.budget import Budget, PartialResult
+from repro.semantics.checker import check_reachable_invariant
+from repro.semantics.explorer import reachable_states
+from repro.semantics.leadsto import check_leadsto
+from repro.semantics.sparse import (
+    CheckpointPolicy,
+    load_checkpoint,
+    program_digest,
+    resume_exploration,
+    save_subspace,
+)
+from repro.semantics.sparse.explorer import (
+    ExplorationFailure,
+    explore,
+    reachable_subspace,
+)
+from repro.semantics.strong_fairness import check_leadsto_strong
+from repro.semantics.synthesis import synthesize_leadsto_proof
+from repro.systems.pipeline import build_pipeline_system
+from repro.systems.product import build_pipeline_allocator
+
+
+def fresh_program():
+    return build_pipeline_system(5, total=2).system
+
+
+def tera_fn_init_program():
+    """10^12 encoded states with a callable ``initially``: the sparse
+    tier cannot enumerate it, and the dense fallback cannot run."""
+    vs = [Var.shared(f"d{k}", IntRange(0, 9)) for k in range(12)]
+    d0 = vs[0]
+    return Program(
+        "TeraFnInit",
+        vs,
+        FnPredicate(lambda s: s[d0] == 0, "d0 = 0"),
+        [GuardedCommand("inc", d0.ref() < 9, [(d0, d0.ref() + 1)])],
+        fair=["inc"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Budget / BudgetClock / PartialResult semantics
+# ---------------------------------------------------------------------------
+
+
+class TestBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Budget(deadline=-1)
+        with pytest.raises(ValueError, match="node_budget"):
+            Budget(node_budget=0)
+        with pytest.raises(ValueError, match="max_levels"):
+            Budget(max_levels=0)
+
+    def test_exhaustion_reasons(self):
+        clock = Budget(deadline=0.0).start()
+        assert clock.exhausted(explored=0, levels=0) == "deadline"
+        clock = Budget(node_budget=10).start()
+        assert clock.exhausted(explored=10, levels=0) is None  # soft: >
+        assert clock.exhausted(explored=11, levels=0) == "node-budget"
+        clock = Budget(max_levels=3).start()
+        assert clock.exhausted(explored=0, levels=2) is None
+        assert clock.exhausted(explored=0, levels=3) == "level-budget"
+        clock = Budget().start()  # unbounded
+        assert clock.exhausted(explored=10**9, levels=10**6) is None
+
+    def test_budget_spec_is_reusable(self):
+        """One Budget, two runs: each .start() opens a fresh window."""
+        budget = Budget(max_levels=2)
+        for _ in range(2):
+            with pytest.raises(BudgetExhausted) as info:
+                explore(fresh_program(), budget=budget)
+            assert info.value.reason == "level-budget"
+            assert info.value.levels == 2
+
+    def test_exhaustion_carries_stats_and_no_path_without_policy(self):
+        with pytest.raises(BudgetExhausted) as info:
+            explore(fresh_program(), budget=Budget(max_levels=1))
+        exc = info.value
+        assert exc.levels == 1
+        assert exc.explored >= 1
+        assert exc.elapsed >= 0
+        assert exc.checkpoint_path is None
+
+    def test_partial_result_explain_and_refusals(self):
+        pr = PartialResult(
+            kind="leadsto",
+            subject="p ~> q",
+            reason="deadline",
+            explored=42,
+            levels=7,
+            elapsed=1.25,
+            checkpoint_path="x.ckpt",
+        )
+        text = pr.explain()
+        assert "[UNKNOWN]" in text
+        assert "x.ckpt" in text
+        assert "7 BFS level(s)" in text
+        with pytest.raises(TypeError, match="not a verdict"):
+            bool(pr)
+        assert not hasattr(pr, "holds")
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint round trips
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    def test_exhausted_then_resumed_equals_uninterrupted(self, tmp_path):
+        reference = fresh_program()
+        full = explore(reference)
+        path = str(tmp_path / "budget.ckpt")
+        with pytest.raises(BudgetExhausted) as info:
+            explore(
+                fresh_program(),
+                budget=Budget(max_levels=3),
+                checkpoint=CheckpointPolicy(path=path, every_levels=1),
+            )
+        assert info.value.checkpoint_path == path
+        resumed_program = fresh_program()
+        sub = resume_exploration(path, resumed_program)
+        assert np.array_equal(sub.global_ids, full.global_ids)
+        assert np.array_equal(sub.dist, full.dist)
+        assert np.array_equal(sub.parent, full.parent)
+        assert np.array_equal(sub.parent_cmd, full.parent_cmd)
+        assert sub.levels == full.levels
+        for name in full.mover_names:
+            assert np.array_equal(sub.succ_local(name), full.succ_local(name))
+
+    def test_uninterrupted_run_with_policy_is_unchanged(self, tmp_path):
+        """Writing checkpoints must not perturb the exploration itself."""
+        reference = fresh_program()
+        full = explore(reference)
+        path = str(tmp_path / "cadence.ckpt")
+        observed = fresh_program()
+        sub = explore(
+            observed, checkpoint=CheckpointPolicy(path=path, every_levels=2)
+        )
+        assert np.array_equal(sub.global_ids, full.global_ids)
+        assert np.array_equal(sub.dist, full.dist)
+        loaded = load_checkpoint(path, observed)
+        assert loaded["header"]["complete"] is True
+
+    def test_save_subspace_round_trip_with_succ_columns(self, tmp_path):
+        reference = fresh_program()
+        full = explore(reference)
+        for name in full.mover_names:
+            full.succ_local(name)  # materialize the columns to persist
+        path = str(tmp_path / "full.ckpt")
+        save_subspace(path, full)
+        loaded = load_checkpoint(path, reference)
+        stored_cols = [
+            k for k in loaded["arrays"] if k.startswith("succ:")
+        ]
+        assert len(stored_cols) == len(full.mover_names)
+        resumed_program = fresh_program()
+        sub = resume_exploration(path, resumed_program)
+        assert np.array_equal(sub.global_ids, full.global_ids)
+        assert np.array_equal(sub.dist, full.dist)
+        for name in full.mover_names:
+            assert np.array_equal(sub.succ_local(name), full.succ_local(name))
+
+    def test_resume_publishes_to_cache(self, tmp_path):
+        path = str(tmp_path / "cache.ckpt")
+        with pytest.raises(BudgetExhausted):
+            explore(
+                fresh_program(),
+                budget=Budget(max_levels=2),
+                checkpoint=CheckpointPolicy(path=path, every_levels=1),
+            )
+        program = fresh_program()
+        sub = resume_exploration(path, program)
+        assert reachable_subspace(program) is sub
+
+    def test_policy_validation_and_cadence(self):
+        with pytest.raises(ValueError, match="every_levels"):
+            CheckpointPolicy(path="x", every_levels=0)
+        with pytest.raises(ValueError, match="every_nodes"):
+            CheckpointPolicy(path="x", every_nodes=-1)
+        policy = CheckpointPolicy(path="x", every_levels=4, every_nodes=100)
+        assert not policy.due(levels_since=3, nodes_since=99)
+        assert policy.due(levels_since=4, nodes_since=0)
+        assert policy.due(levels_since=0, nodes_since=100)
+
+    def test_program_digest_distinguishes_programs(self):
+        a = build_pipeline_system(5, total=2).system
+        b = build_pipeline_system(5, total=2).system
+        c = build_pipeline_system(5, total=3).system
+        assert program_digest(a) == program_digest(b)
+        assert program_digest(a) != program_digest(c)
+
+    def test_missing_file_is_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(tmp_path / "nope.ckpt"))
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation through checkers and synthesis
+# ---------------------------------------------------------------------------
+
+
+class TestGracefulDegradation:
+    def test_routed_invariant_returns_partial_result(self, tmp_path, monkeypatch):
+        import repro.semantics.sparse as sparse_pkg
+
+        monkeypatch.setattr(sparse_pkg, "SPARSE_THRESHOLD", 1)
+        pl = build_pipeline_system(5, total=2)
+        path = str(tmp_path / "inv.ckpt")
+        result = check_reachable_invariant(
+            pl.system,
+            pl.conservation_predicate(),
+            budget=Budget(max_levels=1),
+            checkpoint=CheckpointPolicy(path=path, every_levels=1),
+        )
+        assert isinstance(result, PartialResult)
+        assert result.status == "unknown"
+        assert result.kind == "reachable-invariant"
+        assert result.reason == "level-budget"
+        assert result.checkpoint_path == path
+        assert result.witness["tier"] == "sparse"
+
+    def test_routed_leadsto_both_fairness_notions(self, monkeypatch):
+        import repro.semantics.sparse as sparse_pkg
+
+        monkeypatch.setattr(sparse_pkg, "SPARSE_THRESHOLD", 1)
+        pl = build_pipeline_system(5, total=2)
+        prop = pl.delivery()
+        for checker in (check_leadsto, check_leadsto_strong):
+            result = checker(
+                pl.system, prop.p, prop.q, budget=Budget(max_levels=1)
+            )
+            assert isinstance(result, PartialResult)
+            assert result.status == "unknown"
+
+    def test_synthesis_returns_partial_result(self, monkeypatch):
+        import repro.semantics.sparse as sparse_pkg
+
+        monkeypatch.setattr(sparse_pkg, "SPARSE_THRESHOLD", 1)
+        pl = build_pipeline_system(5, total=2)
+        prop = pl.delivery()
+        result = synthesize_leadsto_proof(
+            pl.system, prop.p, prop.q, budget=Budget(max_levels=1)
+        )
+        assert isinstance(result, PartialResult)
+        assert result.kind == "proof-synthesis"
+
+    def test_exhaustion_is_not_cached(self):
+        """A budget failure is transient: the next (unbudgeted) call on
+        the same program object must explore normally."""
+        program = fresh_program()
+        with pytest.raises(BudgetExhausted):
+            reachable_subspace(program, budget=Budget(max_levels=1))
+        sub = reachable_subspace(program)
+        assert sub.size > 0
+
+    def test_hard_node_limit_stays_fail_closed(self):
+        """node_limit keeps raising ExplorationError — soft budgets did
+        not soften the memory wall."""
+        with pytest.raises(ExplorationError, match="node_limit"):
+            explore(fresh_program(), node_limit=2)
+
+    def test_completed_cache_satisfies_any_budget(self):
+        program = fresh_program()
+        sub = reachable_subspace(program)
+        # A cached complete subspace is returned even under a budget that
+        # a fresh exploration would blow.
+        again = reachable_subspace(program, budget=Budget(max_levels=1))
+        assert again is sub
+
+
+# ---------------------------------------------------------------------------
+# Structured negative cache
+# ---------------------------------------------------------------------------
+
+
+class TestNegativeCache:
+    def test_cached_failure_keeps_traceback_and_type(self):
+        program = tera_fn_init_program()
+        with pytest.raises(ExplorationError, match="expression-backed"):
+            reachable_subspace(program)
+        # Second call re-raises from the cache, now carrying the record.
+        with pytest.raises(ExplorationError, match="cached sparse-tier") as info:
+            reachable_subspace(program)
+        failure = info.value.failure
+        assert isinstance(failure, ExplorationFailure)
+        assert failure.exc_type == "ExplorationError"
+        assert "expression-backed" in failure.message
+        # The original raise site survives as a formatted traceback.
+        assert "initial_indices" in failure.traceback or "_conjuncts" in (
+            failure.traceback
+        )
+        assert failure.checkpoint_path is None
+
+
+# ---------------------------------------------------------------------------
+# Exception chaining at every sparse→dense fallback
+# ---------------------------------------------------------------------------
+
+
+class TestFallbackChaining:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda prog: check_leadsto(
+                prog,
+                ExprPredicate(prog.space.vars[0].ref() == 0),
+                ExprPredicate(prog.space.vars[0].ref() == 9),
+            ),
+            lambda prog: check_leadsto_strong(
+                prog,
+                ExprPredicate(prog.space.vars[0].ref() == 0),
+                ExprPredicate(prog.space.vars[0].ref() == 9),
+            ),
+            lambda prog: check_reachable_invariant(
+                prog, ExprPredicate(prog.space.vars[0].ref() <= 9)
+            ),
+            lambda prog: reachable_states(prog, limit=100),
+            lambda prog: synthesize_leadsto_proof(
+                prog,
+                ExprPredicate(prog.space.vars[0].ref() == 0),
+                ExprPredicate(prog.space.vars[0].ref() == 9),
+            ),
+        ],
+        ids=[
+            "check_leadsto",
+            "check_leadsto_strong",
+            "check_reachable_invariant",
+            "reachable_states",
+            "synthesize_leadsto_proof",
+        ],
+    )
+    def test_capacity_error_chains_sparse_failure(self, call):
+        program = tera_fn_init_program()
+        with pytest.raises(CapacityError) as info:
+            call(program)
+        cause = info.value.__cause__
+        assert isinstance(cause, ExplorationError)
+        assert "expression-backed" in str(cause)
+
+    def test_try_sparse_obligation_checkers_chain_too(self):
+        from repro.semantics.checker import check_validity
+
+        program = tera_fn_init_program()
+        d0 = program.space.vars[0]
+        with pytest.raises(CapacityError) as info:
+            check_validity(
+                program,
+                ExprPredicate(d0.ref() == 0),
+                ExprPredicate(d0.ref() <= 9),
+            )
+        assert isinstance(info.value.__cause__, ExplorationError)
+
+
+# ---------------------------------------------------------------------------
+# CLI differential: --deadline / --checkpoint / --resume
+# ---------------------------------------------------------------------------
+
+
+def verdict_lines(text: str) -> list[str]:
+    return [
+        line
+        for line in text.splitlines()
+        if line.startswith(("[HOLDS]", "[FAILS]"))
+    ]
+
+
+class TestCliDifferential:
+    PRODUCT = ["scenario", "product", "--stages", "8", "--clients", "2"]
+
+    def test_deadline_unknown_then_resume_matches_unbudgeted(
+        self, tmp_path, capsys
+    ):
+        path = str(tmp_path / "cli.ckpt")
+        # 1. Budgeted run: exits 0, status=unknown, checkpoint written.
+        code = main(self.PRODUCT + ["--deadline", "0", "--checkpoint", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status=unknown" in out
+        assert f"checkpoint={path}" in out
+        assert "[UNKNOWN]" in out
+        assert not verdict_lines(out)  # no verdict from a partial run
+        # 2. Unbudgeted reference run.
+        code = main(self.PRODUCT)
+        reference = capsys.readouterr().out
+        assert code == 0
+        # 3. Resumed run: same verdicts and witnesses, same exit code.
+        code = main(self.PRODUCT + ["--resume", path])
+        resumed = capsys.readouterr().out
+        assert code == 0
+        assert verdict_lines(resumed) == verdict_lines(reference)
+        assert "resumed" in resumed
+
+    def test_resume_wrong_scenario_refused(self, tmp_path, capsys):
+        path = str(tmp_path / "wrong.ckpt")
+        code = main(self.PRODUCT + ["--deadline", "0", "--checkpoint", path])
+        capsys.readouterr()
+        assert code == 0
+        # Same scenario, different parameters ⇒ different program digest.
+        code = main(
+            ["scenario", "product", "--stages", "9", "--clients", "2",
+             "--resume", path]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "different program" in err
+
+    def test_default_checkpoint_path_under_budget(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code = main(self.PRODUCT + ["--deadline", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (tmp_path / "product.ckpt").exists()
+        assert "checkpoint=product.ckpt" in out
