@@ -22,13 +22,22 @@ CI smoke (crash check only, no timing, no snapshot)::
 
     PYTHONPATH=src python benchmarks/record.py --smoke
 
-``--smoke`` runs the sparse-tier scenario and certificate-check
-benchmarks with timing disabled, then a checkpoint/resume round trip on
-the product scenario (budget-exhaust → UNKNOWN → resume → same verdicts
-as an unbudgeted run; see docs/robustness.md):
-it fails on crash or assertion regression, never on a timing regression,
-keeping the committed ``BENCH_<n>.json`` trajectory the only place where
-numbers live.
+``--smoke`` runs the sparse-tier scenario, certificate-check, and
+telemetry benchmarks with timing disabled, then a checkpoint/resume
+round trip on the product scenario (budget-exhaust → UNKNOWN → resume →
+same verdicts as an unbudgeted run; see docs/robustness.md), then one
+instrumented run whose JSONL trace and run manifest are left at the
+repo root (``obs-smoke-trace.jsonl`` / ``obs-smoke-manifest.json``) for
+CI to upload as workflow artifacts: it fails on crash or assertion
+regression, never on a timing regression, keeping the committed
+``BENCH_<n>.json`` trajectory the only place where numbers live.
+
+Snapshots written with ``--out`` also attach a compact run-manifest
+summary (tier, whole-run counters, per-phase wall seconds) from one
+instrumented ``scenario product --prove`` run, and ``--diff`` reports
+counter deltas between two snapshots' manifests — so changes in *work
+done* (BFS levels, obligations, cache hits) are visible alongside
+changes in time taken.
 """
 
 from __future__ import annotations
@@ -120,6 +129,74 @@ def diff(old_path: Path, new_path: Path, *, github: bool = False) -> None:
         print(f"({added} new, {removed} removed benchmark id(s))")
 
 
+def diff_manifests(old_doc: dict, new_doc: dict, *, github: bool = False) -> None:
+    """Report counter deltas between two snapshots' manifest summaries.
+
+    Only counters whose values differ are shown: manifests record *work
+    done* (BFS levels, obligations discharged, cache hits), so any delta
+    is a behavior change worth a look, while equal rows are noise.
+    """
+    old_m, new_m = old_doc.get("manifest"), new_doc.get("manifest")
+    if not old_m or not new_m:
+        return
+    old_c = old_m.get("counters", {})
+    new_c = new_m.get("counters", {})
+    changed = [
+        (key, old_c.get(key), new_c.get(key))
+        for key in sorted(set(old_c) | set(new_c))
+        if old_c.get(key) != new_c.get(key)
+    ]
+    if not changed:
+        return
+    if github:
+        print()
+        print("#### Manifest counter deltas (work done, not time taken)")
+        print()
+        print("| counter | old | new |")
+        print("| --- | ---: | ---: |")
+        for key, old_v, new_v in changed:
+            print(f"| `{key}` | {old_v if old_v is not None else '—'} | "
+                  f"{new_v if new_v is not None else '—'} |")
+        return
+    print("manifest counter deltas:")
+    width = max(len(k) for k, *_ in changed)
+    for key, old_v, new_v in changed:
+        print(f"  {key:<{width}}  "
+              f"{old_v if old_v is not None else '—'} -> "
+              f"{new_v if new_v is not None else '—'}")
+
+
+def capture_reference_manifest() -> dict | None:
+    """A compact manifest summary from one instrumented reference run.
+
+    Runs ``scenario product --prove --metrics-out`` and keeps the parts
+    that are stable across machines: the tier, the whole-run counters,
+    and the per-phase wall seconds (informational; the counters are the
+    diffable payload).  Returns ``None`` if the run fails — a snapshot
+    without a manifest beats no snapshot.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    with tempfile.TemporaryDirectory(prefix="repro-manifest-") as tmp:
+        out = Path(tmp) / "manifest.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "scenario", "product",
+             "--prove", "--metrics-out", str(out)],
+            cwd=tmp, env=env, capture_output=True, text=True,
+        )
+        if proc.returncode != 0 or not out.exists():
+            return None
+        manifest = json.loads(out.read_text())
+    return {
+        "tier": manifest.get("tier"),
+        "counters": manifest.get("counters", {}),
+        "phases": {
+            row["phase"]: round(row["wall_s"], 6)
+            for row in manifest.get("phases", [])
+        },
+    }
+
+
 def smoke_checkpoint_roundtrip() -> None:
     """Budget-exhaust the product scenario, resume it, and require the
     resumed run to reproduce the verdicts of an unbudgeted reference run
@@ -171,6 +248,41 @@ def smoke_checkpoint_roundtrip() -> None:
     print("checkpoint/resume round-trip smoke ok (product scenario)")
 
 
+def smoke_obs_artifacts() -> None:
+    """One instrumented scenario run; leaves the JSONL trace and run
+    manifest at the repo root (``obs-smoke-trace.jsonl`` /
+    ``obs-smoke-manifest.json``) for CI to upload as workflow artifacts,
+    and fails if either is missing or structurally empty."""
+    trace = REPO_ROOT / "obs-smoke-trace.jsonl"
+    manifest_path = REPO_ROOT / "obs-smoke-manifest.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "scenario", "product", "--prove",
+         "--trace", str(trace), "--metrics-out", str(manifest_path)],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            "obs smoke: instrumented scenario failed "
+            f"(exit {proc.returncode}):\n{proc.stdout}{proc.stderr}"
+        )
+    manifest = json.loads(manifest_path.read_text())
+    for key in ("schema", "phases", "counters", "verdicts"):
+        if key not in manifest:
+            raise SystemExit(f"obs smoke: manifest lacks {key!r}")
+    if manifest["counters"].get("sparse.bfs.levels", 0) <= 0:
+        raise SystemExit("obs smoke: manifest recorded no BFS levels")
+    span_rows = sum(
+        1 for line in trace.read_text().splitlines()
+        if line.strip() and json.loads(line).get("ev") == "span"
+    )
+    if span_rows == 0:
+        raise SystemExit("obs smoke: trace holds no span events")
+    print(f"obs telemetry smoke ok ({trace.name}: {span_rows} spans, "
+          f"{manifest_path.name})")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path, default=None,
@@ -194,6 +306,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.diff:
         diff(*args.diff, github=args.github_summary)
+        old_doc = json.loads(args.diff[0].read_text())
+        new_doc = json.loads(args.diff[1].read_text())
+        diff_manifests(old_doc, new_doc, github=args.github_summary)
         return 0
 
     if args.smoke:
@@ -201,12 +316,14 @@ def main(argv: list[str] | None = None) -> int:
             sys.executable, "-m", "pytest",
             str(BENCH_DIR / "bench_sparse.py"),
             str(BENCH_DIR / "bench_proof_check.py"),
+            str(BENCH_DIR / "bench_obs.py"),
             "--benchmark-disable", "-q", *args.extra,
         ]
         proc = subprocess.run(cmd, cwd=REPO_ROOT)
         if proc.returncode != 0:
             raise SystemExit(f"sparse benchmark smoke failed (exit {proc.returncode})")
         smoke_checkpoint_roundtrip()
+        smoke_obs_artifacts()
         print("sparse benchmark smoke ok")
         return 0
 
@@ -223,6 +340,9 @@ def main(argv: list[str] | None = None) -> int:
         "note": "median seconds per benchmark id; see benchmarks/record.py",
         "medians": medians,
     }
+    manifest = capture_reference_manifest()
+    if manifest is not None:
+        doc["manifest"] = manifest
     text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
     if args.out:
         args.out.write_text(text)

@@ -114,6 +114,25 @@ def build_parser() -> argparse.ArgumentParser:
                  "was written)",
         )
 
+    def add_obs_args(p) -> None:
+        p.add_argument(
+            "--trace", type=Path, default=None, metavar="FILE",
+            help="write the run's span/counter/heartbeat events as JSONL "
+                 "trace records to FILE (see docs/observability.md)",
+        )
+        p.add_argument(
+            "--metrics-out", type=Path, default=None, metavar="FILE",
+            help="write the run manifest (program digest, tier, verdicts, "
+                 "per-phase wall/CPU seconds, counters) as JSON to FILE",
+        )
+        p.add_argument(
+            "--progress", action="store_true",
+            help="print heartbeat lines (BFS level, nodes, rate, budget "
+                 "left) to stderr while the engine runs",
+        )
+
+    add_obs_args(p_check)
+
     p_prove = sub.add_parser("prove", help="synthesize a leads-to certificate")
     add_file_args(p_prove)
     p_prove.add_argument("--from", dest="lhs", required=True, metavar="P")
@@ -122,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the proof tree"
     )
     add_budget_args(p_prove)
+    add_obs_args(p_prove)
 
     p_sim = sub.add_parser("simulate", help="run a fair trace")
     add_file_args(p_sim)
@@ -136,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="one experiment id (default: all)")
     p_rep.add_argument("--markdown", action="store_true",
                        help="emit a Markdown table for EXPERIMENTS.md")
+    add_obs_args(p_rep)
 
     p_scen = sub.add_parser(
         "scenario", help="run a scaled composition scenario"
@@ -172,7 +193,114 @@ def build_parser() -> argparse.ArgumentParser:
              "kernel checks 10^5-level certificates in seconds)",
     )
     add_budget_args(p_scen)
+    add_obs_args(p_scen)
     return parser
+
+
+# ---------------------------------------------------------------------------
+# Telemetry (--trace / --metrics-out / --progress)
+# ---------------------------------------------------------------------------
+
+#: Manifest context of the current telemetry-enabled invocation, or None.
+#: Commands note the program/tier/budget/verdicts they decide through
+#: :func:`_note_run` / :func:`_note_verdict`; both are no-ops unless
+#: :func:`main` activated telemetry for this run.
+_RUN_CONTEXT: dict | None = None
+
+
+def _note_run(**info) -> None:
+    """Record manifest context (program, tier, budget, checkpoint path)."""
+    if _RUN_CONTEXT is not None:
+        _RUN_CONTEXT.update(
+            {k: v for k, v in info.items() if v is not None}
+        )
+
+
+def _note_verdict(result) -> None:
+    """Append one verdict row to the run manifest."""
+    if _RUN_CONTEXT is None:
+        return
+    if hasattr(result, "holds"):  # CheckResult
+        row = {
+            "kind": result.kind,
+            "subject": result.subject,
+            "holds": bool(result.holds),
+        }
+        tier = (result.witness or {}).get("tier")
+        if tier:
+            row["tier"] = tier
+    elif hasattr(result, "ok"):  # ProofCheckResult (certificate check)
+        row = {
+            "kind": "certificate-check",
+            "ok": bool(result.ok),
+            "mode": result.mode,
+            "obligations": int(result.obligations_checked),
+        }
+    else:  # PartialResult (budget exhaustion)
+        row = {
+            "kind": result.kind,
+            "subject": result.subject,
+            "status": result.status,
+            "reason": result.reason,
+            "explored": int(result.explored),
+            "levels": int(result.levels),
+            "rate": round(float(result.rate), 3),
+            "frontier": int(result.frontier),
+        }
+    _RUN_CONTEXT.setdefault("verdicts", []).append(row)
+
+
+def _obs_requested(args) -> bool:
+    return bool(
+        getattr(args, "trace", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "progress", False)
+    )
+
+
+def _run_with_obs(args) -> int:
+    """Run the command under a live :class:`~repro.obs.MetricsRecorder`.
+
+    The recorder is installed for the duration of the command; the JSONL
+    trace (``--trace``) and run manifest (``--metrics-out``) are written
+    in a ``finally`` — a refused or UNKNOWN run is exactly when the
+    numbers matter, so telemetry survives failures and exhaustion.
+    """
+    from repro import obs
+
+    global _RUN_CONTEXT
+    recorder = obs.MetricsRecorder(
+        progress=bool(getattr(args, "progress", False)),
+        progress_stream=sys.stderr,
+    )
+    _RUN_CONTEXT = {}
+    try:
+        with obs.use_recorder(recorder):
+            return _COMMANDS[args.command](args)
+    finally:
+        context, _RUN_CONTEXT = _RUN_CONTEXT, None
+        _write_telemetry(args, recorder, context)
+
+
+def _write_telemetry(args, recorder, context: dict) -> None:
+    from repro import obs
+
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        recorder.write_trace(trace)
+        print(f"trace written    : {trace}")
+    out = getattr(args, "metrics_out", None)
+    if out is not None:
+        manifest = obs.build_manifest(
+            recorder,
+            program=context.get("program"),
+            tier=context.get("tier"),
+            verdicts=context.get("verdicts"),
+            budget=context.get("budget"),
+            checkpoint_path=context.get("checkpoint_path"),
+        )
+        obs.write_manifest(out, manifest)
+        print(f"manifest written : {out}")
 
 
 def _budget_of(args):
@@ -190,6 +318,17 @@ def _budget_of(args):
         node_budget=args.node_budget,
         max_levels=args.max_levels,
     )
+
+
+def _budget_doc(budget) -> dict | None:
+    """Manifest row describing the budget spec, or None without one."""
+    if budget is None:
+        return None
+    return {
+        "deadline": budget.deadline,
+        "node_budget": budget.node_budget,
+        "max_levels": budget.max_levels,
+    }
 
 
 def _checkpoint_of(args, default_stem: str, budget):
@@ -217,6 +356,8 @@ def _report_unknown(partial) -> int:
     degradation): the budget ran out, the state is checkpointed, and the
     caller is told exactly where to resume — that is not a failure.
     """
+    _note_verdict(partial)
+    _note_run(checkpoint_path=partial.checkpoint_path)
     print(partial.explain())
     print(f"status=unknown checkpoint={partial.checkpoint_path or '-'}")
     return 0
@@ -278,10 +419,12 @@ def _cmd_check(args) -> int:
     from repro.dsl import parse_property
 
     program = _load_program(args.file, args.program)
+    _note_run(program=program)
     failures = 0
     for text in args.properties:
         prop = parse_property(text, program)
         result = prop.check(program)
+        _note_verdict(result)
         print(result.explain())
         if not result.holds:
             failures += 1
@@ -298,11 +441,19 @@ def _cmd_prove(args) -> int:
     )
     from repro.errors import ProofError
 
+    from repro.semantics.sparse import sparse_enabled
+
     program = _load_program(args.file, args.program)
     p = _parse_pred(args.lhs, program)
     q = _parse_pred(args.rhs, program)
     budget = _budget_of(args)
     policy = _checkpoint_of(args, args.file.stem, budget)
+    _note_run(
+        program=program,
+        tier="sparse" if sparse_enabled(program.space) else "dense",
+        budget=_budget_doc(budget),
+        checkpoint_path=policy.path if policy is not None else None,
+    )
     if args.resume is not None:
         from repro.semantics.budget import PartialResult
         from repro.semantics.sparse import resume_exploration
@@ -329,6 +480,7 @@ def _cmd_prove(args) -> int:
     if getattr(proof, "status", None) == "unknown":
         return _report_unknown(proof)
     result = check_certificate_batched(proof, program)
+    _note_verdict(result)
     if not args.quiet:
         print(proof.render())
         print()
@@ -438,6 +590,12 @@ def _cmd_scenario(args) -> int:
     print(f"encoded space : {program.space.size} states ({tier} tier)")
     budget = _budget_of(args)
     policy = _checkpoint_of(args, args.name, budget)
+    _note_run(
+        program=program,
+        tier=tier,
+        budget=_budget_doc(budget),
+        checkpoint_path=policy.path if policy is not None else None,
+    )
     if sparse:
         from repro.errors import BudgetExhausted
         from repro.semantics.budget import PartialResult
@@ -472,11 +630,13 @@ def _cmd_scenario(args) -> int:
     from repro.semantics.strong_fairness import check_leadsto_strong
 
     result = check_reachable_invariant(program, invariant_pred)
+    _note_verdict(result)
     print(result.explain())
     failures += not result.holds
     for label, prop, expected, strong in checks:
         checker = check_leadsto_strong if strong else check_leadsto
         result = checker(program, prop.p, prop.q)
+        _note_verdict(result)
         verdict = "as expected" if result.holds == expected else "UNEXPECTED"
         print(f"{result.explain()}  [{label}: {verdict}]")
         failures += result.holds != expected
@@ -547,6 +707,7 @@ def _prove_leadsto(program, prop, result, *, strong: bool, check_levels=None) ->
     t0 = time.perf_counter()
     check = check_certificate_batched(proof, program)
     dt = time.perf_counter() - t0
+    _note_verdict(check)
     rate = f", {n_levels / dt:,.0f} levels/s" if n_levels and dt > 0 else ""
     print(f"    {check.explain()}")
     print(f"    kernel: {check.mode} pass in {dt:.2f} s{rate}")
@@ -567,6 +728,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:
+        if _obs_requested(args):
+            return _run_with_obs(args)
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -113,6 +113,13 @@ class BudgetExhausted(ReproError):
     checkpoint_path:
         Path of the checkpoint emitted on exhaustion, or ``None`` when no
         checkpoint policy was active.
+    rate:
+        Cumulative discovery rate in states per second (``explored``
+        over the total exploration wall time, including any resumed
+        prefix's recorded elapsed time); ``0.0`` when unknown.
+    frontier:
+        Size of the last completed BFS level — how wide the exploration
+        front was when the budget ran out; ``0`` when unknown.
     """
 
     def __init__(
@@ -124,6 +131,8 @@ class BudgetExhausted(ReproError):
         levels: int,
         elapsed: float,
         checkpoint_path: "str | None" = None,
+        rate: float = 0.0,
+        frontier: int = 0,
     ) -> None:
         super().__init__(message)
         self.reason = reason
@@ -131,6 +140,8 @@ class BudgetExhausted(ReproError):
         self.levels = levels
         self.elapsed = elapsed
         self.checkpoint_path = checkpoint_path
+        self.rate = rate
+        self.frontier = frontier
 
 
 class CheckpointError(ReproError):

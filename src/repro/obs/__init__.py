@@ -1,0 +1,76 @@
+"""Engine telemetry: tracing spans, counters, and run manifests.
+
+The observability layer for the three-tier semantic engine (see
+docs/observability.md for the span taxonomy, counter glossary, and
+manifest schema).  The package is zero-dependency and import-cheap; the
+engine's hot paths interact with it only through the module-global
+*current recorder*:
+
+    from repro import obs
+
+    rec = obs.get_recorder()          # NullRecorder unless one is installed
+    with rec.span("sparse.bfs", program=name):
+        ...
+        if rec.enabled:               # hot-loop gate: one attribute check
+            rec.add("sparse.bfs.nodes", fresh.size)
+
+Installing a real recorder is the caller's (usually the CLI's) job:
+
+    with obs.use_recorder(obs.MetricsRecorder(progress=True)) as rec:
+        run_engine()
+    manifest = obs.build_manifest(rec.metrics(), program=prog, ...)
+
+The default is the shared :data:`~repro.obs.recorder.NULL_RECORDER`,
+whose every method is a no-op — instrumentation must be observation-only
+and behavior-neutral (pinned by tests/test_obs.py).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .manifest import build_manifest, write_manifest
+from .recorder import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    NullRecorder,
+    RunMetrics,
+    Span,
+)
+
+__all__ = [
+    "Span",
+    "RunMetrics",
+    "NullRecorder",
+    "MetricsRecorder",
+    "NULL_RECORDER",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "build_manifest",
+    "write_manifest",
+]
+
+_CURRENT = NULL_RECORDER
+
+
+def get_recorder():
+    """The process-wide current recorder (the null recorder by default)."""
+    return _CURRENT
+
+
+def set_recorder(recorder) -> None:
+    """Install ``recorder`` as the current recorder (``None`` → null)."""
+    global _CURRENT
+    _CURRENT = NULL_RECORDER if recorder is None else recorder
+
+
+@contextmanager
+def use_recorder(recorder):
+    """Install ``recorder`` for the duration of a ``with`` block."""
+    previous = _CURRENT
+    set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)

@@ -1,0 +1,108 @@
+"""The run manifest: one JSON document summarizing a recorded run.
+
+A manifest is the durable, machine-readable record of *where a run
+spent itself*: which program (by name and digest), which tier decided
+it, what the verdicts were, how the budget stood at exit, where the
+checkpoint lives, and — from the :class:`~repro.obs.recorder.RunMetrics`
+tree — wall/CPU seconds per phase, whole-run counter totals, and gauge
+watermarks.  The schema is documented in docs/observability.md; the
+``schema`` field versions it so downstream consumers (``benchmarks/
+record.py`` manifest attachments, CI artifacts) can evolve safely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from typing import Any
+
+__all__ = ["MANIFEST_SCHEMA", "build_manifest", "write_manifest"]
+
+#: Manifest format identifier; bump on incompatible layout changes.
+MANIFEST_SCHEMA = "repro.run-manifest/1"
+
+
+def _program_section(program) -> dict:
+    doc: dict = {"name": getattr(program, "name", str(program))}
+    try:
+        space = program.space
+        doc["space_size"] = int(space.size)
+    except Exception:
+        pass
+    try:
+        # Local import: obs must stay importable below the semantics layer.
+        from repro.semantics.sparse.checkpoint import program_digest
+
+        doc["digest"] = program_digest(program)
+    except Exception:
+        pass
+    return doc
+
+
+def build_manifest(
+    metrics,
+    *,
+    program=None,
+    tier: str | None = None,
+    verdicts: list[dict] | None = None,
+    budget: dict | None = None,
+    checkpoint_path: str | None = None,
+    command: list[str] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict:
+    """Assemble the run-manifest document from a finished run.
+
+    ``metrics`` is a :class:`~repro.obs.recorder.RunMetrics` (or a
+    :class:`~repro.obs.recorder.MetricsRecorder`, whose current state is
+    taken).  Everything else is optional context the caller knows and
+    the recorder does not: the program, the tier that produced the
+    verdicts, the verdict rows themselves, the budget spec/state, and
+    the checkpoint path.
+    """
+    if hasattr(metrics, "metrics"):
+        metrics = metrics.metrics()
+    doc: dict = {
+        "schema": MANIFEST_SCHEMA,
+        "command": list(command) if command is not None else list(sys.argv),
+        "python": platform.python_version(),
+        "wall_s": round(metrics.wall_s, 6),
+        "cpu_s": round(metrics.cpu_s, 6),
+    }
+    if program is not None:
+        doc["program"] = _program_section(program)
+    if tier is not None:
+        doc["tier"] = tier
+    if verdicts is not None:
+        doc["verdicts"] = verdicts
+    if budget is not None:
+        doc["budget"] = budget
+    if checkpoint_path is not None:
+        doc["checkpoint_path"] = os.fspath(checkpoint_path)
+    doc["phases"] = [
+        {
+            "phase": row["phase"],
+            "calls": row["calls"],
+            "wall_s": round(row["wall_s"], 6),
+            "cpu_s": round(row["cpu_s"], 6),
+            "counters": row["counters"],
+        }
+        for row in metrics.phase_summary()
+    ]
+    doc["counters"] = dict(sorted(metrics.counters.items()))
+    doc["gauges"] = dict(sorted(metrics.gauges.items()))
+    beats = [ev for ev in metrics.events if ev.get("ev") == "heartbeat"]
+    doc["heartbeats"] = len(beats)
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def write_manifest(path: str | os.PathLike, manifest: dict) -> str:
+    """Write the manifest as pretty JSON; returns the (string) path."""
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(manifest, f, indent=2, sort_keys=False, default=str)
+        f.write("\n")
+    return path

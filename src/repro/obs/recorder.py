@@ -1,0 +1,402 @@
+"""The tracer: nested spans, typed counters, gauges, and trace events.
+
+Two recorder classes share one five-method protocol:
+
+- :class:`NullRecorder` — the process default.  Every method is a no-op
+  and :attr:`~NullRecorder.enabled` is ``False``, so an instrumentation
+  site on a hot path costs one attribute check (``if rec.enabled:``) and
+  the cold sites one no-op call.  It records **nothing**: no spans, no
+  counters, no events — pinned by ``tests/test_obs.py``.
+- :class:`MetricsRecorder` — the real tracer.  ``span(...)`` opens a
+  nested region timed in wall *and* CPU seconds; ``add(...)`` bumps a
+  typed counter on the innermost open span (aggregated up the tree at
+  export); ``gauge_max(...)`` keeps a high-watermark gauge (peak array
+  bytes); ``event(...)`` appends a timestamped trace event;
+  ``heartbeat(...)`` is an event that additionally renders a progress
+  line when the recorder was built with ``progress=True``.
+
+The result of a recorded run is a :class:`RunMetrics` tree (one
+:class:`Span` per region, counters attached where they were incremented)
+plus a flat event list, exportable as JSONL trace events
+(:meth:`MetricsRecorder.trace_events` / :meth:`~MetricsRecorder.
+write_trace`) and summarized into the run manifest by
+:mod:`repro.obs.manifest`.
+
+Neutrality contract.  A recorder only *observes*: no instrumentation
+site may change control flow, array contents, or verdicts depending on
+which recorder is installed.  ``tests/test_obs.py`` pins recorder-on vs
+recorder-off bit-identical subspaces, verdicts, and certificates.
+
+This module is deliberately zero-dependency (stdlib only) so every layer
+of the engine — :mod:`repro.core` included — can import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+__all__ = [
+    "Span",
+    "RunMetrics",
+    "NullRecorder",
+    "MetricsRecorder",
+    "NULL_RECORDER",
+]
+
+
+class Span:
+    """One node of the metrics tree: a named, attributed, timed region.
+
+    ``wall``/``cpu`` are filled when the region closes (``None`` while
+    open); ``counters`` holds the increments recorded while this span was
+    the innermost open one.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "t_start",
+        "wall",
+        "cpu",
+        "counters",
+        "children",
+        "_cpu0",
+    )
+
+    def __init__(self, name: str, attrs: dict, t_start: float, cpu0: float) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.t_start = t_start
+        self.wall: float | None = None
+        self.cpu: float | None = None
+        self.counters: dict[str, float] = {}
+        self.children: list[Span] = []
+        self._cpu0 = cpu0
+
+    def total_counters(self) -> dict[str, float]:
+        """Counters of this span plus all descendants, summed by name."""
+        out = dict(self.counters)
+        for child in self.children:
+            for key, val in child.total_counters().items():
+                out[key] = out.get(key, 0) + val
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-safe tree form (the manifest's ``phases`` payload)."""
+        doc: dict = {"name": self.name}
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        doc["wall_s"] = self.wall
+        doc["cpu_s"] = self.cpu
+        if self.counters:
+            doc["counters"] = dict(self.counters)
+        if self.children:
+            doc["children"] = [c.to_dict() for c in self.children]
+        return doc
+
+    def __repr__(self) -> str:
+        dur = f"{self.wall:.4f}s" if self.wall is not None else "open"
+        return f"<Span {self.name} {dur} {len(self.children)} child(ren)>"
+
+
+class RunMetrics:
+    """The finished view of one recorded run.
+
+    ``phases`` are the top-level spans (in order), ``counters`` the
+    whole-tree totals, ``gauges`` the high watermarks, ``events`` the
+    flat trace.  Produced by :meth:`MetricsRecorder.metrics`.
+    """
+
+    __slots__ = ("phases", "counters", "gauges", "events", "wall_s", "cpu_s")
+
+    def __init__(
+        self,
+        phases: list[Span],
+        counters: dict[str, float],
+        gauges: dict[str, float],
+        events: list[dict],
+        wall_s: float,
+        cpu_s: float,
+    ) -> None:
+        self.phases = phases
+        self.counters = counters
+        self.gauges = gauges
+        self.events = events
+        self.wall_s = wall_s
+        self.cpu_s = cpu_s
+
+    def counter(self, name: str, default: float = 0) -> float:
+        return self.counters.get(name, default)
+
+    def phase_summary(self) -> list[dict]:
+        """Top-level spans merged by name (first-seen order): one row per
+        phase with call count, summed wall/CPU, and aggregated counters."""
+        rows: dict[str, dict] = {}
+        order: list[str] = []
+        for span in self.phases:
+            row = rows.get(span.name)
+            if row is None:
+                row = rows[span.name] = {
+                    "phase": span.name,
+                    "calls": 0,
+                    "wall_s": 0.0,
+                    "cpu_s": 0.0,
+                    "counters": {},
+                }
+                order.append(span.name)
+            row["calls"] += 1
+            row["wall_s"] += span.wall or 0.0
+            row["cpu_s"] += span.cpu or 0.0
+            for key, val in span.total_counters().items():
+                row["counters"][key] = row["counters"].get(key, 0) + val
+        return [rows[name] for name in order]
+
+
+class _NullSpan:
+    """The shared no-op context manager handed out by the null recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The default, do-nothing recorder (the engine's off path).
+
+    Shared and stateless: every method returns immediately, ``span``
+    hands back one reusable no-op context manager, and nothing is ever
+    recorded.  Instrumented hot loops gate their bookkeeping on
+    :attr:`enabled` so the off path costs a single attribute check.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge_max(self, name: str, value: float) -> None:
+        pass
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def heartbeat(self, **fields) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NullRecorder>"
+
+
+#: The single shared null recorder (the process-default current recorder).
+NULL_RECORDER = NullRecorder()
+
+
+class _SpanContext:
+    """Context manager closing one :class:`MetricsRecorder` span."""
+
+    __slots__ = ("_rec", "_span")
+
+    def __init__(self, rec: "MetricsRecorder", span: Span) -> None:
+        self._rec = rec
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._rec._close(self._span)
+        return False
+
+
+class MetricsRecorder:
+    """An in-memory tracer building the :class:`RunMetrics` tree.
+
+    Parameters
+    ----------
+    progress:
+        When true, :meth:`heartbeat` renders a one-line progress report
+        to ``progress_stream`` (default ``sys.stderr``) — the first
+        heartbeat, any marked ``final=True``, and otherwise at most one
+        per ``progress_interval`` seconds.
+    progress_interval:
+        Minimum seconds between rendered heartbeats (``0`` renders every
+        one — used by tests for determinism).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        progress: bool = False,
+        progress_stream=None,
+        progress_interval: float = 1.0,
+    ) -> None:
+        self.t0 = time.perf_counter()
+        self.cpu0 = time.process_time()
+        self.progress = progress
+        self.progress_stream = progress_stream
+        self.progress_interval = progress_interval
+        self._phases: list[Span] = []
+        self._stack: list[Span] = []
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._events: list[dict] = []
+        self._last_beat: float | None = None
+        self._beats = 0
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a nested region; use as ``with rec.span("phase"): ...``."""
+        span = Span(name, attrs, time.perf_counter() - self.t0, time.process_time())
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._phases.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.wall = time.perf_counter() - self.t0 - span.t_start
+        span.cpu = time.process_time() - span._cpu0
+        # Exception unwinds may close an outer span with inner ones still
+        # open; close those too so the tree never holds dangling regions.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.wall is None:
+                top.wall = time.perf_counter() - self.t0 - top.t_start
+                top.cpu = time.process_time() - top._cpu0
+
+    # -- counters and gauges -------------------------------------------------
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Increment a counter on the innermost open span (or the run)."""
+        if self._stack:
+            counters = self._stack[-1].counters
+            counters[name] = counters.get(name, 0) + value
+        else:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Keep the maximum ever reported for ``name`` (a watermark)."""
+        if value > self._gauges.get(name, float("-inf")):
+            self._gauges[name] = value
+
+    # -- events and heartbeats -----------------------------------------------
+
+    def event(self, name: str, **attrs) -> None:
+        """Append one timestamped trace event."""
+        self._events.append(
+            {"ev": name, "t_s": round(time.perf_counter() - self.t0, 6), **attrs}
+        )
+
+    def heartbeat(self, **fields) -> None:
+        """A progress event; rendered as a line when ``progress`` is on.
+
+        The first heartbeat and any with ``final=True`` always render;
+        others are throttled to one per ``progress_interval`` seconds.
+        """
+        final = bool(fields.get("final"))
+        self.event("heartbeat", **fields)
+        self._beats += 1
+        if not self.progress:
+            return
+        now = time.perf_counter()
+        if (
+            self._last_beat is not None
+            and not final
+            and now - self._last_beat < self.progress_interval
+        ):
+            return
+        self._last_beat = now
+        stream = self.progress_stream or sys.stderr
+        parts = [f"{k}={v}" for k, v in fields.items() if k != "final"]
+        tail = " done" if final else ""
+        print(f"[progress] {' '.join(parts)}{tail}", file=stream, flush=True)
+
+    # -- export ---------------------------------------------------------------
+
+    def totals(self) -> dict[str, float]:
+        """Whole-run counter totals (every span plus run-level adds)."""
+        out = dict(self._counters)
+        for span in self._phases:
+            for key, val in span.total_counters().items():
+                out[key] = out.get(key, 0) + val
+        return out
+
+    def metrics(self) -> RunMetrics:
+        """The finished :class:`RunMetrics` view of this run so far."""
+        return RunMetrics(
+            phases=list(self._phases),
+            counters=self.totals(),
+            gauges=dict(self._gauges),
+            events=list(self._events),
+            wall_s=time.perf_counter() - self.t0,
+            cpu_s=time.process_time() - self.cpu0,
+        )
+
+    def trace_events(self) -> list[dict]:
+        """The run as flat JSONL-able trace events.
+
+        One ``span`` event per *closed* region (with start offset, wall
+        and CPU seconds, depth, attrs, and own counters), interleaved by
+        start time with the explicit ``event``/``heartbeat`` records.
+        """
+        rows: list[dict] = []
+
+        def walk(span: Span, depth: int) -> None:
+            row: dict = {
+                "ev": "span",
+                "name": span.name,
+                "t_s": round(span.t_start, 6),
+                "depth": depth,
+            }
+            if span.wall is not None:
+                row["wall_s"] = round(span.wall, 6)
+                row["cpu_s"] = round(span.cpu or 0.0, 6)
+            if span.attrs:
+                row["attrs"] = dict(span.attrs)
+            if span.counters:
+                row["counters"] = dict(span.counters)
+            rows.append(row)
+            for child in span.children:
+                walk(child, depth + 1)
+
+        for span in self._phases:
+            walk(span, 0)
+        rows.extend(self._events)
+        rows.sort(key=lambda r: r.get("t_s", 0.0))
+        return rows
+
+    def write_trace(self, path: str | os.PathLike) -> str:
+        """Write the JSONL trace; returns the (string) path."""
+        path = os.fspath(path)
+        with open(path, "w", encoding="utf-8") as f:
+            for row in self.trace_events():
+                f.write(json.dumps(row, default=str) + "\n")
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRecorder {len(self._phases)} phase(s), "
+            f"{len(self._events)} event(s)>"
+        )

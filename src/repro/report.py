@@ -22,6 +22,7 @@ __all__ = ["ExperimentRow", "run_experiment", "run_all", "render_markdown", "ren
 #: Experiment ids in suite order.
 EXPERIMENT_IDS = (
     "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E12", "E13",
+    "E14",
 )
 
 
@@ -386,6 +387,92 @@ def run_e13() -> list[ExperimentRow]:
     return rows
 
 
+# ---------------------------------------------------------------------------
+# E14 — engine telemetry (observation-only instrumentation)
+# ---------------------------------------------------------------------------
+
+
+def run_e14() -> list[ExperimentRow]:
+    """Telemetry is observation-only and the manifest is complete: the
+    same sparse check returns the identical verdict with and without a
+    live recorder, and a recorded certification yields a run manifest
+    carrying per-phase timings, BFS counters, cache hit/miss counts and
+    batched-check obligation totals (docs/observability.md)."""
+    from repro import obs
+    from repro.semantics.leadsto import check_leadsto
+    from repro.semantics.synthesis import (
+        check_certificate_batched,
+        synthesize_leadsto_proof,
+    )
+    from repro.systems.product import build_pipeline_allocator
+
+    rows = []
+
+    def verdict(record: bool):
+        # Fresh program each time: the subspace cache is per Program
+        # object, so both runs pay (and the recorded one observes) the
+        # full sparse exploration.
+        pa = build_pipeline_allocator(8)   # 4^13 ≈ 6.7e7: sparse tier
+        prop = pa.delivery()
+        if record:
+            with obs.use_recorder(obs.MetricsRecorder()):
+                res = check_leadsto(pa.system, prop.p, prop.q)
+        else:
+            res = check_leadsto(pa.system, prop.p, prop.q)
+        return (bool(res.holds), res.witness.get("reachable"))
+
+    def neutrality():
+        return (
+            "identical verdicts"
+            if verdict(False) == verdict(True)
+            else "verdicts DIVERGE"
+        )
+
+    measured, dt = _timed(neutrality)
+    rows.append(ExperimentRow(
+        "E14", "telemetry neutrality: recorder changes no verdict",
+        "pipeline∘allocator, recorder off vs on",
+        "identical verdicts", measured, dt,
+    ))
+
+    def manifest_complete():
+        pa = build_pipeline_allocator(8)
+        prop = pa.delivery()
+        with obs.use_recorder(obs.MetricsRecorder()) as rec:
+            proof = synthesize_leadsto_proof(
+                pa.system, prop.p, prop.q, fairness="strong"
+            )
+            res = check_certificate_batched(proof, pa.system)
+        manifest = obs.build_manifest(
+            rec, program=pa.system, tier="sparse", command=["report", "E14"]
+        )
+        phases = {row["phase"] for row in manifest["phases"]}
+        counters = manifest["counters"]
+        n_levels = len(proof.levels)
+        # The exploration runs *inside* synthesis here, so sparse.bfs is
+        # a child span, not a top-level phase; its counters still roll up.
+        ok = (
+            res.ok
+            and {"synthesis.leadsto", "proof.batched_check"} <= phases
+            and all(row["wall_s"] >= 0.0 for row in manifest["phases"])
+            and counters.get("sparse.bfs.levels", 0) > 0
+            and counters.get("graph.condensation.misses", 0) > 0
+            and counters.get("proof.obligations.coverage") == 1
+            and counters.get("proof.obligations.next") == n_levels
+            and counters.get("proof.obligations.structural") == 7 * n_levels
+            and bool(manifest["program"].get("digest"))
+        )
+        return "manifest-complete" if ok else "manifest-INCOMPLETE"
+
+    measured2, dt2 = _timed(manifest_complete)
+    rows.append(ExperimentRow(
+        "E14", "run manifest: phases, counters, obligations",
+        "pipeline∘allocator, strong certificate",
+        "manifest-complete", measured2, dt2,
+    ))
+    return rows
+
+
 _RUNNERS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -398,11 +485,12 @@ _RUNNERS = {
     "E9": run_e9,
     "E12": run_e12,
     "E13": run_e13,
+    "E14": run_e14,
 }
 
 
 def run_experiment(exp_id: str) -> list[ExperimentRow]:
-    """Run one experiment by id (``E1`` … ``E9``, ``E12``, ``E13``)."""
+    """Run one experiment by id (``E1`` … ``E9``, ``E12`` … ``E14``)."""
     try:
         runner = _RUNNERS[exp_id.upper()]
     except KeyError:

@@ -134,6 +134,12 @@ class PartialResult:
     checkpoint_path:
         Where to resume from (``None`` if no checkpoint policy was
         active).
+    rate, frontier:
+        Cumulative discovery rate (states/s, across any resumed prefix)
+        and the size of the last completed BFS level — the two numbers
+        that make an UNKNOWN actionable: together with ``explored`` they
+        say how fast the exploration was moving and how wide the front
+        still was when the budget ran out.
     """
 
     kind: str
@@ -145,6 +151,8 @@ class PartialResult:
     checkpoint_path: str | None = None
     witness: dict[str, Any] = field(default_factory=dict)
     status: str = "unknown"
+    rate: float = 0.0
+    frontier: int = 0
 
     @classmethod
     def from_exhaustion(
@@ -160,6 +168,8 @@ class PartialResult:
             elapsed=exc.elapsed,
             checkpoint_path=exc.checkpoint_path,
             witness={"tier": "sparse", "budget": exc.reason},
+            rate=getattr(exc, "rate", 0.0),
+            frontier=getattr(exc, "frontier", 0),
         )
 
     def __bool__(self) -> bool:
@@ -171,6 +181,14 @@ class PartialResult:
 
     def explain(self) -> str:
         """One-line summary, shaped like ``CheckResult.explain``."""
+        pace = ""
+        if self.rate > 0:
+            pace = f" (≈{self.rate:,.0f} states/s"
+            if self.frontier > 0:
+                pace += f", last frontier {self.frontier} state(s)"
+            pace += ")"
+        elif self.frontier > 0:
+            pace = f" (last frontier {self.frontier} state(s))"
         resume = (
             f"; resume from {self.checkpoint_path}"
             if self.checkpoint_path
@@ -179,5 +197,5 @@ class PartialResult:
         return (
             f"[UNKNOWN] {self.kind}: {self.subject} — {self.reason} "
             f"exhausted after {self.levels} BFS level(s), "
-            f"{self.explored} state(s), {self.elapsed:.2f}s{resume}"
+            f"{self.explored} state(s), {self.elapsed:.2f}s{pace}{resume}"
         )

@@ -31,6 +31,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CapacityError
 from repro.semantics.scc import Condensation, condense_subgraph
 from repro.util.csr import build_csr, csr_neighbors, masked_subgraph, minimal_int_dtype, union_edges
@@ -81,9 +82,14 @@ class GraphBackend:
     def forward_csr(self) -> tuple[np.ndarray, np.ndarray]:
         """``(indptr, nbr)`` of the deduplicated union graph."""
         if self._fwd is None:
-            src, dst = self._edges()
-            self._fwd = build_csr(src, dst, self.n, dtype=self.dtype)
-            self._rev = build_csr(dst, src, self.n, dtype=self.dtype)
+            rec = obs.get_recorder()
+            with rec.span("graph.union_csr", nodes=self.n):
+                src, dst = self._edges()
+                self._fwd = build_csr(src, dst, self.n, dtype=self.dtype)
+                self._rev = build_csr(dst, src, self.n, dtype=self.dtype)
+                if rec.enabled:
+                    rec.add("graph.union_csr.builds")
+                    rec.add("graph.union_csr.edges", int(src.shape[0]))
         return self._fwd
 
     def reverse_csr(self) -> tuple[np.ndarray, np.ndarray]:
@@ -254,6 +260,7 @@ class GraphBackend:
         the same predicate mask skip both the masked sub-CSR extraction
         and the decomposition.
         """
+        rec = obs.get_recorder()
         key = None
         if self.n <= self.COND_CACHE_MAX_NODES:
             key = hashlib.blake2b(
@@ -262,14 +269,21 @@ class GraphBackend:
             hit = self._cond_cache.get(key)
             if hit is not None:
                 self._cond_cache.move_to_end(key)
+                if rec.enabled:
+                    rec.add("graph.condensation.hits")
                 return hit
-        fp_full, fn_full = self.forward_csr()
-        fp, fn, nodes = masked_subgraph(fp_full, fn_full, mask)
-        # Reverse view of the subgraph from its own edge list — cheaper
-        # than a second masked extraction over the full reverse CSR.
-        sub_src = np.repeat(np.arange(nodes.shape[0], dtype=np.int64), np.diff(fp))
-        rp, rn = build_csr(fn, sub_src, nodes.shape[0], dtype=fn.dtype)
-        cond = condense_subgraph(self.n, nodes, fp, fn, rp, rn)
+        if rec.enabled:
+            rec.add("graph.condensation.misses")
+        with rec.span("graph.condensation", nodes=self.n):
+            fp_full, fn_full = self.forward_csr()
+            fp, fn, nodes = masked_subgraph(fp_full, fn_full, mask)
+            # Reverse view of the subgraph from its own edge list — cheaper
+            # than a second masked extraction over the full reverse CSR.
+            sub_src = np.repeat(np.arange(nodes.shape[0], dtype=np.int64), np.diff(fp))
+            rp, rn = build_csr(fn, sub_src, nodes.shape[0], dtype=fn.dtype)
+            cond = condense_subgraph(self.n, nodes, fp, fn, rp, rn)
+            if rec.enabled:
+                rec.add("graph.condensation.components", int(cond.count))
         if key is not None:
             self._cond_cache[key] = cond
             if len(self._cond_cache) > self.COND_CACHE_SIZE:

@@ -57,6 +57,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.predicates import Predicate
 from repro.core.proofs import ProofCheckResult, ProofFailure
 
@@ -162,6 +163,17 @@ def check_columnar_obligations(
     # — the same accounting the per-level walk produces.
     result.nodes_checked = 1 + 7 * n_levels
     result.obligations_checked = 1 + 10 * n_levels
+    rec = obs.get_recorder()
+    if rec.enabled:
+        # Per-phase breakdown of the 1 + 10n obligation total: one
+        # coverage side condition, then per level one exit-ladder
+        # entailment, one next, one transient, and the seven structural
+        # tautologies of the synthesized shape.
+        rec.add("proof.obligations.coverage", 1)
+        rec.add("proof.obligations.exit_ladder", n_levels)
+        rec.add("proof.obligations.next", n_levels)
+        rec.add("proof.obligations.transient", n_levels)
+        rec.add("proof.obligations.structural", 7 * n_levels)
 
     def report(path: str, message: str, bad_ids: np.ndarray) -> None:
         shown = bad_ids[:_MAX_REPORTED]

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.errors import BudgetExhausted
@@ -134,6 +135,18 @@ def _decode_local(sub: ReachableSubspace, locals_: np.ndarray) -> list:
     return [sub.state_at_local(int(k)) for k in locals_]
 
 
+def _with_metrics(witness: dict, sub: ReachableSubspace) -> dict:
+    """Attach the subspace's exploration stats to a verdict witness.
+
+    Only when a recorder is installed — with the null recorder the
+    witness is byte-identical to the uninstrumented engine's, which the
+    differential neutrality suite pins.
+    """
+    if obs.get_recorder().enabled and sub.stats:
+        witness["metrics"] = dict(sub.stats)
+    return witness
+
+
 def _leadsto_result(
     program: Program,
     p: Predicate,
@@ -160,7 +173,7 @@ def _leadsto_result(
             kind,
             subject,
             message="no reachable states (vacuous over the sparse tier)",
-            witness={"tier": "sparse", "reachable": 0},
+            witness=_with_metrics({"tier": "sparse", "reachable": 0}, sub),
         )
     analysis = sparse_fair_analysis(sub, q, strong=strong)
     bad = sub.pred_mask(p) & analysis.avoid
@@ -174,7 +187,7 @@ def _leadsto_result(
                 f"holds from every reachable p-state (sparse tier: "
                 f"{sub.size} reachable of {sub.space.size} encoded states)"
             ),
-            witness={"tier": "sparse", "reachable": sub.size},
+            witness=_with_metrics({"tier": "sparse", "reachable": sub.size}, sub),
         )
     k = int(idx[0])
     state = sub.state_at_local(k)
@@ -199,15 +212,18 @@ def _leadsto_result(
             f"confining path of {len(confining_states)} ¬q-states into a "
             f"fair SCC in the witness)"
         ),
-        witness={
-            "tier": "sparse",
-            "state": state,
-            "violations": int(idx.size),
-            "reachable": sub.size,
-            "path": path_states,
-            "path_commands": path_cmds,
-            "confining_path": confining_states,
-        },
+        witness=_with_metrics(
+            {
+                "tier": "sparse",
+                "state": state,
+                "violations": int(idx.size),
+                "reachable": sub.size,
+                "path": path_states,
+                "path_commands": path_cmds,
+                "confining_path": confining_states,
+            },
+            sub,
+        ),
     )
 
 
@@ -271,7 +287,7 @@ def check_reachable_invariant_sparse(
             "reachable-invariant",
             subject,
             message=f"holds on all {sub.size} reachable states",
-            witness={"tier": "sparse", "reachable": sub.size},
+            witness=_with_metrics({"tier": "sparse", "reachable": sub.size}, sub),
         )
     k = int(idx[0])
     state = sub.state_at_local(k)
@@ -281,14 +297,17 @@ def check_reachable_invariant_sparse(
         "reachable-invariant",
         subject,
         message=f"reachable state {state!r} violates p",
-        witness={
-            "tier": "sparse",
-            "state": state,
-            "violations": int(idx.size),
-            "reachable": sub.size,
-            "path": path_states,
-            "path_commands": path_cmds,
-        },
+        witness=_with_metrics(
+            {
+                "tier": "sparse",
+                "state": state,
+                "violations": int(idx.size),
+                "reachable": sub.size,
+                "path": path_states,
+                "path_commands": path_cmds,
+            },
+            sub,
+        ),
     )
 
 

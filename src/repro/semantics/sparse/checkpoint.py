@@ -53,6 +53,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.program import Program
 from repro.errors import CheckpointError
 from repro.semantics.budget import Budget
@@ -150,14 +151,22 @@ def write_checkpoint(
     mover_names: list[str],
     complete: bool,
     succ_columns: dict[str, np.ndarray] | None = None,
+    metrics: dict | None = None,
 ) -> str:
     """Atomically write a checkpoint; returns the (string) path.
 
     The per-level lists are serialized as one offsets array plus the
     concatenation of each list — CSR-style — so the payload is a handful
     of large contiguous arrays regardless of level count.
+
+    ``metrics`` is an optional JSON-safe snapshot of the exploration
+    statistics so far (``explored`` / ``levels`` / ``elapsed_s``),
+    recorded in the header: a resumed run reads it back and reports
+    *cumulative* figures instead of just the post-resume slice.  Purely
+    observational — the loader validates the arrays, not the metrics.
     """
     path = os.fspath(path)
+    rec = obs.get_recorder()
     offsets = np.zeros(len(level_nodes) + 1, dtype=np.int64)
     np.cumsum([n.shape[0] for n in level_nodes], out=offsets[1:])
     arrays: list[tuple[str, np.ndarray]] = [
@@ -180,22 +189,32 @@ def write_checkpoint(
         "mover_names": list(mover_names),
         "arrays": [_array_entry(name, arr) for name, arr in arrays],
     }
+    if metrics is not None:
+        header["metrics"] = dict(metrics)
     blob = json.dumps(header, separators=(",", ":")).encode("utf-8")
     tmp = f"{path}.tmp.{os.getpid()}"
     try:
-        with open(tmp, "wb") as f:
-            fault_point("checkpoint.write.begin", path=path)
-            f.write(MAGIC)
-            f.write(len(blob).to_bytes(_HLEN_BYTES, "little"))
-            f.write(blob)
-            for name, arr in arrays:
-                f.write(np.ascontiguousarray(arr).tobytes())
-                fault_point("checkpoint.write.payload", path=path, array=name)
-            f.flush()
-            os.fsync(f.fileno())
-        fault_point("checkpoint.write.rename", path=path)
-        os.replace(tmp, path)
-        _fsync_dir(os.path.dirname(path) or ".")
+        with rec.span("checkpoint.write", path=path, complete=bool(complete)):
+            with open(tmp, "wb") as f:
+                fault_point("checkpoint.write.begin", path=path)
+                f.write(MAGIC)
+                f.write(len(blob).to_bytes(_HLEN_BYTES, "little"))
+                f.write(blob)
+                for name, arr in arrays:
+                    f.write(np.ascontiguousarray(arr).tobytes())
+                    fault_point("checkpoint.write.payload", path=path, array=name)
+                f.flush()
+                os.fsync(f.fileno())
+            fault_point("checkpoint.write.rename", path=path)
+            os.replace(tmp, path)
+            _fsync_dir(os.path.dirname(path) or ".")
+            if rec.enabled:
+                rec.add("checkpoint.writes")
+                payload = sum(entry["nbytes"] for entry in header["arrays"])
+                rec.add(
+                    "checkpoint.bytes_written",
+                    len(MAGIC) + _HLEN_BYTES + len(blob) + payload,
+                )
     except BaseException:
         # Best-effort removal of the temp file; the *destination* is
         # untouched by construction (os.replace is the only publish).
@@ -235,6 +254,12 @@ def load_checkpoint(
     a different space raises :class:`~repro.errors.CheckpointError`.
     """
     path = os.fspath(path)
+    rec = obs.get_recorder()
+    with rec.span("checkpoint.load", path=path):
+        return _load_checkpoint(path, program, rec)
+
+
+def _load_checkpoint(path: str, program: Program | None, rec) -> dict:
     try:
         with open(path, "rb") as f:
             magic = f.read(len(MAGIC))
@@ -313,6 +338,8 @@ def load_checkpoint(
                 f"{path}: command set changed since the checkpoint "
                 "was written; refusing to resume"
             )
+    if rec.enabled:
+        rec.add("checkpoint.loads")
     return {"header": header, "arrays": arrays}
 
 
@@ -358,6 +385,15 @@ def resume_exploration(
     loaded = load_checkpoint(path, program)
     header, arrays = loaded["header"], loaded["arrays"]
     state = _split_levels(arrays)
+    # Cumulative statistics: credit the checkpointed prefix's recorded
+    # elapsed time, so the resumed run reports whole-exploration figures
+    # (nodes/levels already accumulate through the restored levels).
+    recorded = header.get("metrics")
+    if isinstance(recorded, dict):
+        try:
+            state.elapsed_base = float(recorded.get("elapsed_s", 0.0))
+        except (TypeError, ValueError):
+            state.elapsed_base = 0.0
     if checkpoint is None:
         checkpoint = CheckpointPolicy(path=os.fspath(path))
     sub = _run_bfs(
@@ -408,4 +444,9 @@ def save_subspace(path: str | os.PathLike, sub: ReachableSubspace) -> str:
         mover_names=list(sub.mover_names),
         complete=True,
         succ_columns=dict(sub._succ),
+        metrics={
+            "explored": sub.size,
+            "levels": sub.levels,
+            "elapsed_s": float(sub.stats.get("elapsed_s", 0.0)),
+        },
     )

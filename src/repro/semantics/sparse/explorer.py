@@ -41,11 +41,14 @@ all work is proportional to the reachable set and the frontier.
 
 from __future__ import annotations
 
+import time
 import traceback as _traceback
 import weakref
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro import obs
 
 from repro.core.commands import Command
 from repro.core.expressions import And, Expr
@@ -205,6 +208,11 @@ class ReachableSubspace:
     mover_names:
         Names of the non-skip commands, in exploration order —
         the label namespace of :attr:`parent_cmd`.
+    stats:
+        Exploration statistics set by the BFS driver (nodes, levels,
+        cumulative elapsed seconds and discovery rate — resumed runs
+        include the checkpointed prefix's recorded elapsed time).
+        Observational metadata only; empty for hand-built subspaces.
     """
 
     __slots__ = (
@@ -217,6 +225,7 @@ class ReachableSubspace:
         "parent",
         "parent_cmd",
         "mover_names",
+        "stats",
         "_succ",
         "_enabled",
         "_graph",
@@ -247,6 +256,7 @@ class ReachableSubspace:
             parent_cmd if parent_cmd is not None else np.full(m, -1, dtype=np.int64)
         )
         self.mover_names = mover_names
+        self.stats: dict = {}
         self._succ: dict[str, np.ndarray] = {}
         self._enabled: dict[str, np.ndarray] = {}
         self._graph: object | None = None
@@ -397,6 +407,12 @@ class _BfsState:
     level_parents: list[np.ndarray]
     level_pcmds: list[np.ndarray]
     known: np.ndarray
+    #: Wall seconds already spent on this state before the current run —
+    #: restored from the checkpoint's metrics header on resume, so the
+    #: cumulative statistics (elapsed, rate) span the whole exploration,
+    #: not just the post-resume slice.  Observational only: it never
+    #: feeds the BFS itself, which stays bit-identical on resume.
+    elapsed_base: float = 0.0
 
     @property
     def levels(self) -> int:
@@ -468,6 +484,18 @@ def _run_bfs(
     """
     movers = [c for c in program.commands if not c.is_skip()]
     clock = budget.start() if budget is not None else None
+    rec = obs.get_recorder()
+    t_run = time.perf_counter()
+    resumed_levels = state.levels
+
+    def cumulative_elapsed() -> float:
+        """Wall seconds across the whole exploration, resumed prefix
+        included (the prefix's elapsed rides in the checkpoint header)."""
+        return state.elapsed_base + (time.perf_counter() - t_run)
+
+    def cumulative_rate() -> float:
+        elapsed = cumulative_elapsed()
+        return state.explored / elapsed if elapsed > 0 else 0.0
 
     def write_snapshot(*, complete: bool) -> str:
         from repro.semantics.sparse.checkpoint import write_checkpoint
@@ -480,50 +508,79 @@ def _run_bfs(
             level_pcmds=state.level_pcmds,
             mover_names=[c.name for c in movers],
             complete=complete,
+            metrics={
+                "explored": state.explored,
+                "levels": state.levels,
+                "elapsed_s": round(cumulative_elapsed(), 6),
+            },
         )
         return str(path)
 
     def exhaust(reason: str) -> None:
         path = write_snapshot(complete=False) if checkpoint is not None else None
+        rate = cumulative_rate()
+        frontier_size = int(state.frontier.shape[0])
         raise BudgetExhausted(
             f"exploration of {program.name} ran out of budget ({reason}) "
             f"after {state.levels} completed BFS level(s), "
-            f"{state.explored} state(s), {clock.elapsed:.3f}s"
+            f"{state.explored} state(s), {clock.elapsed:.3f}s "
+            f"(≈{rate:,.0f} states/s, last frontier {frontier_size})"
             + (f"; resume from {path}" if path else ""),
             reason=reason,
             explored=state.explored,
             levels=state.levels,
             elapsed=clock.elapsed,
             checkpoint_path=path,
+            rate=rate,
+            frontier=frontier_size,
         )
 
     frontier = state.frontier
-    try:
-        frontier = _bfs_loop(
-            program,
-            state,
-            movers,
-            frontier,
-            node_limit=node_limit,
-            clock=clock,
-            checkpoint=checkpoint,
-            exhaust=exhaust,
-            write_snapshot=write_snapshot if checkpoint is not None else None,
-        )
-    except KeyboardInterrupt:
-        # Interrupted mid-run: salvage the completed levels.  A partially
-        # recorded level (the interrupt can land between the per-level
-        # appends) is dropped before the snapshot, so the checkpoint is
-        # always a consistent level-boundary state — never half a level.
+    with rec.span("sparse.bfs", program=program.name, resumed_levels=resumed_levels):
+        try:
+            frontier = _bfs_loop(
+                program,
+                state,
+                movers,
+                frontier,
+                node_limit=node_limit,
+                clock=clock,
+                checkpoint=checkpoint,
+                exhaust=exhaust,
+                write_snapshot=write_snapshot if checkpoint is not None else None,
+                cumulative_elapsed=cumulative_elapsed,
+            )
+        except KeyboardInterrupt:
+            # Interrupted mid-run: salvage the completed levels.  A partially
+            # recorded level (the interrupt can land between the per-level
+            # appends) is dropped before the snapshot, so the checkpoint is
+            # always a consistent level-boundary state — never half a level.
+            if checkpoint is not None:
+                n = len(state.level_nodes)
+                del state.level_parents[n:]
+                del state.level_pcmds[n:]
+                write_snapshot(complete=False)
+            raise
         if checkpoint is not None:
-            n = len(state.level_nodes)
-            del state.level_parents[n:]
-            del state.level_pcmds[n:]
-            write_snapshot(complete=False)
-        raise
-    if checkpoint is not None:
-        write_snapshot(complete=True)
-    return _assemble(program, state, movers)
+            write_snapshot(complete=True)
+        sub = _assemble(program, state, movers)
+    sub.stats = {
+        "nodes": sub.size,
+        "levels": sub.levels,
+        "elapsed_s": round(cumulative_elapsed(), 6),
+        "rate": round(cumulative_rate(), 3),
+    }
+    if resumed_levels > 1:
+        sub.stats["resumed_levels"] = resumed_levels
+    if rec.enabled:
+        rec.heartbeat(
+            phase="sparse.bfs",
+            level=sub.levels,
+            nodes=sub.size,
+            rate=f"{sub.stats['rate']:,.0f}/s",
+            final=True,
+        )
+    return sub
 
 
 def _bfs_loop(
@@ -537,10 +594,18 @@ def _bfs_loop(
     checkpoint,
     exhaust,
     write_snapshot,
+    cumulative_elapsed=None,
 ):
     """The level loop of :func:`_run_bfs` (split out so the interrupt
-    handler in the driver sees every exit path uniformly)."""
+    handler in the driver sees every exit path uniformly).
+
+    Instrumentation is observation-only: every counter, span, and
+    heartbeat reads BFS state without influencing it, so recorder-on and
+    recorder-off runs intern bit-identical subspaces (pinned by
+    ``tests/test_obs.py``).
+    """
     space = program.space
+    rec = obs.get_recorder()
     last_write_level = state.levels
     last_write_nodes = state.explored
     while frontier.size:
@@ -552,51 +617,80 @@ def _bfs_loop(
             if reason is not None:
                 exhaust(reason)
         deadline = None if clock is None else clock.budget.deadline
-        cols = []
-        for cmd in movers:
-            cols.append(cmd.succ_of(space, frontier))
-            # Deadline granularity is per command kernel, not per level:
-            # an aborted level is discarded whole, so the checkpoint (and
-            # the exhaustion statistics) reflect completed levels only.
-            if deadline is not None and clock.elapsed > deadline:
-                exhaust("deadline")
-        if not cols:
-            break
-        fault_point(
-            "sparse.explore.alloc",
-            level=state.levels,
-            entries=frontier.shape[0] * len(cols),
-        )
-        all_succ = np.concatenate(cols)
-        cand = np.unique(all_succ)
-        fresh = cand[~in_sorted(state.known, cand)]
-        if fresh.size == 0:
-            break
-        # Both arrays are sorted and disjoint: a positional insert is the
-        # O(m) merge (no per-level re-sort of the whole intern table).
-        state.known = np.insert(
-            state.known, np.searchsorted(state.known, fresh), fresh
-        )
-        if state.known.size > node_limit:
-            raise ExplorationError(
-                f"reachable exploration of {program.name} exceeded "
-                f"node_limit={node_limit} (encoded space {space.size}); "
-                "raise the limit if the workload is expected"
+        with rec.span(
+            "sparse.bfs.level", level=state.levels, frontier=int(frontier.shape[0])
+        ):
+            cols = []
+            for cmd in movers:
+                if rec.enabled:
+                    k0 = time.perf_counter()
+                    cols.append(cmd.succ_of(space, frontier))
+                    rec.add("kernel.succ_of.seconds", time.perf_counter() - k0)
+                    rec.add("kernel.succ_of.calls")
+                else:
+                    cols.append(cmd.succ_of(space, frontier))
+                # Deadline granularity is per command kernel, not per level:
+                # an aborted level is discarded whole, so the checkpoint (and
+                # the exhaustion statistics) reflect completed levels only.
+                if deadline is not None and clock.elapsed > deadline:
+                    exhaust("deadline")
+            if not cols:
+                break
+            fault_point(
+                "sparse.explore.alloc",
+                level=state.levels,
+                entries=frontier.shape[0] * len(cols),
             )
-        # First-discovery parents: among the stacked (command, frontier)
-        # successor entries that land on fresh states, keep the first per
-        # state — deterministic in (command order, frontier order), which
-        # pins the witness paths across runs.
-        take = in_sorted(fresh, all_succ)
-        succ_f = all_succ[take]
-        src_f = np.tile(frontier, len(cols))[take]
-        cmd_ids = np.repeat(np.arange(len(cols), dtype=np.int64), frontier.shape[0])
-        cmd_f = cmd_ids[take]
-        _, first = np.unique(succ_f, return_index=True)
-        state.level_parents.append(src_f[first])
-        state.level_pcmds.append(cmd_f[first])
-        state.level_nodes.append(fresh)
-        frontier = fresh
+            all_succ = np.concatenate(cols)
+            cand = np.unique(all_succ)
+            fresh = cand[~in_sorted(state.known, cand)]
+            if fresh.size == 0:
+                break
+            # Both arrays are sorted and disjoint: a positional insert is the
+            # O(m) merge (no per-level re-sort of the whole intern table).
+            state.known = np.insert(
+                state.known, np.searchsorted(state.known, fresh), fresh
+            )
+            if state.known.size > node_limit:
+                raise ExplorationError(
+                    f"reachable exploration of {program.name} exceeded "
+                    f"node_limit={node_limit} (encoded space {space.size}); "
+                    "raise the limit if the workload is expected"
+                )
+            # First-discovery parents: among the stacked (command, frontier)
+            # successor entries that land on fresh states, keep the first per
+            # state — deterministic in (command order, frontier order), which
+            # pins the witness paths across runs.
+            take = in_sorted(fresh, all_succ)
+            succ_f = all_succ[take]
+            src_f = np.tile(frontier, len(cols))[take]
+            cmd_ids = np.repeat(np.arange(len(cols), dtype=np.int64), frontier.shape[0])
+            cmd_f = cmd_ids[take]
+            _, first = np.unique(succ_f, return_index=True)
+            state.level_parents.append(src_f[first])
+            state.level_pcmds.append(cmd_f[first])
+            state.level_nodes.append(fresh)
+            if rec.enabled:
+                rec.add("sparse.bfs.levels")
+                rec.add("sparse.bfs.nodes", int(fresh.shape[0]))
+                rec.add("sparse.bfs.succ_entries", int(all_succ.shape[0]))
+                rec.gauge_max(
+                    "sparse.bfs.peak_bytes",
+                    int(state.known.nbytes + all_succ.nbytes * 2),
+                )
+                beat = {
+                    "level": state.levels - 1,
+                    "nodes": state.explored,
+                    "frontier": int(fresh.shape[0]),
+                }
+                if cumulative_elapsed is not None:
+                    elapsed = cumulative_elapsed()
+                    if elapsed > 0:
+                        beat["rate"] = f"{state.explored / elapsed:,.0f}/s"
+                if deadline is not None:
+                    beat["budget_left"] = f"{max(deadline - clock.elapsed, 0.0):.1f}s"
+                rec.heartbeat(**beat)
+            frontier = fresh
         if checkpoint is not None and checkpoint.due(
             levels_since=state.levels - last_write_level,
             nodes_since=state.explored - last_write_nodes,
@@ -718,9 +812,14 @@ def reachable_subspace(
     cached: running out of budget is transient, not a property of the
     program.
     """
+    rec = obs.get_recorder()
     cached = _CACHE.get(program)
     if isinstance(cached, ReachableSubspace):
+        if rec.enabled:
+            rec.add("sparse.subspace_cache.hits")
         return cached
+    if rec.enabled:
+        rec.add("sparse.subspace_cache.misses")
     if cached is not None:
         err = ExplorationError(
             f"{cached.message} (cached sparse-tier failure; the original "

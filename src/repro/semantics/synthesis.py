@@ -72,6 +72,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.predicates import (
     Predicate,
     PrefixSupportPredicate,
@@ -121,26 +122,28 @@ def synthesize_leadsto_proof(
     """
     if fairness not in ("weak", "strong"):
         raise ProofError(f"unknown fairness notion {fairness!r}")
-    if subspace is not None:
-        return _synthesize_sparse(subspace, p, q, fairness)
-    from repro.errors import BudgetExhausted
-    from repro.semantics.budget import PartialResult
-    from repro.semantics.sparse import routed_subspace
+    rec = obs.get_recorder()
+    with rec.span("synthesis.leadsto", program=program.name, fairness=fairness):
+        if subspace is not None:
+            return _synthesize_sparse(subspace, p, q, fairness)
+        from repro.errors import BudgetExhausted
+        from repro.semantics.budget import PartialResult
+        from repro.semantics.sparse import routed_subspace
 
-    try:
-        sub = routed_subspace(
-            program, "proof synthesis", budget=budget, checkpoint=checkpoint
-        )
-    except BudgetExhausted as exc:
-        arrow = "~>[strong]" if fairness == "strong" else "~>"
-        return PartialResult.from_exhaustion(
-            exc,
-            kind="proof-synthesis",
-            subject=f"{p.describe()} {arrow} {q.describe()}",
-        )
-    if sub is not None:
-        return _synthesize_sparse(sub, p, q, fairness)
-    return _synthesize_dense(program, p, q, fairness)
+        try:
+            sub = routed_subspace(
+                program, "proof synthesis", budget=budget, checkpoint=checkpoint
+            )
+        except BudgetExhausted as exc:
+            arrow = "~>[strong]" if fairness == "strong" else "~>"
+            return PartialResult.from_exhaustion(
+                exc,
+                kind="proof-synthesis",
+                subject=f"{p.describe()} {arrow} {q.describe()}",
+            )
+        if sub is not None:
+            return _synthesize_sparse(sub, p, q, fairness)
+        return _synthesize_dense(program, p, q, fairness)
 
 
 def _synthesize_dense(
@@ -255,6 +258,13 @@ def _columnar_induction(
     Shared by both tiers (dense synthesis passes full-space component
     arrays, sparse synthesis the reachable global ids).
     """
+    rec = obs.get_recorder()
+    if rec.enabled:
+        rec.add("synthesis.levels", len(comps))
+        rec.add(
+            "synthesis.level_members",
+            int(sum(members.shape[0] for _, members in comps)),
+        )
     table = SupportTable(space, [members for _, members in comps])
     levels: list[Predicate] = []
     subs: list[LeadsToProof] = []
@@ -359,26 +369,33 @@ def check_certificate_batched(proof: LeadsToProof, program: Program, *, subspace
     stays available as the differential oracle either way.
     """
     space = program.space
+    rec = obs.get_recorder()
     layout = _certificate_layout(proof)
     if layout is not None and proof.levels[0].space is not space:
         layout = None
     if layout is None:
-        return proof.check(program)
-    if subspace is None:
-        from repro.semantics.sparse import routed_subspace
+        with rec.span("proof.check", program=program.name, mode="per-level"):
+            return proof.check(program)
+    with rec.span(
+        "proof.batched_check",
+        program=program.name,
+        levels=len(layout.level_members),
+    ):
+        if subspace is None:
+            from repro.semantics.sparse import routed_subspace
 
-        subspace = routed_subspace(program, "the batched certificate check")
-    # int64 headroom for the kernel's (level, member) search keys over the
-    # routed universe (never binding under the default sparse node limit).
-    universe = subspace.size if subspace is not None else space.size
-    if universe and len(layout.level_members) > (2**62) // universe:
-        return proof.check(program)
-    if subspace is not None:
-        from repro.semantics.sparse.checkers import (
-            check_obligations_batched_sparse,
-        )
+            subspace = routed_subspace(program, "the batched certificate check")
+        # int64 headroom for the kernel's (level, member) search keys over the
+        # routed universe (never binding under the default sparse node limit).
+        universe = subspace.size if subspace is not None else space.size
+        if universe and len(layout.level_members) > (2**62) // universe:
+            return proof.check(program)
+        if subspace is not None:
+            from repro.semantics.sparse.checkers import (
+                check_obligations_batched_sparse,
+            )
 
-        return check_obligations_batched_sparse(subspace, layout)
-    from repro.semantics.checker import check_obligations_batched
+            return check_obligations_batched_sparse(subspace, layout)
+        from repro.semantics.checker import check_obligations_batched
 
-    return check_obligations_batched(program, layout)
+        return check_obligations_batched(program, layout)

@@ -16,6 +16,7 @@ import weakref
 
 import numpy as np
 
+from repro import obs
 from repro.core.commands import Command
 from repro.core.program import Program
 from repro.core.state import StateSpace
@@ -48,9 +49,22 @@ class TransitionSystem:
         self.space.require_dense(
             f"building successor tables for {program.name}"
         )
-        self.tables: dict[str, np.ndarray] = {
-            cmd.name: cmd.succ_table(self.space) for cmd in program.commands
-        }
+        rec = obs.get_recorder()
+        with rec.span(
+            "dense.succ_table",
+            program=program.name,
+            states=int(self.space.size),
+            commands=len(program.commands),
+        ):
+            self.tables: dict[str, np.ndarray] = {
+                cmd.name: cmd.succ_table(self.space) for cmd in program.commands
+            }
+            if rec.enabled:
+                rec.add("dense.succ_table.builds", len(self.tables))
+                rec.add(
+                    "dense.succ_table.entries",
+                    int(self.space.size) * len(self.tables),
+                )
         self._graph: "GraphBackend | None" = None
 
     def graph(self) -> "GraphBackend":
