@@ -27,6 +27,7 @@ See ``examples/`` for runnable walkthroughs and ``DESIGN.md`` /
 
 from repro import core, dsl, graph, semantics, systems, util
 from repro._version import __version__
+from repro.api import Verdict, Witness, verify
 from repro.core import (
     AltCommand,
     BoolDomain,
@@ -60,6 +61,8 @@ from repro.core import (
 __all__ = [
     "__version__",
     "core", "semantics", "graph", "systems", "dsl", "util",
+    # the unified verification facade
+    "verify", "Verdict", "Witness",
     # re-exported core API
     "Var", "Locality", "BoolDomain", "IntRange", "EnumDomain",
     "Expr", "Predicate", "ExprPredicate", "FnPredicate", "MaskPredicate",

@@ -1,0 +1,385 @@
+"""The unified verification facade: ``verify(program, property) -> Verdict``.
+
+One entry point in front of the tiered engine.  Callers name *what* to
+verify (a :class:`~repro.core.properties.Property`, a bare
+:class:`~repro.core.predicates.Predicate` for a reachable invariant, or a
+:class:`~repro.core.compositional.CompositionalCertificate`) and *how hard*
+to try (``tier``, ``budget``, ``prove``); the facade routes to the dense
+checker, the sparse reachable-subspace engine, the proof synthesizer, or
+the compositional certificate checker and always returns a
+:class:`Verdict` with the same shape:
+
+- ``holds`` — ``True`` / ``False`` for a decided property, ``None`` when
+  the engine *refused or ran out* (budget exhaustion, certificate
+  refusal).  UNKNOWN is never conflated with FAILS: ``bool(verdict)``
+  raises on an undecided verdict instead of silently reading it as
+  ``False``.
+- ``tier`` — which engine decided it (``"dense"`` / ``"sparse"`` /
+  ``"compositional"``).
+- ``witness`` — the engine's structured facts (counterexample state,
+  violation counts, …) behind a read-only mapping.
+- ``certificate`` — the kernel-checked proof object when ``prove=True``
+  (or the compositional certificate that was checked).
+- ``partial`` — the resumable
+  :class:`~repro.semantics.budget.PartialResult` when a budget ran out.
+
+Tier routing
+------------
+``tier="auto"`` (default)
+    The engine's normal size-based routing: dense below the sparse
+    threshold, reachable-subspace sparse above it.
+``tier="sparse"``
+    Force the sparse tier: the reachable subspace is explored (under
+    ``budget`` if given) and every check runs over it.
+``tier="dense"``
+    Require the dense tier; refused with a
+    :class:`~repro.errors.CapacityError` if the space routes sparse —
+    forcing full-space arrays on a 10¹²-state space is exactly what the
+    capacity system exists to prevent.
+``tier="compositional"``
+    Check a :class:`~repro.core.compositional.CompositionalCertificate`
+    (passed as the property itself, or via ``certificate=``) without ever
+    materializing the product space.
+
+Migration from the dict-shaped results of earlier revisions: see
+``docs/composition.md``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CapacityError, PropertyError
+
+__all__ = ["verify", "Verdict", "Witness", "TIERS"]
+
+#: The recognized ``tier=`` values, in routing order.
+TIERS = ("auto", "dense", "sparse", "compositional")
+
+
+class Witness(Mapping):
+    """Read-only view of a verdict's structured facts.
+
+    Wraps the checker's witness dict (counterexample ``state``, violation
+    counts, engine ``tier``, confining paths, …) behind the mapping
+    protocol; iteration order is the engine's insertion order.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[str, Any] | None = None) -> None:
+        self._data = dict(data or {})
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"Witness({self._data!r})"
+
+    @property
+    def state(self) -> Any:
+        """The counterexample state, or ``None``."""
+        return self._data.get("state")
+
+
+def _shim_warning(key: str) -> None:
+    warnings.warn(
+        f"Verdict[{key!r}] is deprecated; use the Verdict attributes "
+        "(verdict.holds, verdict.tier, ...) or verdict.witness[...] for "
+        "engine facts",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The uniform result of :func:`verify`.
+
+    ``holds`` is three-valued: ``True`` / ``False`` are decided verdicts;
+    ``None`` means the engine refused or ran out (see ``partial`` /
+    ``metrics["message"]``).  ``bool(verdict)`` raises on ``None`` so
+    UNKNOWN can never be read as FAILS by accident.
+    """
+
+    holds: bool | None
+    tier: str
+    witness: Witness = field(default_factory=Witness)
+    certificate: Any = None
+    metrics: Mapping[str, Any] = field(default_factory=dict)
+    partial: Any = None
+
+    def __bool__(self) -> bool:
+        if self.holds is None:
+            raise TypeError(
+                "undecided Verdict (holds=None) has no truth value; "
+                "inspect .partial / .metrics['message']"
+            )
+        return self.holds
+
+    # -- dict-shaped shims (deprecated) ---------------------------------
+    # Earlier revisions returned the checker's witness dict directly;
+    # these keep `result["state"]`-style call sites working, loudly.
+
+    def __getitem__(self, key: str) -> Any:
+        _shim_warning(key)
+        if key in ("holds", "tier", "certificate", "metrics", "partial"):
+            return getattr(self, key)
+        return self.witness[key]
+
+    def __contains__(self, key: str) -> bool:
+        _shim_warning(key)
+        if key in ("holds", "tier", "certificate", "metrics", "partial"):
+            return True
+        return key in self.witness
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Deprecated dict-shim; use attributes or ``witness.get``."""
+        _shim_warning(key)
+        if key in ("holds", "tier", "certificate", "metrics", "partial"):
+            return getattr(self, key)
+        return self.witness._data.get(key, default)
+
+    # -------------------------------------------------------------------
+
+    def explain(self) -> str:
+        """One-line human rendering, mirroring ``CheckResult.explain``."""
+        subject = self.metrics.get("subject", "")
+        if self.holds is None:
+            status = "UNKNOWN"
+        else:
+            status = "HOLDS" if self.holds else "FAILS"
+        msg = self.metrics.get("message", "")
+        tail = f" — {msg}" if msg else ""
+        return f"{status} [{self.tier}] {subject}{tail}".rstrip()
+
+
+def _verdict_from_check(result, *, certificate=None) -> Verdict:
+    """Lift a :class:`~repro.semantics.checker.CheckResult`."""
+    witness = result.witness or {}
+    return Verdict(
+        holds=result.holds,
+        tier=witness.get("tier", "dense"),
+        witness=Witness(witness),
+        certificate=certificate,
+        metrics={
+            "kind": result.kind,
+            "subject": result.subject,
+            "message": result.message,
+        },
+    )
+
+
+def _verdict_from_partial(partial, tier: str = "sparse") -> Verdict:
+    return Verdict(
+        holds=None,
+        tier=tier,
+        witness=Witness(partial.witness),
+        metrics={
+            "kind": partial.kind,
+            "subject": partial.subject,
+            "message": f"budget exhausted ({partial.reason}); "
+            f"checkpoint={partial.checkpoint_path or '-'}",
+            "explored": int(partial.explored),
+            "levels": int(partial.levels),
+        },
+        partial=partial,
+    )
+
+
+def _is_partial(result) -> bool:
+    return getattr(result, "status", None) == "unknown"
+
+
+def _verify_compositional(program, prop, certificate, max_states) -> Verdict:
+    from repro.core.compositional import CompositionalCertificate
+    from repro.core.properties import LeadsTo
+    from repro.semantics.compositional import check_compositional
+
+    cert = prop if isinstance(prop, CompositionalCertificate) else certificate
+    if cert is None:
+        raise PropertyError(
+            "tier='compositional' needs a CompositionalCertificate — pass "
+            "it as the property or via certificate="
+        )
+    if isinstance(prop, LeadsTo):
+        if (
+            prop.p.describe() != cert.p.describe()
+            or prop.q.describe() != cert.q.describe()
+        ):
+            raise PropertyError(
+                f"certificate concludes {cert.conclusion_text()}, not "
+                f"{prop.describe()}"
+            )
+    if program is not None and program is not cert.system:
+        raise PropertyError(
+            "the certificate was built for a different composed system; "
+            "pass cert.system (or None) as the program"
+        )
+    kwargs = {} if max_states is None else {"max_states": max_states}
+    res = check_compositional(cert, **kwargs)
+    metrics = {
+        "kind": "compositional",
+        "subject": cert.conclusion_text(),
+        "message": res.explain().splitlines()[0],
+        "obligations": int(res.obligations_checked),
+        "rule_applications": int(res.nodes_checked),
+        "components": int(res.components_checked),
+        "frame_skips": int(res.frame_skips),
+        "footprint_evaluations": int(res.footprint_evaluations),
+    }
+    return Verdict(
+        holds=True if res.ok else None,
+        tier="compositional",
+        witness=Witness({"failures": [str(f) for f in res.failures]}),
+        certificate=cert,
+        metrics=metrics,
+    )
+
+
+def verify(
+    program,
+    prop,
+    *,
+    tier: str = "auto",
+    fairness: str = "weak",
+    budget=None,
+    prove: bool = False,
+    subspace=None,
+    recorder=None,
+    certificate=None,
+    max_states=None,
+) -> Verdict:
+    """Verify ``prop`` of ``program`` and return a :class:`Verdict`.
+
+    ``prop`` may be a :class:`~repro.core.properties.Property`, a bare
+    :class:`~repro.core.predicates.Predicate` (checked as a *reachable*
+    invariant), or a
+    :class:`~repro.core.compositional.CompositionalCertificate`.
+
+    ``fairness`` (``"weak"`` / ``"strong"``) selects the scheduler
+    assumption for leads-to; ``prove=True`` additionally synthesizes and
+    kernel-checks a certificate for a holding leads-to (attached as
+    ``verdict.certificate``); ``budget`` / ``subspace`` / ``recorder``
+    are the normalized engine keywords shared with the underlying
+    checkers.  ``max_states`` caps the footprint kernel on the
+    compositional tier.
+    """
+    from repro.core.compositional import CompositionalCertificate
+
+    if tier not in TIERS:
+        raise PropertyError(f"unknown tier {tier!r}; expected one of {TIERS}")
+    if fairness not in ("weak", "strong"):
+        raise PropertyError(
+            f"unknown fairness {fairness!r}; expected 'weak' or 'strong'"
+        )
+    if recorder is not None:
+        from repro import obs
+
+        with obs.use_recorder(recorder):
+            return verify(
+                program,
+                prop,
+                tier=tier,
+                fairness=fairness,
+                budget=budget,
+                prove=prove,
+                subspace=subspace,
+                certificate=certificate,
+                max_states=max_states,
+            )
+
+    if tier == "compositional" or isinstance(prop, CompositionalCertificate):
+        return _verify_compositional(program, prop, certificate, max_states)
+
+    from repro.core.predicates import Predicate
+    from repro.core.properties import Invariant, LeadsTo, Property
+    from repro.semantics.sparse import sparse_enabled
+
+    if tier == "dense":
+        if subspace is not None:
+            raise PropertyError("tier='dense' contradicts subspace=")
+        if sparse_enabled(program.space):
+            raise CapacityError(
+                f"tier='dense' refused: {program.space.size} encoded "
+                "states routes sparse; use tier='auto' or tier='sparse'"
+            )
+    if tier == "sparse" and subspace is None:
+        from repro.errors import BudgetExhausted
+        from repro.semantics.budget import PartialResult
+        from repro.semantics.sparse.explorer import reachable_subspace
+
+        try:
+            subspace = reachable_subspace(program, budget=budget)
+        except BudgetExhausted as exc:
+            return _verdict_from_partial(
+                PartialResult.from_exhaustion(
+                    exc, kind="exploration", subject=program.name
+                )
+            )
+
+    if isinstance(prop, LeadsTo):
+        return _verify_leadsto(
+            program,
+            prop,
+            fairness=fairness,
+            budget=budget,
+            subspace=subspace,
+            prove=prove,
+        )
+    if isinstance(prop, Predicate):
+        from repro.semantics.checker import check_reachable_invariant
+
+        result = check_reachable_invariant(
+            program, prop, budget=budget, subspace=subspace
+        )
+        if _is_partial(result):
+            return _verdict_from_partial(result)
+        return _verdict_from_check(result)
+    if isinstance(prop, Property):
+        if subspace is not None and not isinstance(prop, Invariant):
+            raise PropertyError(
+                f"subspace= is not supported for {type(prop).__name__} "
+                "properties (they quantify over all states)"
+            )
+        return _verdict_from_check(prop.check(program))
+    raise PropertyError(f"cannot verify {prop!r}: not a property")
+
+
+def _verify_leadsto(program, prop, *, fairness, budget, subspace, prove) -> Verdict:
+    from repro.semantics.leadsto import check_leadsto
+    from repro.semantics.strong_fairness import check_leadsto_strong
+
+    checker = check_leadsto_strong if fairness == "strong" else check_leadsto
+    result = checker(program, prop.p, prop.q, budget=budget, subspace=subspace)
+    if _is_partial(result):
+        return _verdict_from_partial(result)
+    cert = None
+    if prove and result.holds:
+        from repro.semantics.synthesis import (
+            check_certificate_batched,
+            synthesize_leadsto_proof,
+        )
+
+        proof = synthesize_leadsto_proof(
+            program, prop.p, prop.q, fairness=fairness, budget=budget, subspace=subspace
+        )
+        if _is_partial(proof):
+            return _verdict_from_partial(proof)
+        check = check_certificate_batched(proof, program)
+        if not check.ok:
+            raise PropertyError(
+                f"synthesized certificate failed its kernel check: "
+                f"{check.explain()}"
+            )
+        cert = proof
+    return _verdict_from_check(result, certificate=cert)

@@ -163,7 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_scen.add_argument(
         "name",
-        choices=["list", "pipeline", "philosophers", "grid", "product"],
+        choices=[
+            "list", "pipeline", "philosophers", "grid", "product",
+            "compose50",
+        ],
         help="scenario name, or 'list' to enumerate",
     )
     p_scen.add_argument("--stages", type=int, default=None,
@@ -220,7 +223,18 @@ def _note_verdict(result) -> None:
     """Append one verdict row to the run manifest."""
     if _RUN_CONTEXT is None:
         return
-    if hasattr(result, "holds"):  # CheckResult
+    from repro.api import Verdict
+
+    if isinstance(result, Verdict):
+        row = {
+            "kind": result.metrics.get("kind", "verify"),
+            "subject": result.metrics.get("subject", ""),
+            "holds": result.holds,
+            "tier": result.tier,
+        }
+        if result.partial is not None:
+            row["status"] = result.partial.status
+    elif hasattr(result, "holds"):  # CheckResult
         row = {
             "kind": result.kind,
             "subject": result.subject,
@@ -416,6 +430,7 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_check(args) -> int:
+    from repro.api import verify
     from repro.dsl import parse_property
 
     program = _load_program(args.file, args.program)
@@ -423,12 +438,12 @@ def _cmd_check(args) -> int:
     failures = 0
     for text in args.properties:
         prop = parse_property(text, program)
-        result = prop.check(program)
-        _note_verdict(result)
-        print(result.explain())
-        if not result.holds:
+        verdict = verify(program, prop)
+        _note_verdict(verdict)
+        print(verdict.explain())
+        if not verdict.holds:
             failures += 1
-            state = result.witness.get("state")
+            state = verdict.witness.state
             if state is not None:
                 print(f"    counterexample: {state!r}")
     return 1 if failures else 0
@@ -541,7 +556,14 @@ def _cmd_scenario(args) -> int:
               "competing for the same token pool (--stages, --clients, "
               "--total; defaults are ~4.4e12 encoded states; delivery "
               "fails under weak fairness, holds under strong)")
+        print("compose50     heterogeneous 50-stage pipeline + allocator "
+              "clients, certified assume-guarantee style: per-component "
+              "lemmas + composition rules, the ~1e37-state product is "
+              "never explored (--stages, --clients, --total, --prove)")
         return 0
+
+    if args.name == "compose50":
+        return _cmd_compose50(args)
 
     # checks: (label, LeadsTo property, expected verdict, strong fairness?)
     if args.name == "pipeline":
@@ -646,6 +668,77 @@ def _cmd_scenario(args) -> int:
                 check_levels=args.check_levels,
             )
     return 1 if failures else 0
+
+
+def _cmd_compose50(args) -> int:
+    """The assume–guarantee flagship: certify delivery for a product
+    whose encoded space is far beyond every exploration tier, without
+    materializing a single product state.
+
+    Builds the heterogeneous pipeline ∘ allocator stack, synthesizes
+    per-component lemmas on the components' own small spaces, assembles
+    the compositional certificate, and re-checks it with
+    :func:`repro.api.verify` (``tier="compositional"``) — footprint-local
+    obligations only, work linear in the number of components.
+    ``--prove`` additionally prints the component lemma table and the
+    guarantees-calculus derivation trail.
+    """
+    import time
+
+    from repro.api import verify
+    from repro.systems.compose_proof import (
+        build_delivery_certificate,
+        build_hetero_stack,
+        encoded_size,
+    )
+
+    stages = 50 if args.stages is None else args.stages
+    t0 = time.perf_counter()
+    pa = build_hetero_stack(stages, clients=args.clients, total=args.total)
+    cert = build_delivery_certificate(pa)
+    t_build = time.perf_counter() - t0
+    size = encoded_size(pa)
+    print(pa.system.name)
+    print(f"encoded space : {size:.3e} states ({size.bit_length()} bits — "
+          "beyond every exploration tier)")
+    print(f"components    : {len(pa.components)} "
+          f"({stages} stages, {args.clients} clients, cap {args.total}..."
+          f"{args.total + 2})")
+    print(f"certificate   : {cert.proof.count_nodes()} rule applications, "
+          f"{len(cert.component_certs)} component lemmas "
+          f"(built in {t_build:.2f} s)")
+    _note_run(program=pa.system, tier="compositional")
+    t0 = time.perf_counter()
+    verdict = verify(None, cert)
+    t_check = time.perf_counter() - t0
+    _note_verdict(verdict)
+    print(verdict.explain())
+    m = verdict.metrics
+    print(f"check         : {m.get('obligations', 0)} obligations, "
+          f"{m.get('frame_skips', 0)} frame-rule skips, "
+          f"{m.get('footprint_evaluations', 0)} footprint evaluations "
+          f"in {t_check:.2f} s")
+    print("product states explored: 0 (every obligation is footprint-local)")
+    if args.prove:
+        print()
+        print("component lemmas (each checked on its own space):")
+        for cc in cert.component_certs:
+            print(f"  {cc.describe()}")
+        print()
+        print("guarantees-calculus derivation:")
+        for line in cert.guarantee_trail:
+            if len(line) > 200:
+                line = line[:197] + "..."
+            print(f"  {line}")
+        hist = cert.proof.rule_histogram()
+        shape = ", ".join(f"{k}×{v}" for k, v in sorted(hist.items()))
+        print()
+        print(f"composition rule tree (sharing expanded): {shape}")
+    if verdict.holds is not True:
+        for f in verdict.witness["failures"][:8]:
+            print(f"  - {f}")
+        return 1
+    return 0
 
 
 def _prove_leadsto(program, prop, result, *, strong: bool, check_levels=None) -> int:

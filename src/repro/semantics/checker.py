@@ -340,12 +340,21 @@ def check_invariant(program: Program, p: Predicate) -> CheckResult:
 
 
 def check_reachable_invariant(
-    program: Program, p: Predicate, *, budget=None, checkpoint=None
+    program: Program,
+    p: Predicate,
+    *,
+    budget=None,
+    subspace=None,
+    recorder=None,
+    checkpoint=None,
 ) -> CheckResult:
     """The weaker, *non-inductive* notion: ``p`` holds on every reachable
     state.  Not part of the paper's logic (it corresponds to the
     substitution-axiom strengthening the paper avoids); provided for
     comparison and diagnostics.
+
+    ``budget`` / ``subspace`` / ``recorder`` form the normalized keyword
+    set shared by every public checker (see ``docs/composition.md``).
 
     Spaces above the sparse threshold are decided by the sparse tier
     (:mod:`repro.semantics.sparse`) — same judgment, no full-space arrays
@@ -354,18 +363,29 @@ def check_reachable_invariant(
     resumable ``status="unknown"`` :class:`~repro.semantics.budget.
     PartialResult` instead of raising (see ``docs/robustness.md``).
     """
+    if recorder is not None:
+        from repro import obs
+
+        with obs.use_recorder(recorder):
+            return check_reachable_invariant(
+                program,
+                p,
+                budget=budget,
+                subspace=subspace,
+                checkpoint=checkpoint,
+            )
     space = program.space
     from repro.errors import ExplorationError
     from repro.semantics.sparse import dense_fallback, sparse_enabled
 
-    if sparse_enabled(space):
+    if subspace is not None or sparse_enabled(space):
         from repro.semantics.sparse.checkers import (
             check_reachable_invariant_sparse,
         )
 
         try:
             return check_reachable_invariant_sparse(
-                program, p, budget=budget, checkpoint=checkpoint
+                program, p, budget=budget, subspace=subspace, checkpoint=checkpoint
             )
         except ExplorationError as exc:
             dense_fallback(space, "check_reachable_invariant", exc)

@@ -205,9 +205,17 @@ def check_leadsto(
     q: Predicate,
     *,
     budget=None,
+    subspace=None,
+    recorder=None,
     checkpoint=None,
 ) -> CheckResult:
     """Check ``p ↝ q`` under weak fairness of ``D``.
+
+    ``budget`` / ``subspace`` / ``recorder`` form the normalized keyword
+    set shared by every public checker (see ``docs/composition.md``):
+    ``subspace`` forces the judgment onto an explicit reachable
+    subspace, ``recorder`` installs a telemetry recorder for the call's
+    duration.
 
     The witness of a failure contains a ``p``-state from which the
     scheduler can confine the execution to ``¬q`` forever, a state of the
@@ -230,16 +238,25 @@ def check_leadsto(
     ``status="unknown"`` :class:`~repro.semantics.budget.PartialResult`
     instead of raising (see ``docs/robustness.md``).
     """
+    if recorder is not None:
+        from repro import obs
+
+        with obs.use_recorder(recorder):
+            return check_leadsto(
+                program, p, q, budget=budget, subspace=subspace,
+                checkpoint=checkpoint,
+            )
     space = program.space
     from repro.errors import ExplorationError
     from repro.semantics.sparse import dense_fallback, sparse_enabled
 
-    if sparse_enabled(space):
+    if subspace is not None or sparse_enabled(space):
         from repro.semantics.sparse.checkers import check_leadsto_sparse
 
         try:
             return check_leadsto_sparse(
-                program, p, q, budget=budget, checkpoint=checkpoint
+                program, p, q, budget=budget, subspace=subspace,
+                checkpoint=checkpoint,
             )
         except ExplorationError as exc:
             dense_fallback(space, "check_leadsto", exc)

@@ -61,7 +61,13 @@ from repro import obs
 from repro.core.predicates import Predicate
 from repro.core.proofs import ProofCheckResult, ProofFailure
 
-__all__ = ["CertificateLayout", "check_columnar_obligations"]
+__all__ = [
+    "CertificateLayout",
+    "check_columnar_obligations",
+    "FootprintResult",
+    "FootprintKernel",
+    "FOOTPRINT_MAX",
+]
 
 
 @dataclass
@@ -319,8 +325,7 @@ def check_columnar_obligations(
     act_count = np.bincount(lvl[active], minlength=n_levels)
     if strong:
         trans_fail = _strong_transient_fail(
-            n_levels, lvl, active, fair, enabled_at, mem,
-            in_level_cache, commands,
+            n_levels, lvl, active, fair, enabled_at, mem, in_level_cache, commands
         )
         kind = "transient-strong"
         why = "a strongly-fair execution can stay inside the level forever"
@@ -403,3 +408,359 @@ def _strong_transient_fail(
     for k in np.flatnonzero(flags):
         fail[int(lvl[int(cond.components[int(k)][0])])] = True
     return fail
+
+
+# ===========================================================================
+# Footprint obligation kernel (compositional certificates)
+# ===========================================================================
+#
+# The compositional kernel (repro.semantics.compositional) re-checks
+# assume–guarantee certificates for systems whose encoded product space is
+# beyond *any* tier — even sparse int64 indexing.  It can, because every
+# obligation of the rule tree is local: a per-command wp check mentions
+# only vars(p) ∪ vars(q) ∪ vars(command), and the all-states (inductive)
+# semantics of this logic quantifies over *every* assignment of the
+# remaining variables — they are free coordinates, so an obligation holds
+# over the product iff it holds over the small space of the variables it
+# mentions.  FootprintKernel is the evaluator behind that observation:
+# it projects each obligation onto its footprint, builds (and caches) the
+# tiny StateSpace over exactly those variables, and decides the judgment
+# exactly there.
+#
+# Two sound strengthenings keep footprints small when a *global*
+# hypothesis (e.g. a token-conservation sum over every variable) shows up:
+#
+# - constant bindings: a hypothesis conjunct ``v == k`` removes ``v`` from
+#   the space and pins it in the evaluation environment instead;
+# - hypothesis projection: conjuncts whose variables would blow the
+#   footprint cap are *dropped* (checking a stronger obligation).  A check
+#   that fails after dropping reports the drop — the refusal may be a
+#   projection artifact, never an unsound acceptance.
+#
+# Linear invariants dodge the global footprint altogether:
+# ``stable (Σ aᵥ·v = k)`` holds iff every command's weighted write-delta
+# is zero under its guard — an obligation over vars(command) only
+# (check_linear_stable).
+
+
+@dataclass
+class FootprintResult:
+    """Outcome of one footprint-projected obligation."""
+
+    ok: bool
+    message: str = ""
+    dropped: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+#: Largest footprint space the kernel will enumerate (per obligation).
+#: Compositional certificates keep obligations a handful of variables
+#: wide; anything bigger is refused, never silently explored.
+FOOTPRINT_MAX = 1 << 21
+
+
+class FootprintKernel:
+    """Exact obligation evaluation over per-obligation variable footprints.
+
+    One instance per certificate check; footprint spaces are cached across
+    obligations (the same ``{done, c[i], c[i+1]}``-shaped space recurs per
+    pipeline stage), so a linear-in-components certificate checks with a
+    bounded number of small enumerations per component.
+    """
+
+    def __init__(self, *, max_states: int = FOOTPRINT_MAX) -> None:
+        self.max_states = int(max_states)
+        self._spaces: dict[tuple, object] = {}
+        self.evaluations = 0
+
+    # -- spaces ------------------------------------------------------------
+
+    def _space(self, variables):
+        from repro.core.state import StateSpace
+
+        key = tuple(sorted(v.name for v in variables))
+        space = self._spaces.get(key)
+        if space is None:
+            ordered = sorted(variables, key=lambda v: v.name)
+            space = StateSpace(ordered)
+            self._spaces[key] = space
+        return space
+
+    def _fits(self, variables) -> bool:
+        size = 1
+        for v in variables:
+            size *= v.domain.size
+            if size > self.max_states:
+                return False
+        return True
+
+    # -- predicate evaluation ---------------------------------------------
+
+    @staticmethod
+    def _binding_consistent(var, value) -> bool:
+        """False when the pinned value lies outside the variable's domain
+        (the hypothesis conjunct is unsatisfiable — vacuous truth)."""
+        from repro.core.domains import IntRange
+
+        dom = var.domain
+        if isinstance(dom, IntRange):
+            return dom.lo <= value <= dom.hi
+        return any(value == v for v in dom.values())
+
+    def _eval(self, preds, variables, bindings) -> list[np.ndarray]:
+        """Boolean arrays of ``preds`` over the space of ``variables``,
+        with out-of-footprint variables pinned by ``bindings``."""
+        self.evaluations += len(preds)
+        if not variables:
+            env = dict(bindings)
+            return [
+                np.array([bool(p.as_expr().eval(env))], dtype=bool)
+                for p in preds
+            ]
+        space = self._space(variables)
+        env = dict(space.var_arrays())
+        for var, value in bindings.items():
+            env[var] = np.int64(value) if isinstance(value, int) else value
+        out = []
+        for p in preds:
+            arr = np.asarray(p.as_expr().eval_vec(env), dtype=bool)
+            if arr.ndim == 0:
+                arr = np.broadcast_to(arr, (space.size,))
+            out.append(arr)
+        return out
+
+    def _example(self, variables, bindings, mask) -> str:
+        if not variables:
+            items = bindings.items()
+        else:
+            space = self._space(variables)
+            state = space.state_at(int(np.flatnonzero(mask)[0]))
+            items = list(state.items()) + list(bindings.items())
+        body = ", ".join(f"{v.name}={k}" for v, k in items)
+        return "{" + body + "}"
+
+    # -- entailment / equality --------------------------------------------
+
+    def entails(self, hyp, concl) -> FootprintResult:
+        """Validity ``hyp ⇒ concl`` over the (never materialized) product.
+
+        Splits a disjunctive hypothesis, detects contradictory conjunct
+        pairs, extracts constant bindings, deletes conclusion conjuncts
+        already present in the hypothesis, then decides the remainder
+        exactly on its footprint — dropping oversized hypothesis
+        conjuncts (sound strengthening) when it must.
+        """
+        from repro.core.compositional import pred_disjuncts
+
+        for d in pred_disjuncts(hyp):
+            res = self._entails_case(d, concl)
+            if not res.ok:
+                return res
+        return FootprintResult(True)
+
+    def _entails_case(self, hyp, concl) -> FootprintResult:
+        from repro.core.compositional import (
+            constant_binding,
+            pred_conjuncts,
+            pred_disjuncts,
+        )
+        from repro.core.expressions import Not
+        from repro.core.predicates import ExprPredicate, _Negation
+
+        conjs = pred_conjuncts(hyp)
+        descs = [c.describe() for c in conjs]
+        desc_set = set(descs)
+        # Contradictory hypothesis (x ∧ ¬x): vacuously valid.  Negation
+        # may live at the predicate level (_Negation) or inside the
+        # expression (ExprPredicate(Not ...)) after ``&`` merging.
+        for c in conjs:
+            if isinstance(c, _Negation) and c.inner.describe() in desc_set:
+                return FootprintResult(True)
+            if (
+                isinstance(c, ExprPredicate)
+                and isinstance(c.expr, Not)
+                and ExprPredicate(c.expr.operand).describe() in desc_set
+            ):
+                return FootprintResult(True)
+        # Constant bindings v == k pin variables instead of widening the
+        # footprint; an out-of-domain pin makes the hypothesis vacuous.
+        bindings: dict = {}
+        kept: list = []
+        for c in conjs:
+            bound = constant_binding(c)
+            if bound is not None:
+                var, value = bound
+                if not self._binding_consistent(var, value):
+                    return FootprintResult(True)
+                prior = bindings.get(var, value)
+                if prior != value:
+                    return FootprintResult(True)  # v=a ∧ v=b, a≠b
+                bindings[var] = value
+            else:
+                kept.append(c)
+        # Delete conclusion conjuncts the hypothesis already contains
+        # (per disjunct of the conclusion): p ∧ r ⇒ p ∧ s reduces to
+        # (p ∧ r) ⇒ s.  Purely syntactic (describe-equality), and sound:
+        # the deleted conjunct holds under the hypothesis by assumption.
+        goal_disjuncts = []
+        for gd in pred_disjuncts(concl):
+            parts = [
+                g for g in pred_conjuncts(gd) if g.describe() not in desc_set
+            ]
+            if not parts:
+                return FootprintResult(True)  # some disjunct fully implied
+            goal_disjuncts.append(parts)
+        goal_vars = set()
+        for parts in goal_disjuncts:
+            for g in parts:
+                goal_vars |= set(g.variables()) - set(bindings)
+        if not self._fits(goal_vars):
+            return FootprintResult(
+                False,
+                "refused: the conclusion's own footprint exceeds the "
+                f"kernel cap ({len(goal_vars)} variables)",
+            )
+        # Greedy hypothesis projection: keep conjuncts while the joint
+        # footprint stays enumerable; drop the rest (strengthening).
+        foot = set(goal_vars)
+        used: list = []
+        dropped: list[str] = []
+        for c in kept:
+            cv = set(c.variables()) - set(bindings)
+            if self._fits(foot | cv):
+                foot |= cv
+                used.append(c)
+            else:
+                dropped.append(c.describe())
+        variables = sorted(foot, key=lambda v: v.name)
+        relevant = {v for v in bindings if any(
+            v in c.variables() for c in used
+        ) or any(
+            v in g.variables() for parts in goal_disjuncts for g in parts
+        )}
+        live_bindings = {v: bindings[v] for v in relevant}
+        hyp_masks = self._eval(used, variables, live_bindings)
+        size = hyp_masks[0].shape[0] if hyp_masks else None
+        goal_parts = [
+            self._eval(parts, variables, live_bindings)
+            for parts in goal_disjuncts
+        ]
+        if size is None:
+            size = goal_parts[0][0].shape[0]
+        hmask = np.ones(size, dtype=bool)
+        for m in hyp_masks:
+            hmask &= m
+        gmask = np.zeros(size, dtype=bool)
+        for parts in goal_parts:
+            part = np.ones(size, dtype=bool)
+            for m in parts:
+                part &= m
+            gmask |= part
+        bad = hmask & ~gmask
+        if not bad.any():
+            return FootprintResult(True, dropped=tuple(dropped))
+        example = self._example(variables, live_bindings, bad)
+        note = (
+            f" (after dropping oversized hypothesis conjunct(s) "
+            f"{dropped} — the refusal may be a projection artifact)"
+            if dropped
+            else ""
+        )
+        return FootprintResult(
+            False,
+            f"{hyp.describe()} ⇒ {concl.describe()} fails on the "
+            f"footprint at {example}{note}",
+            dropped=tuple(dropped),
+        )
+
+    def equal(self, a, b) -> FootprintResult:
+        """Semantic equality, as entailment both ways."""
+        if a is b or a.describe() == b.describe():
+            return FootprintResult(True)
+        res = self.entails(a, b)
+        if not res.ok:
+            return res
+        return self.entails(b, a)
+
+    # -- command obligations ----------------------------------------------
+
+    def check_wp(self, pre, cmd, post) -> FootprintResult:
+        """``pre ⇒ wp.cmd.post`` on the footprint of (pre, post, cmd)."""
+        try:
+            wpred = cmd.wp(post)
+        except Exception as exc:  # non-symbolic command/predicate
+            return FootprintResult(
+                False,
+                f"refused: wp of {cmd.name} is not expressible ({exc})",
+            )
+        return self.check_wp_pred(pre, cmd, wpred)
+
+    def check_wp_pred(self, pre, cmd, wpred) -> FootprintResult:
+        res = self.entails(pre, wpred)
+        if res.ok:
+            return res
+        return FootprintResult(
+            False,
+            f"command {cmd.name}: {res.message}",
+            dropped=res.dropped,
+        )
+
+    def check_linear_stable(self, pred, commands) -> FootprintResult:
+        """``stable (Σ aᵥ·v = k)`` via per-command write deltas.
+
+        Each command preserves a linear equality iff, under its guard,
+        the weighted sum of its assignment deltas is zero — an exact
+        check over vars(command) alone, so conservation-style invariants
+        spanning *every* variable of the composition never force a
+        global footprint.
+        """
+        from repro.core.commands import GuardedCommand, Skip
+        from repro.core.compositional import linear_terms
+        from repro.core.expressions import EqE, esum
+        from repro.core.predicates import ExprPredicate
+
+        expr = pred.as_expr()
+        if not isinstance(expr, EqE):
+            return FootprintResult(
+                False,
+                f"refused: {pred.describe()} is not a linear equality",
+            )
+        left = linear_terms(expr.left)
+        right = linear_terms(expr.right)
+        if left is None or right is None:
+            return FootprintResult(
+                False,
+                f"refused: {pred.describe()} is not (syntactically) linear",
+            )
+        coeffs = dict(left[0])
+        for v, c in right[0].items():
+            coeffs[v] = coeffs.get(v, 0) - c
+        for cmd in commands:
+            if isinstance(cmd, Skip) or cmd.is_skip():
+                continue
+            if not isinstance(cmd, GuardedCommand):
+                return FootprintResult(
+                    False,
+                    f"refused: command {cmd.name} is not a guarded "
+                    "command (write deltas are not expressible)",
+                )
+            deltas = [
+                (a.expr - a.var.ref()) * coeffs[a.var]
+                for a in cmd.assignments
+                if coeffs.get(a.var, 0) != 0
+            ]
+            if not deltas:
+                continue
+            res = self.entails(
+                ExprPredicate(cmd.guard),
+                ExprPredicate(esum(deltas) == 0),
+            )
+            if not res.ok:
+                return FootprintResult(
+                    False,
+                    f"command {cmd.name} does not preserve "
+                    f"{pred.describe()}: {res.message}",
+                )
+        return FootprintResult(True)

@@ -154,13 +154,18 @@ def _leadsto_result(
     *,
     strong: bool,
     budget=None,
+    subspace=None,
     checkpoint=None,
 ) -> CheckResult | PartialResult:
     kind = "leadsto-strong" if strong else "leadsto"
     arrow = "~>[strong]" if strong else "~>"
     subject = f"{p.describe()} {arrow} {q.describe()}"
     try:
-        sub = reachable_subspace(program, budget=budget, checkpoint=checkpoint)
+        sub = (
+            subspace
+            if subspace is not None
+            else reachable_subspace(program, budget=budget, checkpoint=checkpoint)
+        )
     except BudgetExhausted as exc:
         # Graceful degradation: the budget ran out before the reachable
         # closure was complete, so no verdict is sound — return the
@@ -233,16 +238,25 @@ def check_leadsto_sparse(
     q: Predicate,
     *,
     budget=None,
+    subspace=None,
     checkpoint=None,
 ) -> CheckResult | PartialResult:
     """``p ↝ q`` under weak fairness, from every **reachable** ``p``-state.
 
     With a ``budget``, exhaustion degrades to a
     :class:`~repro.semantics.budget.PartialResult` (``status="unknown"``,
-    resumable) instead of raising.
+    resumable) instead of raising.  ``subspace`` forces the judgment onto
+    an explicit :class:`~repro.semantics.sparse.explorer.ReachableSubspace`
+    instead of the cached default exploration.
     """
     return _leadsto_result(
-        program, p, q, strong=False, budget=budget, checkpoint=checkpoint
+        program,
+        p,
+        q,
+        strong=False,
+        budget=budget,
+        subspace=subspace,
+        checkpoint=checkpoint,
     )
 
 
@@ -252,11 +266,18 @@ def check_leadsto_strong_sparse(
     q: Predicate,
     *,
     budget=None,
+    subspace=None,
     checkpoint=None,
 ) -> CheckResult | PartialResult:
     """``p ↝ q`` under strong fairness, from every **reachable** ``p``-state."""
     return _leadsto_result(
-        program, p, q, strong=True, budget=budget, checkpoint=checkpoint
+        program,
+        p,
+        q,
+        strong=True,
+        budget=budget,
+        subspace=subspace,
+        checkpoint=checkpoint,
     )
 
 
@@ -265,6 +286,7 @@ def check_reachable_invariant_sparse(
     p: Predicate,
     *,
     budget=None,
+    subspace=None,
     checkpoint=None,
 ) -> CheckResult | PartialResult:
     """``p`` holds on every reachable state — the same judgment as
@@ -274,7 +296,11 @@ def check_reachable_invariant_sparse(
     PartialResult` instead of raising."""
     subject = f"reachable-invariant {p.describe()}"
     try:
-        sub = reachable_subspace(program, budget=budget, checkpoint=checkpoint)
+        sub = (
+            subspace
+            if subspace is not None
+            else reachable_subspace(program, budget=budget, checkpoint=checkpoint)
+        )
     except BudgetExhausted as exc:
         return PartialResult.from_exhaustion(
             exc, kind="reachable-invariant", subject=subject

@@ -730,6 +730,14 @@ def explore(
     :func:`~repro.semantics.sparse.checkpoint.resume_exploration`
     round-trips bit-identically with an uninterrupted run.
     """
+    if max_states is not None:
+        import warnings
+
+        warnings.warn(
+            "explore(max_states=...) is deprecated; use node_limit=",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     if node_limit is None:
         node_limit = max_states if max_states is not None else DEFAULT_NODE_LIMIT
     space = program.space

@@ -151,9 +151,14 @@ def check_leadsto_strong(
     q: Predicate,
     *,
     budget=None,
+    subspace=None,
+    recorder=None,
     checkpoint=None,
 ) -> CheckResult:
     """Check ``p ↝ q`` assuming **strong** fairness of ``D``.
+
+    ``budget`` / ``subspace`` / ``recorder`` form the normalized keyword
+    set shared by every public checker (see ``docs/composition.md``).
 
     Spaces above the sparse threshold are decided by the sparse tier over
     the reachable subspace (see :mod:`repro.semantics.sparse`), falling
@@ -163,16 +168,25 @@ def check_leadsto_strong(
     exhaustion degrades to a resumable ``status="unknown"``
     :class:`~repro.semantics.budget.PartialResult` instead of raising.
     """
+    if recorder is not None:
+        from repro import obs
+
+        with obs.use_recorder(recorder):
+            return check_leadsto_strong(
+                program, p, q, budget=budget, subspace=subspace,
+                checkpoint=checkpoint,
+            )
     space = program.space
     from repro.errors import ExplorationError
     from repro.semantics.sparse import dense_fallback, sparse_enabled
 
-    if sparse_enabled(space):
+    if subspace is not None or sparse_enabled(space):
         from repro.semantics.sparse.checkers import check_leadsto_strong_sparse
 
         try:
             return check_leadsto_strong_sparse(
-                program, p, q, budget=budget, checkpoint=checkpoint
+                program, p, q, budget=budget, subspace=subspace,
+                checkpoint=checkpoint,
             )
         except ExplorationError as exc:
             dense_fallback(space, "check_leadsto_strong", exc)

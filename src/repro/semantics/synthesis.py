@@ -92,13 +92,20 @@ def synthesize_leadsto_proof(
     program: Program,
     p: Predicate,
     q: Predicate,
+    _positional_fairness: str | None = None,
     *,
     fairness: str = "weak",
-    subspace=None,
     budget=None,
+    subspace=None,
+    recorder=None,
     checkpoint=None,
 ) -> LeadsToProof:
     """Build a kernel-checkable certificate for ``p ↝ q``.
+
+    ``budget`` / ``subspace`` / ``recorder`` form the normalized keyword
+    set shared by every public checker (see ``docs/composition.md``).
+    Passing the fairness notion positionally is deprecated — use
+    ``fairness=``.
 
     Raises :class:`ProofError` if the property does not hold (no proof
     exists), quoting the model checker's counterexample.
@@ -120,6 +127,27 @@ def synthesize_leadsto_proof(
     instead of a proof (callers must check for it — it is not a
     :class:`LeadsToProof` and refuses ``bool()``).
     """
+    if _positional_fairness is not None:
+        import warnings
+
+        warnings.warn(
+            "passing the fairness notion positionally is deprecated; "
+            "use synthesize_leadsto_proof(..., fairness=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        fairness = _positional_fairness
+    if recorder is not None:
+        with obs.use_recorder(recorder):
+            return synthesize_leadsto_proof(
+                program,
+                p,
+                q,
+                fairness=fairness,
+                budget=budget,
+                subspace=subspace,
+                checkpoint=checkpoint,
+            )
     if fairness not in ("weak", "strong"):
         raise ProofError(f"unknown fairness notion {fairness!r}")
     rec = obs.get_recorder()

@@ -1,0 +1,281 @@
+"""The unified ``verify()`` facade and the :class:`Verdict` contract.
+
+Covers tier routing (auto/dense/sparse/compositional), the three-valued
+``holds``, budget degradation to ``partial``, the deprecated dict-shims,
+and the normalized keyword set (``budget= / subspace= / recorder=``)
+shared by the public checkers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Verdict, Witness, verify
+from repro.core.properties import LeadsTo
+from repro.errors import CapacityError, PropertyError
+from repro.semantics.budget import Budget
+from repro.systems.allocator import build_allocator_system
+from repro.systems.compose_proof import (
+    build_delivery_certificate,
+    build_hetero_stack,
+)
+from repro.systems.product import build_pipeline_allocator
+
+
+@pytest.fixture(scope="module")
+def alloc():
+    return build_allocator_system(2, total=2)
+
+
+class TestRouting:
+    def test_auto_dense(self, alloc):
+        v = verify(alloc.system, alloc.token_available())
+        assert v.holds is True
+        assert v.tier == "dense"
+        assert bool(v) is True
+
+    def test_forced_sparse(self, alloc):
+        v = verify(alloc.system, alloc.token_available(), tier="sparse")
+        assert v.holds is True
+        assert v.tier == "sparse"
+
+    def test_auto_sparse_above_threshold(self):
+        pa = build_pipeline_allocator(8)
+        v = verify(pa.system, pa.delivery(), fairness="strong")
+        assert v.holds is True
+        assert v.tier == "sparse"
+
+    def test_dense_refused_on_sparse_space(self):
+        pa = build_pipeline_allocator(16)
+        with pytest.raises(CapacityError, match="tier='dense' refused"):
+            verify(pa.system, pa.delivery(), tier="dense")
+
+    def test_fairness_selects_the_checker(self):
+        pa = build_pipeline_allocator(4, clients=2, total=2)
+        weak = verify(pa.system, pa.delivery(), fairness="weak")
+        strong = verify(pa.system, pa.delivery(), fairness="strong")
+        assert weak.holds is False
+        assert strong.holds is True
+        assert weak.witness.state is not None
+
+    def test_bare_predicate_is_reachable_invariant(self, alloc):
+        v = verify(alloc.system, alloc.conservation_predicate())
+        assert v.holds is True
+        assert v.metrics["kind"] == "reachable-invariant"
+
+    def test_generic_property_delegates(self, alloc):
+        from repro.core.properties import Stable
+
+        v = verify(alloc.system, Stable(alloc.conservation_predicate()))
+        assert v.holds is True
+
+    def test_unknown_tier_and_fairness_rejected(self, alloc):
+        with pytest.raises(PropertyError, match="tier"):
+            verify(alloc.system, alloc.token_available(), tier="warp")
+        with pytest.raises(PropertyError, match="fairness"):
+            verify(alloc.system, alloc.token_available(), fairness="none")
+
+    def test_non_property_rejected(self, alloc):
+        with pytest.raises(PropertyError, match="not a property"):
+            verify(alloc.system, 42)
+
+
+class TestProveAndBudget:
+    def test_prove_attaches_checked_certificate(self, alloc):
+        v = verify(alloc.system, alloc.token_available(), prove=True)
+        assert v.holds is True
+        assert v.certificate is not None
+        assert v.certificate.check(alloc.system).ok
+
+    def test_budget_exhaustion_degrades_to_partial(self):
+        pa = build_pipeline_allocator(8)
+        v = verify(
+            pa.system, pa.delivery(), tier="sparse", budget=Budget(node_budget=5)
+        )
+        assert v.holds is None
+        assert v.partial is not None
+        assert v.partial.status == "unknown"
+        with pytest.raises(TypeError, match="no truth value"):
+            bool(v)
+
+    def test_recorder_and_subspace_keywords(self, alloc):
+        from repro import obs
+        from repro.semantics.sparse.explorer import reachable_subspace
+
+        sub = reachable_subspace(alloc.system)
+        rec = obs.MetricsRecorder()
+        v = verify(alloc.system, alloc.token_available(), subspace=sub, recorder=rec)
+        assert v.holds is True
+        assert v.tier == "sparse"
+
+
+class TestCompositionalTier:
+    @pytest.fixture(scope="class")
+    def stack(self):
+        pa = build_hetero_stack(3, clients=2, total=2)
+        return pa, build_delivery_certificate(pa)
+
+    def test_certificate_as_property(self, stack):
+        pa, cert = stack
+        v = verify(None, cert)
+        assert v.holds is True
+        assert v.tier == "compositional"
+        assert v.certificate is cert
+        assert v.metrics["frame_skips"] > 0
+
+    def test_explicit_tier_with_matching_leadsto(self, stack):
+        pa, cert = stack
+        prop = LeadsTo(cert.p, cert.q)
+        v = verify(
+            pa.system, prop, tier="compositional", certificate=cert
+        )
+        assert v.holds is True
+
+    def test_mismatched_conclusion_refused(self, stack):
+        pa, cert = stack
+        other = build_pipeline_allocator(4, clients=2, total=2).delivery()
+        with pytest.raises(PropertyError, match="concludes"):
+            verify(
+                pa.system, other, tier="compositional", certificate=cert
+            )
+
+    def test_missing_certificate_refused(self, stack):
+        pa, _ = stack
+        with pytest.raises(PropertyError, match="CompositionalCertificate"):
+            verify(pa.system, LeadsTo(cert_p := pa.delivery().p, cert_p),
+                   tier="compositional")
+
+    def test_wrong_system_refused(self, stack):
+        pa, cert = stack
+        other = build_hetero_stack(3, clients=2, total=2)
+        with pytest.raises(PropertyError, match="different composed system"):
+            verify(other.system, cert)
+
+    def test_matches_explored_oracle(self, stack):
+        """The acceptance differential: compositional == explored."""
+        pa, cert = stack
+        comp = verify(None, cert)
+        explored = verify(pa.system, LeadsTo(cert.p, cert.q), fairness="strong")
+        assert comp.holds is explored.holds is True
+
+
+class TestVerdictShims:
+    def _verdict(self):
+        return Verdict(
+            holds=True,
+            tier="dense",
+            witness=Witness({"state": "s0", "violations": 0}),
+            metrics={"kind": "leadsto", "subject": "p ~> q"},
+        )
+
+    def test_getitem_warns_and_delegates(self):
+        v = self._verdict()
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            assert v["holds"] is True
+        with pytest.warns(DeprecationWarning):
+            assert v["state"] == "s0"
+
+    def test_get_and_contains_warn(self):
+        v = self._verdict()
+        with pytest.warns(DeprecationWarning):
+            assert v.get("tier") == "dense"
+        with pytest.warns(DeprecationWarning):
+            assert "state" in v
+        with pytest.warns(DeprecationWarning):
+            assert v.get("missing", "d") == "d"
+
+    def test_witness_is_a_clean_mapping(self):
+        import warnings
+
+        v = self._verdict()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert v.witness["state"] == "s0"
+            assert dict(v.witness) == {"state": "s0", "violations": 0}
+            assert len(v.witness) == 2
+            assert v.witness.state == "s0"
+
+    def test_verdict_is_frozen(self):
+        v = self._verdict()
+        with pytest.raises(AttributeError):
+            v.holds = False
+
+    def test_explain_states_the_status(self):
+        assert "HOLDS" in self._verdict().explain()
+        assert "UNKNOWN" in Verdict(holds=None, tier="sparse").explain()
+
+
+class TestSignatureNormalization:
+    """The public checkers share (budget=, subspace=, recorder=)."""
+
+    def test_all_four_accept_the_keyword_set(self, alloc):
+        import inspect
+
+        from repro.semantics.checker import check_reachable_invariant
+        from repro.semantics.leadsto import check_leadsto
+        from repro.semantics.strong_fairness import check_leadsto_strong
+        from repro.semantics.synthesis import synthesize_leadsto_proof
+
+        for fn in (
+            check_leadsto,
+            check_leadsto_strong,
+            check_reachable_invariant,
+            synthesize_leadsto_proof,
+        ):
+            params = list(inspect.signature(fn).parameters)
+            i_b, i_s, i_r = (
+                params.index("budget"),
+                params.index("subspace"),
+                params.index("recorder"),
+            )
+            assert i_b < i_s < i_r, f"{fn.__name__} orders {params}"
+
+    def test_positional_fairness_deprecated(self, alloc):
+        from repro.semantics.synthesis import synthesize_leadsto_proof
+
+        prop = alloc.token_available()
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            proof = synthesize_leadsto_proof(
+                alloc.system, prop.p, prop.q, "weak"
+            )
+        assert proof.check(alloc.system).ok
+
+    def test_recorder_keyword_routes_through_obs(self, alloc):
+        from repro import obs
+        from repro.semantics.leadsto import check_leadsto
+
+        prop = alloc.token_available()
+        rec = obs.MetricsRecorder()
+        res = check_leadsto(alloc.system, prop.p, prop.q, recorder=rec)
+        assert res.holds
+        # The recorder really observed the check.
+        manifest = obs.build_manifest(rec)
+        assert manifest["phases"] or manifest["counters"]
+
+
+class TestCLI:
+    def test_compose50_scenario(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            "scenario compose50 --stages 5 --clients 2 --total 2 --prove".split()
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "product states explored: 0" in out
+        assert "component lemmas" in out
+        assert "HOLDS [compositional]" in out
+
+    def test_check_routes_through_verify(self, tmp_path, capsys):
+        from repro.cli import main
+
+        f = tmp_path / "toy.unity"
+        f.write_text(
+            "program Toy\n"
+            "declare\n  shared x : int[0..3]\n"
+            "initially\n  x = 0\n"
+            "assign\n  fair inc: x < 3 -> x := x + 1\n"
+            "end\n"
+        )
+        assert main(["check", str(f), "-p", "x = 0 ~> x = 3"]) == 0
+        assert "HOLDS [dense]" in capsys.readouterr().out

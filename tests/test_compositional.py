@@ -1,0 +1,258 @@
+"""Assume–guarantee certification: the product, never materialized.
+
+Positive direction: the compositional kernel certifies the heterogeneous
+pipeline ∘ allocator stack, and on instances small enough to explore its
+verdict agrees with the dense per-level walk of the *same* rule tree (the
+differential oracle) and with the explored model checker.
+
+Negative direction (the refusal contract): a broken side condition, an
+interfering command, an inconsistent initially-conjunction, and a
+membership lie must each fail the check — the kernel refuses, it never
+guesses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.commands import GuardedCommand
+from repro.core.compositional import (
+    CompositionalCertificate,
+    SupportSplit,
+)
+from repro.core.domains import IntRange
+from repro.core.predicates import ExprPredicate
+from repro.core.program import Program
+from repro.core.rules import Implication
+from repro.core.variables import Var
+from repro.semantics.compositional import check_compositional
+from repro.semantics.strong_fairness import check_leadsto_strong
+from repro.systems.compose_proof import (
+    build_delivery_certificate,
+    build_hetero_stack,
+    encoded_size,
+)
+
+
+@pytest.fixture(scope="module")
+def small_stack():
+    """An instance small enough for the dense oracle to explore."""
+    pa = build_hetero_stack(3, clients=2, total=2)
+    return pa, build_delivery_certificate(pa)
+
+
+# ---------------------------------------------------------------------------
+# Positive: certification, differential oracle, flagship scale
+# ---------------------------------------------------------------------------
+
+
+class TestCertification:
+    def test_small_stack_certifies(self, small_stack):
+        pa, cert = small_stack
+        res = check_compositional(cert)
+        assert res.ok, res.explain()
+        assert res.components_checked == len(pa.components)
+        assert res.frame_skips > 0          # the frame rule did real work
+        assert res.footprint_evaluations > 0
+        # Every footprint space stayed tiny (that is the whole point).
+        assert res.notes["footprint_spaces"] > 0
+
+    def test_differential_against_dense_oracle(self, small_stack):
+        """The dense per-level walk of the *same* rule tree agrees."""
+        pa, cert = small_stack
+        dense = cert.proof.check(pa.system)
+        assert dense.ok, dense.explain()
+
+    def test_differential_against_explored_checker(self, small_stack):
+        """The explored model checker agrees with the certificate."""
+        pa, cert = small_stack
+        res = check_leadsto_strong(pa.system, cert.p, cert.q)
+        assert res.holds
+
+    def test_flagship_50_stage_stack(self):
+        """The win condition: a product beyond every exploration tier is
+        certified in time linear in the component count, with zero
+        product-space states materialized."""
+        pa = build_hetero_stack(50, clients=3, total=3)
+        size = encoded_size(pa)
+        assert size > 10**30               # far beyond int64, let alone BFS
+        cert = build_delivery_certificate(pa)
+        res = check_compositional(cert)
+        assert res.ok, res.explain()
+        assert res.components_checked == 54
+        # Linear in components, not in the product: every footprint
+        # stayed below the kernel cap, which is microscopic next to the
+        # encoded product.
+        assert res.footprint_evaluations < 50_000
+
+    def test_certificate_records_the_derivation(self, small_stack):
+        pa, cert = small_stack
+        assert cert.guarantee is not None
+        assert any("g-transitivity" in step for step in cert.guarantee_trail)
+        assert len(cert.component_certs) == len(pa.components)
+        text = cert.render()
+        assert "compositional certificate" in text
+
+    def test_check_scales_linearly_in_components(self):
+        """Obligations grow ~linearly with the stage count (the product
+        grows exponentially)."""
+        counts = {}
+        for stages in (5, 10, 20):
+            pa = build_hetero_stack(stages, clients=2, total=2)
+            res = check_compositional(build_delivery_certificate(pa))
+            assert res.ok, res.explain()
+            counts[stages] = res.obligations_checked
+        # Doubling the stages must not even triple the obligations
+        # (quadratic or worse would explode here).
+        assert counts[10] < 3 * counts[5]
+        assert counts[20] < 3 * counts[10]
+
+
+# ---------------------------------------------------------------------------
+# Negative: the refusal contract
+# ---------------------------------------------------------------------------
+
+
+def _failure_text(res) -> str:
+    return "\n".join(str(f) for f in res.failures)
+
+
+class TestRefusals:
+    def test_interfering_command_fails_the_check(self, small_stack):
+        """A command that writes a relevant variable out from under the
+        proof (un-does delivery) must break the wp obligations."""
+        pa, cert = small_stack
+        done = pa.system.var_named("done")
+        undo = GuardedCommand(
+            "undo", done.ref() > 0, [(done, done.ref() - 1)]
+        )
+        sabotaged = Program(
+            pa.system.name + "+undo",
+            pa.system.variables,
+            pa.system.init,
+            [*pa.system.commands, undo],
+            fair=sorted(pa.system.fair_names),
+        )
+        bad = dataclasses.replace(cert, system=sabotaged)
+        res = check_compositional(bad, check_components=False)
+        assert not res.ok
+        # The interference is caught by a wp obligation naming the
+        # command, and the membership check flags the unlisted command.
+        text = _failure_text(res)
+        assert "undo" in text
+        assert any(f.path == "membership" for f in res.failures)
+
+    def test_inconsistent_initially_conjunction_refused(self):
+        x = Var.shared("x", IntRange(0, 3))
+        a = Program("A", [x], ExprPredicate(x.ref() == 0), [])
+        b = Program("B", [x], ExprPredicate(x.ref() == 1), [])
+        p = ExprPredicate(x.ref() == 0)
+        cert = CompositionalCertificate(
+            system=a,
+            components=(a, b),
+            p=p,
+            q=p,
+            fairness="weak",
+            proof=Implication(p, p),
+        )
+        res = check_compositional(cert)
+        assert not res.ok
+        assert any(f.path == "initially" for f in res.failures)
+        assert "unsatisfiable" in _failure_text(res)
+
+    def test_broken_support_split_side_condition(self):
+        """A split variable whose domain admits negatives makes the case
+        split non-exhaustive; the kernel must refuse, not assume."""
+        x = Var.shared("neg", IntRange(-1, 2))
+        prog = Program("Neg", [x], ExprPredicate(x.ref() == 0), [])
+        base = ExprPredicate(x.ref() <= 2)
+        goal = ExprPredicate(x.ref() >= -1)
+        split = SupportSplit(
+            base,
+            (x,),
+            (Implication(base & ExprPredicate(x.ref() > 0), goal),),
+            Implication(base & ExprPredicate(x.ref() == 0), goal),
+        )
+        cert = CompositionalCertificate(
+            system=prog,
+            components=(prog,),
+            p=base,
+            q=goal,
+            fairness="weak",
+            proof=split,
+        )
+        res = check_compositional(cert)
+        assert not res.ok
+        assert "may be negative" in _failure_text(res)
+
+    def test_tampered_branch_shape_fails(self, small_stack):
+        """Rewriting a support-split branch to start from the wrong case
+        must fail the branch-shape obligation."""
+        pa, cert = small_stack
+        split = _find_support_split(cert.proof)
+        assert split is not None
+        wrong = ExprPredicate(pa.system.var_named("done").ref() >= 0)
+        tampered = SupportSplit(
+            split.base,
+            split.split_vars,
+            (
+                Implication(wrong, split.positive_subs[0].rhs()),
+                *split.positive_subs[1:],
+            ),
+            split.zero_sub,
+        )
+        bad = dataclasses.replace(cert, proof=tampered)
+        res = check_compositional(bad, check_components=False)
+        assert not res.ok
+        text = _failure_text(res)
+        assert "support-split branch 0" in text or "conclusion" in text
+
+    def test_membership_lie_fails(self, small_stack):
+        """Dropping a component from the list must fail membership (its
+        commands are in the system but unaccounted for)."""
+        pa, cert = small_stack
+        bad = dataclasses.replace(cert, components=cert.components[:-1])
+        res = check_compositional(bad, check_components=False)
+        assert not res.ok
+        assert any(f.path == "membership" for f in res.failures)
+
+    def test_unknown_rule_refused(self):
+        """A rule the compositional kernel has no local argument for is
+        refused outright (never silently accepted)."""
+        from repro.core.rules import TransientBasis
+
+        x = Var.shared("t", IntRange(0, 1))
+        flip = GuardedCommand("flip", x.ref() == 0, [(x, 1)])
+        prog = Program(
+            "T", [x], ExprPredicate(x.ref() == 0), [flip], fair=["flip"]
+        )
+        node = TransientBasis(ExprPredicate(x.ref() == 0))
+        cert = CompositionalCertificate(
+            system=prog,
+            components=(prog,),
+            p=node.lhs(),
+            q=node.rhs(),
+            fairness="weak",
+            proof=node,
+        )
+        res = check_compositional(cert)
+        assert not res.ok
+        assert "refused" in _failure_text(res)
+
+
+def _find_support_split(node):
+    if isinstance(node, SupportSplit):
+        return node
+    for child in getattr(node, "subs", ()) or ():
+        found = _find_support_split(child)
+        if found is not None:
+            return found
+    for attr in ("left", "right", "sub", "recurrence"):
+        child = getattr(node, attr, None)
+        if child is not None:
+            found = _find_support_split(child)
+            if found is not None:
+                return found
+    return None

@@ -214,9 +214,11 @@ class TestExplorer:
         prog = Program("Long", [x], ExprPredicate(x.ref() == 0), [inc], fair=["inc"])
         with pytest.raises(ExplorationError, match="node_limit"):
             explore(prog, node_limit=10)
-        # The deprecated alias keeps working and hits the same wall.
-        with pytest.raises(ExplorationError, match="node_limit"):
-            explore(prog, max_states=10)
+        # The deprecated alias warns but keeps working and hits the same
+        # wall.
+        with pytest.warns(DeprecationWarning, match="max_states"):
+            with pytest.raises(ExplorationError, match="node_limit"):
+                explore(prog, max_states=10)
 
     def test_seeds_override(self):
         x = Var.shared("x", IntRange(0, 9))
