@@ -1,0 +1,68 @@
+"""E13 — generated workloads: scenario families and the DSL fuzzer.
+
+Engineering benchmarks for :mod:`repro.gen`: building a family instance
+(graph generation + composition), deciding its expected-property
+manifest through the tier-routed engine, and the fuzzer's end-to-end
+throughput (generate → elaborate → round-trip → differential).  These
+are the paths the `scenario` families CLI and the CI fuzz job pay for,
+so their trajectory belongs in the committed ``BENCH_<n>.json`` record.
+"""
+
+import pytest
+
+from repro.gen.families import build_scenario, run_scenario
+from repro.gen.fuzz import fuzz_case, fuzz_run
+
+FAMILY_PARAMS = {
+    "torus": {"rows": 3, "cols": 3},
+    "hypercube": {"d": 3},
+    "regular": {"n": 10, "d": 3, "seed": 7},
+    "fanout": {"widths": (2, 3, 3, 2), "total": 3},
+    "mesh": {"pools": 4, "clients": 6, "total": 2},
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_PARAMS))
+def test_E13_family_build(benchmark, family):
+    scenario = benchmark(lambda: build_scenario(family, **FAMILY_PARAMS[family]))
+    assert scenario.checks
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_PARAMS))
+def test_E13_family_manifest(benchmark, family, table_printer):
+    """Decide every manifest row (the `scenario <family>` hot path)."""
+    scenario = build_scenario(family, **FAMILY_PARAMS[family])
+
+    rows = benchmark(lambda: run_scenario(scenario))
+    assert all(res.holds == check.expected for check, res in rows)
+    table_printer(
+        f"E13: family manifest, {scenario.describe()}",
+        ["encoded states", "checks"],
+        [[scenario.program.space.size, len(rows)]],
+    )
+
+
+def test_E13_fuzz_generate(benchmark):
+    """Seed → surface AST → elaborated program (no checking)."""
+    counter = iter(range(10**9))
+
+    def one():
+        return fuzz_case(next(counter) % 500)
+
+    case = benchmark(one)
+    assert case.program.commands
+
+
+def test_E13_fuzz_differential_sweep(benchmark, table_printer):
+    """Ten seeded cases through round-trip + all tier cross-checks."""
+
+    def sweep():
+        return fuzz_run(10, seed=0)
+
+    result = benchmark(sweep)
+    assert result.ok
+    table_printer(
+        "E13: fuzz differential sweep",
+        ["cases", "tier checks"],
+        [[result.cases, result.checks]],
+    )

@@ -23,8 +23,8 @@ CI smoke (crash check only, no timing, no snapshot)::
     PYTHONPATH=src python benchmarks/record.py --smoke
 
 ``--smoke`` runs the sparse-tier scenario, certificate-check, telemetry,
-and compositional-certification benchmarks with timing disabled, then a
-checkpoint/resume
+compositional-certification, and generated-workload (scenario families +
+fuzzer) benchmarks with timing disabled, then a checkpoint/resume
 round trip on the product scenario (budget-exhaust → UNKNOWN → resume →
 same verdicts as an unbudgeted run; see docs/robustness.md), then one
 instrumented run whose JSONL trace and run manifest are left at the
@@ -319,6 +319,7 @@ def main(argv: list[str] | None = None) -> int:
             str(BENCH_DIR / "bench_proof_check.py"),
             str(BENCH_DIR / "bench_obs.py"),
             str(BENCH_DIR / "bench_compose.py"),
+            str(BENCH_DIR / "bench_generators.py"),
             "--benchmark-disable", "-q", *args.extra,
         ]
         proc = subprocess.run(cmd, cwd=REPO_ROOT)

@@ -18,9 +18,14 @@ Commands
 ``scenario NAME [--stages N] [--n N] [--total T] [--rows R] [--cols C]
 [--clients K] [--prove]``
     Build one of the scaled composition scenarios (``pipeline``,
-    ``philosophers``, ``grid``, ``product``), explore its reachable
-    subspace through the engine tier the size selects (sparse above the
-    threshold), and check its headline properties.  ``grid`` and
+    ``philosophers``, ``grid``, ``product``) or one of the generated
+    scenario *families* (``torus``, ``hypercube``, ``regular``,
+    ``fanout``, ``mesh`` — :mod:`repro.gen.families`), explore its
+    reachable subspace through the engine tier the size selects (sparse
+    above the threshold), and check its headline properties.  Family
+    scenarios carry an expected-property manifest (including negative
+    exhibits), so the run fails if any verdict differs from the
+    manifest.  ``grid`` and
     ``product`` routinely exceed the old 64M dense cap by orders of
     magnitude (``product`` defaults to ≈ 4.4 · 10¹² encoded states).
     ``--prove`` certifies each leads-to verdict: holding properties get a
@@ -33,6 +38,18 @@ Commands
     checks end to end in about a second (``--check-levels N`` optionally
     skips the check above N levels).  ``scenario list`` enumerates the
     scenarios.
+
+``fuzz [--count N] [--seed S] [--fault NAME] [--corpus-dir DIR]``
+    Run the randomized DSL differential fuzzer (:mod:`repro.gen.fuzz`):
+    each seeded case generates a well-typed program through the surface
+    grammar, round-trips it through the pretty-printer and parser, and
+    cross-checks every engine tier pair on random predicates.  Without
+    ``--fault``, any disagreement is an engine bug: it is shrunk to a
+    minimal repro (written to ``--corpus-dir`` when given) and the run
+    exits non-zero.  With ``--fault`` (one of the named harness
+    corruptions), the fuzzer must *detect* the injected bug — it shrinks
+    the first disagreeing case, writes the corpus entry, and exits
+    non-zero only if no disagreement was found (an insensitive harness).
 
 Fault tolerance (``scenario`` and ``prove``; see ``docs/robustness.md``)
     ``--deadline S`` / ``--node-budget N`` / ``--max-levels N`` bound the
@@ -70,9 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
     def add_file_args(p) -> None:
         p.add_argument("file", type=Path)
         p.add_argument(
-            "--program", default=None, metavar="NAME",
+            "--program",
+            default=None,
+            metavar="NAME",
             help="which program/system of a multi-program module to use "
-                 "(default: the single program, or the last `system`)",
+            "(default: the single program, or the last `system`)",
         )
 
     p_info = sub.add_parser("info", help="print a parsed program's listing")
@@ -81,54 +100,81 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser("check", help="check properties against a program")
     add_file_args(p_check)
     p_check.add_argument(
-        "-p", "--property", dest="properties", action="append", required=True,
-        metavar="PROP", help='e.g. "invariant x = 0", "true ~> x = 3"',
+        "-p",
+        "--property",
+        dest="properties",
+        action="append",
+        required=True,
+        metavar="PROP",
+        help='e.g. "invariant x = 0", "true ~> x = 3"',
     )
 
     def add_budget_args(p) -> None:
         p.add_argument(
-            "--deadline", type=float, default=None, metavar="SECONDS",
+            "--deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
             help="wall-clock budget for the sparse exploration; on "
-                 "exhaustion a checkpoint is written and the run reports "
-                 "status=unknown instead of a verdict",
+            "exhaustion a checkpoint is written and the run reports "
+            "status=unknown instead of a verdict",
         )
         p.add_argument(
-            "--node-budget", type=int, default=None, metavar="N",
+            "--node-budget",
+            type=int,
+            default=None,
+            metavar="N",
             help="soft cap on explored states (resumable UNKNOWN, unlike "
-                 "the fail-closed node_limit)",
+            "the fail-closed node_limit)",
         )
         p.add_argument(
-            "--max-levels", type=int, default=None, metavar="N",
+            "--max-levels",
+            type=int,
+            default=None,
+            metavar="N",
             help="cap on completed BFS levels (resumable UNKNOWN)",
         )
         p.add_argument(
-            "--checkpoint", type=Path, default=None, metavar="PATH",
+            "--checkpoint",
+            type=Path,
+            default=None,
+            metavar="PATH",
             help="checkpoint file for the exploration (default when a "
-                 "budget is set: <scenario-or-module>.ckpt in the current "
-                 "directory)",
+            "budget is set: <scenario-or-module>.ckpt in the current "
+            "directory)",
         )
         p.add_argument(
-            "--resume", type=Path, default=None, metavar="PATH",
+            "--resume",
+            type=Path,
+            default=None,
+            metavar="PATH",
             help="resume the exploration from a checkpoint (refused, "
-                 "fail-closed, if the program or space changed since it "
-                 "was written)",
+            "fail-closed, if the program or space changed since it "
+            "was written)",
         )
 
     def add_obs_args(p) -> None:
         p.add_argument(
-            "--trace", type=Path, default=None, metavar="FILE",
+            "--trace",
+            type=Path,
+            default=None,
+            metavar="FILE",
             help="write the run's span/counter/heartbeat events as JSONL "
-                 "trace records to FILE (see docs/observability.md)",
+            "trace records to FILE (see docs/observability.md)",
         )
         p.add_argument(
-            "--metrics-out", type=Path, default=None, metavar="FILE",
+            "--metrics-out",
+            type=Path,
+            default=None,
+            metavar="FILE",
             help="write the run manifest (program digest, tier, verdicts, "
-                 "per-phase wall/CPU seconds, counters) as JSON to FILE",
+            "per-phase wall/CPU seconds, counters) as JSON to FILE",
         )
         p.add_argument(
-            "--progress", action="store_true",
+            "--progress",
+            action="store_true",
             help="print heartbeat lines (BFS level, nodes, rate, budget "
-                 "left) to stderr while the engine runs",
+            "left) to stderr while the engine runs",
         )
 
     add_obs_args(p_check)
@@ -146,57 +192,146 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="run a fair trace")
     add_file_args(p_sim)
     p_sim.add_argument("--steps", type=int, default=20)
-    p_sim.add_argument("--seed", type=int, default=None,
-                       help="random fair scheduler (default: round-robin)")
-    p_sim.add_argument("--until", metavar="Q", default=None,
-                       help="stop when this predicate holds")
+    p_sim.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="random fair scheduler (default: round-robin)",
+    )
+    p_sim.add_argument(
+        "--until", metavar="Q", default=None, help="stop when this predicate holds"
+    )
 
     p_rep = sub.add_parser("reproduce", help="re-run the experiment suite")
-    p_rep.add_argument("--exp", default=None, metavar="EID",
-                       help="one experiment id (default: all)")
-    p_rep.add_argument("--markdown", action="store_true",
-                       help="emit a Markdown table for EXPERIMENTS.md")
+    p_rep.add_argument(
+        "--exp", default=None, metavar="EID", help="one experiment id (default: all)"
+    )
+    p_rep.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a Markdown table for EXPERIMENTS.md",
+    )
     add_obs_args(p_rep)
 
-    p_scen = sub.add_parser(
-        "scenario", help="run a scaled composition scenario"
-    )
+    p_scen = sub.add_parser("scenario", help="run a scaled composition scenario")
     p_scen.add_argument(
         "name",
         choices=[
-            "list", "pipeline", "philosophers", "grid", "product",
+            "list",
+            "pipeline",
+            "philosophers",
+            "grid",
+            "product",
             "compose50",
+            "torus",
+            "hypercube",
+            "regular",
+            "fanout",
+            "mesh",
         ],
-        help="scenario name, or 'list' to enumerate",
+        help="scenario name (hand-built or generated family), or 'list' "
+        "to enumerate",
     )
-    p_scen.add_argument("--stages", type=int, default=None,
-                        help="pipeline depth (pipeline: default 10; "
-                             "product: default 16)")
-    p_scen.add_argument("--total", type=int, default=3,
-                        help="token count (pipeline/product scenarios)")
-    p_scen.add_argument("--n", type=int, default=10,
-                        help="ring size (philosophers scenario)")
-    p_scen.add_argument("--rows", type=int, default=4,
-                        help="grid rows (grid scenario)")
-    p_scen.add_argument("--cols", type=int, default=4,
-                        help="grid columns (grid scenario)")
-    p_scen.add_argument("--clients", type=int, default=3,
-                        help="competing allocator clients (product scenario)")
     p_scen.add_argument(
-        "--prove", action="store_true",
+        "--stages",
+        type=int,
+        default=None,
+        help="pipeline depth (pipeline: default 10; product: default 16)",
+    )
+    p_scen.add_argument(
+        "--total",
+        type=int,
+        default=None,
+        help="token count (pipeline/product/fanout: default 3; mesh: default 2)",
+    )
+    p_scen.add_argument(
+        "--n",
+        type=int,
+        default=10,
+        help="ring size (philosophers) / node count (regular family)",
+    )
+    p_scen.add_argument(
+        "--rows", type=int, default=None, help="grid/torus rows (default 4 / 3)"
+    )
+    p_scen.add_argument(
+        "--cols", type=int, default=None, help="grid/torus columns (default 4 / 3)"
+    )
+    p_scen.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="allocator clients (product: default 3; mesh: default 6)",
+    )
+    p_scen.add_argument(
+        "--dim",
+        type=int,
+        default=None,
+        help="hypercube dimension (default 3) / regular degree (default 3)",
+    )
+    p_scen.add_argument(
+        "--graph-seed",
+        type=int,
+        default=0,
+        help="seed for the regular family's random graph",
+    )
+    p_scen.add_argument(
+        "--widths",
+        default=None,
+        metavar="W0,W1,…",
+        help="fanout layer profile (default 2,3,3,2)",
+    )
+    p_scen.add_argument(
+        "--pools", type=int, default=None, help="mesh pool count (default 4)"
+    )
+    p_scen.add_argument(
+        "--prove",
+        action="store_true",
         help="certify each leads-to verdict: synthesize and kernel-check a "
-             "proof certificate for holding properties, and print the "
-             "confining-path witness for failing ones (sparse scenarios "
-             "never allocate full-space arrays)",
+        "proof certificate for holding properties, and print the "
+        "confining-path witness for failing ones (sparse scenarios "
+        "never allocate full-space arrays)",
     )
     p_scen.add_argument(
-        "--check-levels", type=int, default=None, metavar="N",
+        "--check-levels",
+        type=int,
+        default=None,
+        metavar="N",
         help="with --prove: skip the kernel check for certificates with "
-             "more than N variant levels (default: no cap — the batched "
-             "kernel checks 10^5-level certificates in seconds)",
+        "more than N variant levels (default: no cap — the batched "
+        "kernel checks 10^5-level certificates in seconds)",
     )
     add_budget_args(p_scen)
     add_obs_args(p_scen)
+
+    p_fuzz = sub.add_parser("fuzz", help="run the randomized DSL differential fuzzer")
+    p_fuzz.add_argument(
+        "--count", type=int, default=100, help="number of seeded cases (default 100)"
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="first seed of the sweep (default 0)"
+    )
+    p_fuzz.add_argument(
+        "--fault",
+        default=None,
+        metavar="NAME",
+        help="inject a named harness fault (sensitivity mode): the run "
+        "must find a disagreement, and exits non-zero otherwise; "
+        "see `fuzz --list-faults`",
+    )
+    p_fuzz.add_argument(
+        "--list-faults",
+        action="store_true",
+        help="enumerate the injectable faults and exit",
+    )
+    p_fuzz.add_argument(
+        "--corpus-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write shrunk minimal repros as corpus JSON entries here",
+    )
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report disagreements without minimizing them")
     return parser
 
 
@@ -545,22 +680,49 @@ def _cmd_scenario(args) -> int:
     from repro.semantics.sparse import sparse_enabled
 
     if args.name == "list":
-        print("pipeline      source -> K stages -> sink over a token pool "
-              "(--stages, --total)")
-        print("philosophers  dining philosophers around a ring "
-              "(--n)")
-        print("grid          dining philosophers on a rows x cols grid, "
-              "forks pinned to the canonical acyclic orientation "
-              "(--rows, --cols; 4x4 is ~1.1e12 encoded states)")
-        print("product       pipeline composed with allocator clients "
-              "competing for the same token pool (--stages, --clients, "
-              "--total; defaults are ~4.4e12 encoded states; delivery "
-              "fails under weak fairness, holds under strong)")
-        print("compose50     heterogeneous 50-stage pipeline + allocator "
-              "clients, certified assume-guarantee style: per-component "
-              "lemmas + composition rules, the ~1e37-state product is "
-              "never explored (--stages, --clients, --total, --prove)")
+        print(
+            "pipeline      source -> K stages -> sink over a token pool "
+            "(--stages, --total)"
+        )
+        print("philosophers  dining philosophers around a ring (--n)")
+        print(
+            "grid          dining philosophers on a rows x cols grid, "
+            "forks pinned to the canonical acyclic orientation "
+            "(--rows, --cols; 4x4 is ~1.1e12 encoded states)"
+        )
+        print(
+            "product       pipeline composed with allocator clients "
+            "competing for the same token pool (--stages, --clients, "
+            "--total; defaults are ~4.4e12 encoded states; delivery "
+            "fails under weak fairness, holds under strong)"
+        )
+        print(
+            "compose50     heterogeneous 50-stage pipeline + allocator "
+            "clients, certified assume-guarantee style: per-component "
+            "lemmas + composition rules, the ~1e37-state product is "
+            "never explored (--stages, --clients, --total, --prove)"
+        )
+        from repro.gen.families import FAMILIES
+
+        print()
+        print(
+            "generated families (expected-property manifests; the run "
+            "fails on any verdict the manifest does not predict):"
+        )
+        for family in FAMILIES.values():
+            print(f"{family.name:<14}{family.summary}")
         return 0
+
+    from repro.gen.families import FAMILIES
+
+    if args.name in FAMILIES:
+        return _cmd_scenario_family(args)
+
+    # Legacy hand-built scenarios: restore the historical flag defaults.
+    args.total = 3 if args.total is None else args.total
+    args.clients = 3 if args.clients is None else args.clients
+    args.rows = 4 if args.rows is None else args.rows
+    args.cols = 4 if args.cols is None else args.cols
 
     if args.name == "compose50":
         return _cmd_compose50(args)
@@ -600,8 +762,12 @@ def _cmd_scenario(args) -> int:
         )
         program = pa.system
         checks = [
-            ("delivery, weak fairness (starvation exhibit)",
-             pa.delivery(), False, False),
+            (
+                "delivery, weak fairness (starvation exhibit)",
+                pa.delivery(),
+                False,
+                False,
+            ),
             ("delivery, strong fairness", pa.delivery(), True, True),
         ]
         invariant_pred = pa.conservation_predicate()
@@ -670,6 +836,168 @@ def _cmd_scenario(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_scenario_family(args) -> int:
+    """Run one generated scenario family against its expected-property
+    manifest (the ``scenario torus|hypercube|regular|fanout|mesh`` path).
+
+    Unlike the hand-built scenarios, the expected verdicts ship with the
+    scenario: the run fails if *any* manifest row — positive or negative
+    exhibit — comes out different from what the family predicts.
+    """
+    from repro.gen.families import build_scenario
+    from repro.semantics.sparse import sparse_enabled
+
+    if args.name == "torus":
+        params = {"rows": args.rows, "cols": args.cols}
+    elif args.name == "hypercube":
+        params = {"d": args.dim}
+    elif args.name == "regular":
+        params = {"n": args.n, "d": args.dim, "seed": args.graph_seed}
+    elif args.name == "fanout":
+        widths = (
+            tuple(int(w) for w in args.widths.split(","))
+            if args.widths
+            else None
+        )
+        params = {"widths": widths, "total": args.total}
+    else:  # mesh
+        params = {
+            "pools": args.pools,
+            "clients": args.clients,
+            "total": args.total,
+        }
+    scenario = build_scenario(args.name, **params)
+    program = scenario.program
+    sparse = sparse_enabled(program.space)
+    tier = "sparse" if sparse else "dense"
+    print(scenario.describe())
+    print(f"encoded space : {program.space.size} states ({tier} tier)")
+    budget = _budget_of(args)
+    policy = _checkpoint_of(args, args.name, budget)
+    _note_run(
+        program=program,
+        tier=tier,
+        budget=_budget_doc(budget),
+        checkpoint_path=policy.path if policy is not None else None,
+    )
+    if sparse:
+        from repro.errors import BudgetExhausted
+        from repro.semantics.budget import PartialResult
+        from repro.semantics.sparse import resume_exploration
+        from repro.semantics.sparse.explorer import reachable_subspace
+
+        try:
+            if args.resume is not None:
+                sub = resume_exploration(
+                    args.resume, program, budget=budget, checkpoint=policy
+                )
+                print(f"resumed       : {args.resume}")
+            else:
+                sub = reachable_subspace(
+                    program, budget=budget, checkpoint=policy
+                )
+        except BudgetExhausted as exc:
+            return _report_unknown(
+                PartialResult.from_exhaustion(
+                    exc, kind="exploration", subject=program.name
+                )
+            )
+        print(f"reachable     : {sub.size} states in {sub.levels} BFS levels")
+    else:
+        from repro.semantics.explorer import reachable_mask
+
+        print(f"reachable     : {int(reachable_mask(program).sum())} states")
+    from repro.semantics import check_leadsto, check_reachable_invariant
+    from repro.semantics.strong_fairness import check_leadsto_strong
+
+    failures = 0
+    for check in scenario.checks:
+        if check.kind == "invariant":
+            result = check_reachable_invariant(program, check.pred)
+        else:
+            checker = (
+                check_leadsto_strong
+                if check.fairness == "strong"
+                else check_leadsto
+            )
+            result = checker(program, check.prop.p, check.prop.q)
+        _note_verdict(result)
+        verdict = "as expected" if result.holds == check.expected else "UNEXPECTED"
+        print(f"{result.explain()}  [{check.label}: {verdict}]")
+        failures += result.holds != check.expected
+        if args.prove and check.kind == "leadsto":
+            failures += _prove_leadsto(
+                program, check.prop, result,
+                strong=check.fairness == "strong",
+                check_levels=args.check_levels,
+            )
+    return 1 if failures else 0
+
+
+def _cmd_fuzz(args) -> int:
+    """The ``fuzz`` command: seeded differential sweep, optional fault
+    injection, shrinking, and corpus emission (see the module docstring)."""
+    from repro.gen.fuzz import FAULTS, fuzz_run
+    from repro.gen.shrink import corpus_entry, shrink, write_corpus_entry
+
+    if args.list_faults:
+        for name, desc in sorted(FAULTS.items()):
+            print(f"{name:<20}{desc}")
+        return 0
+    if args.fault is not None and args.fault not in FAULTS:
+        print(
+            f"error: unknown fault {args.fault!r}; known: {sorted(FAULTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    # Sensitivity mode stops at the first hit: one minimal repro is the
+    # deliverable, not a census of everything the fault breaks.
+    stop = 1 if args.fault is not None else None
+    result = fuzz_run(
+        args.count, seed=args.seed, fault=args.fault, stop_at=stop
+    )
+    mode = f"fault={args.fault}" if args.fault else "clean"
+    print(f"fuzz: {result.cases} case(s), {result.checks} tier checks ({mode})")
+    if not result.disagreeing:
+        if args.fault is not None:
+            print(
+                f"HARNESS INSENSITIVE: injected fault {args.fault!r} "
+                f"produced no disagreement in {result.cases} case(s)"
+            )
+            return 1
+        print("all tiers agree on every case")
+        return 0
+    print(f"{len(result.disagreeing)} disagreeing case(s)")
+    for case, report in result.disagreeing:
+        bad = ", ".join(c.name for c in report.disagreements)
+        print(f"  seed {case.seed}: {bad}")
+        if args.no_shrink:
+            continue
+        sr = shrink(case, report, fault=args.fault)
+        print(
+            f"  shrunk to {sr.command_count} command(s), "
+            f"{len(sr.ast.decls)} variable(s) "
+            f"({sr.evaluations} candidate evaluations):"
+        )
+        for line in sr.source.splitlines():
+            print(f"    {line}")
+        p_text = " /\\ ".join(sr.p_conjuncts)
+        q_text = " /\\ ".join(sr.q_conjuncts)
+        print(f"    p := {p_text}")
+        print(f"    q := {q_text}")
+        if args.corpus_dir is not None:
+            note = f"repro fuzz --seed {args.seed} --count {args.count}"
+            if args.fault:
+                note += f" --fault {args.fault}"
+            path = write_corpus_entry(
+                args.corpus_dir, corpus_entry(sr, note=note)
+            )
+            print(f"    corpus entry : {path}")
+    # With a fault armed, finding the disagreement is the passing outcome;
+    # without one, every disagreement is an engine bug.
+    return 0 if args.fault is not None else 1
+
+
 def _cmd_compose50(args) -> int:
     """The assume–guarantee flagship: certify delivery for a product
     whose encoded space is far beyond every exploration tier, without
@@ -699,14 +1027,20 @@ def _cmd_compose50(args) -> int:
     t_build = time.perf_counter() - t0
     size = encoded_size(pa)
     print(pa.system.name)
-    print(f"encoded space : {size:.3e} states ({size.bit_length()} bits — "
-          "beyond every exploration tier)")
-    print(f"components    : {len(pa.components)} "
-          f"({stages} stages, {args.clients} clients, cap {args.total}..."
-          f"{args.total + 2})")
-    print(f"certificate   : {cert.proof.count_nodes()} rule applications, "
-          f"{len(cert.component_certs)} component lemmas "
-          f"(built in {t_build:.2f} s)")
+    print(
+        f"encoded space : {size:.3e} states ({size.bit_length()} bits — "
+        "beyond every exploration tier)"
+    )
+    print(
+        f"components    : {len(pa.components)} "
+        f"({stages} stages, {args.clients} clients, cap {args.total}..."
+        f"{args.total + 2})"
+    )
+    print(
+        f"certificate   : {cert.proof.count_nodes()} rule applications, "
+        f"{len(cert.component_certs)} component lemmas "
+        f"(built in {t_build:.2f} s)"
+    )
     _note_run(program=pa.system, tier="compositional")
     t0 = time.perf_counter()
     verdict = verify(None, cert)
@@ -714,10 +1048,12 @@ def _cmd_compose50(args) -> int:
     _note_verdict(verdict)
     print(verdict.explain())
     m = verdict.metrics
-    print(f"check         : {m.get('obligations', 0)} obligations, "
-          f"{m.get('frame_skips', 0)} frame-rule skips, "
-          f"{m.get('footprint_evaluations', 0)} footprint evaluations "
-          f"in {t_check:.2f} s")
+    print(
+        f"check         : {m.get('obligations', 0)} obligations, "
+        f"{m.get('frame_skips', 0)} frame-rule skips, "
+        f"{m.get('footprint_evaluations', 0)} footprint evaluations "
+        f"in {t_check:.2f} s"
+    )
     print("product states explored: 0 (every obligation is footprint-local)")
     if args.prove:
         print()
@@ -767,35 +1103,37 @@ def _prove_leadsto(program, prop, result, *, strong: bool, check_levels=None) ->
         path = result.witness.get("confining_path")
         reach = result.witness.get("path")
         if reach:
-            print(f"    reached in {len(reach) - 1} step(s) via "
-                  f"{' -> '.join(result.witness.get('path_commands', []))}")
+            print(
+                f"    reached in {len(reach) - 1} step(s) via "
+                f"{' -> '.join(result.witness.get('path_commands', []))}"
+            )
         if path:
-            print(f"    confining path ({len(path)} ¬q-state(s) into a "
-                  "fair SCC):")
+            print(f"    confining path ({len(path)} ¬q-state(s) into a fair SCC):")
             for state in path[:8]:
                 print(f"      {state!r}")
             if len(path) > 8:
                 print(f"      … {len(path) - 8} more")
         # A failing property must also make the synthesizer refuse.
         try:
-            synthesize_leadsto_proof(
-                program, prop.p, prop.q, fairness=fairness
-            )
+            synthesize_leadsto_proof(program, prop.p, prop.q, fairness=fairness)
         except ProofError as exc:
             print(f"    synthesis refuses (as it must): {exc}")
             return 0
-        print("    UNEXPECTED: synthesis produced a proof of a failing "
-              "property")
+        print("    UNEXPECTED: synthesis produced a proof of a failing property")
         return 1
     proof = synthesize_leadsto_proof(program, prop.p, prop.q, fairness=fairness)
     hist = proof.rule_histogram()
     shape = ", ".join(f"{k}×{v}" for k, v in sorted(hist.items()))
     n_levels = len(getattr(proof, "levels", ()))
-    print(f"    certificate: {proof.count_nodes()} rule applications "
-          f"({shape}), {n_levels} variant levels, {fairness} fairness")
+    print(
+        f"    certificate: {proof.count_nodes()} rule applications "
+        f"({shape}), {n_levels} variant levels, {fairness} fairness"
+    )
     if check_levels is not None and n_levels > check_levels:
-        print(f"    kernel check skipped ({n_levels} levels > "
-              f"--check-levels {check_levels})")
+        print(
+            f"    kernel check skipped ({n_levels} levels > "
+            f"--check-levels {check_levels})"
+        )
         return 0
     t0 = time.perf_counter()
     check = check_certificate_batched(proof, program)
@@ -814,6 +1152,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "reproduce": _cmd_reproduce,
     "scenario": _cmd_scenario,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -1,0 +1,15 @@
+"""Generated workloads: scenario families, the DSL fuzzer, the shrinker.
+
+- :mod:`repro.gen.families` — parameterized scenario families (philosophers
+  on generated conflict graphs, fan-out pipelines, allocator meshes), each
+  returning a composed program plus an expected-property manifest;
+- :mod:`repro.gen.fuzz` — a seeded randomized DSL program generator and
+  the differential harness that cross-checks engine tiers on each program;
+- :mod:`repro.gen.shrink` — delta-debugging reduction of a disagreeing
+  program to a minimal repro, and the corpus format the regression tests
+  replay.
+"""
+
+from repro.gen.families import FAMILIES, Scenario, build_scenario, run_scenario
+
+__all__ = ["FAMILIES", "Scenario", "build_scenario", "run_scenario"]

@@ -1,0 +1,277 @@
+"""Parameterized scenario families with expected-property manifests.
+
+The hand-built catalog (counter, philosophers ring/grid, pipeline,
+allocator, product) pins the engine on five fixed examples; the paper's
+composition calculus claims universality over program *families*.  This
+module closes the gap: each family is a deterministic builder from a
+small parameter vector to a composed :class:`~repro.core.program.Program`
+**plus a manifest** of expected verdicts, so a single driver
+(:func:`run_scenario`, the ``scenario`` CLI, the differential tests, the
+benchmarks) can sweep generated instances nobody hand-wrote.
+
+Families
+--------
+``torus`` / ``hypercube`` / ``regular``
+    Dining philosophers over generated conflict graphs
+    (:func:`repro.graph.generators.torus_graph` /
+    :func:`~repro.graph.generators.hypercube_graph` /
+    :func:`~repro.graph.generators.random_regular_graph`), forks pinned
+    to the canonical acyclic orientation.  Expected: mutual exclusion
+    holds; liveness of philosopher 0 holds.
+``fanout``
+    Heterogeneous fan-in/fan-out pipeline
+    (:mod:`repro.systems.fanout`).  Expected: conservation holds,
+    delivery holds, recycling fails.
+``mesh``
+    Multi-pool allocator mesh (:mod:`repro.systems.mesh`).  Expected:
+    per-pool conservation holds, availability holds, full refill fails.
+
+Every check in a manifest carries its expected verdict — negative
+exhibits are first-class, so a family sweep proves the engine *rejects*
+what it must, not just that it accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.properties import LeadsTo
+
+__all__ = [
+    "ExpectedCheck",
+    "Scenario",
+    "FAMILIES",
+    "build_scenario",
+    "run_scenario",
+]
+
+
+@dataclass(frozen=True)
+class ExpectedCheck:
+    """One manifest row: a property plus the verdict the family predicts."""
+
+    label: str
+    kind: str  # 'invariant' (reachable) | 'leadsto'
+    expected: bool
+    prop: LeadsTo | None = None
+    pred: Predicate | None = None
+    fairness: str = "weak"
+
+
+@dataclass
+class Scenario:
+    """A generated instance: the composed program plus its manifest."""
+
+    family: str
+    params: dict
+    program: Program
+    checks: list[ExpectedCheck]
+    #: The underlying system object (PhilosopherSystem / FanoutSystem / …).
+    system: object = None
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.family}({parts}): {self.program.name}"
+
+
+def _philosopher_scenario(family: str, graph, params: dict) -> Scenario:
+    from repro.systems.philosophers import build_philosopher_system
+
+    ps = build_philosopher_system(
+        graph, check_init=False, pin_initial_orientation=True
+    )
+    return Scenario(
+        family=family,
+        params=params,
+        program=ps.system,
+        system=ps,
+        checks=[
+            ExpectedCheck(
+                "mutual_exclusion", "invariant", True, pred=ps.mutual_exclusion().p
+            ),
+            ExpectedCheck("liveness(0)", "leadsto", True, prop=ps.liveness(0)),
+        ],
+    )
+
+
+def build_torus(rows: int = 3, cols: int = 3) -> Scenario:
+    """Philosophers on the ``rows × cols`` torus (4-regular wraparound)."""
+    from repro.graph.generators import torus_graph
+
+    return _philosopher_scenario(
+        "torus", torus_graph(rows, cols), {"rows": rows, "cols": cols}
+    )
+
+
+def build_hypercube(d: int = 3) -> Scenario:
+    """Philosophers on the ``d``-dimensional hypercube ``Q_d``."""
+    from repro.graph.generators import hypercube_graph
+
+    return _philosopher_scenario("hypercube", hypercube_graph(d), {"d": d})
+
+
+def build_regular(n: int = 10, d: int = 3, seed: int = 0) -> Scenario:
+    """Philosophers on a seeded random ``d``-regular conflict graph."""
+    from repro.graph.generators import random_regular_graph
+
+    return _philosopher_scenario(
+        "regular",
+        random_regular_graph(n, d, seed=seed),
+        {"n": n, "d": d, "seed": seed},
+    )
+
+
+def build_fanout(
+    widths: tuple[int, ...] = (2, 3, 3, 2), total: int = 3
+) -> Scenario:
+    """Heterogeneous fan-in/fan-out pipeline with layer profile ``widths``."""
+    from repro.systems.fanout import build_fanout_system
+
+    fs = build_fanout_system(widths, total=total)
+    return Scenario(
+        family="fanout",
+        params={"widths": tuple(widths), "total": total},
+        program=fs.system,
+        system=fs,
+        checks=[
+            ExpectedCheck(
+                "conservation", "invariant", True,
+                pred=fs.conservation_predicate(),
+            ),
+            ExpectedCheck("delivery", "leadsto", True, prop=fs.delivery()),
+            ExpectedCheck(
+                "no_recycling (negative exhibit)", "leadsto", False,
+                prop=fs.no_recycling(),
+            ),
+        ],
+    )
+
+
+def build_mesh(pools: int = 4, clients: int = 6, total: int = 2) -> Scenario:
+    """Multi-pool allocator mesh (client ``i`` → pools ``i%P, (i+1)%P``)."""
+    from repro.systems.mesh import build_mesh_system
+
+    ms = build_mesh_system(pools, clients, total=total)
+    return Scenario(
+        family="mesh",
+        params={"pools": pools, "clients": clients, "total": total},
+        program=ms.system,
+        system=ms,
+        checks=[
+            ExpectedCheck(
+                "conservation", "invariant", True,
+                pred=ms.conservation_predicate(),
+            ),
+            ExpectedCheck(
+                "availability(0)", "leadsto", True, prop=ms.availability(0)
+            ),
+            ExpectedCheck(
+                "full_refill (negative exhibit)", "leadsto", False,
+                prop=ms.full_refill(),
+            ),
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class Family:
+    """Registry row: the builder plus the CLI parameter wiring."""
+
+    name: str
+    build: Callable[..., Scenario]
+    summary: str
+    #: CLI argument names consumed by the builder (``scenario`` flags).
+    cli_params: tuple[str, ...] = field(default_factory=tuple)
+
+
+#: The generator-driven scenario catalog, keyed by family name.
+FAMILIES: dict[str, Family] = {
+    f.name: f
+    for f in (
+        Family(
+            "torus",
+            build_torus,
+            "philosophers on the rows x cols torus (wraparound grid; "
+            "--rows, --cols; 3x3 is ~1.3e8 encoded states)",
+            ("rows", "cols"),
+        ),
+        Family(
+            "hypercube",
+            build_hypercube,
+            "philosophers on the d-dimensional hypercube Q_d (--dim)",
+            ("d",),
+        ),
+        Family(
+            "regular",
+            build_regular,
+            "philosophers on a seeded random d-regular conflict graph "
+            "(--n, --dim, --graph-seed)",
+            ("n", "d", "seed"),
+        ),
+        Family(
+            "fanout",
+            build_fanout,
+            "heterogeneous fan-in/fan-out token pipeline over a layered "
+            "DAG (--widths, --total; delivery holds, recycling fails)",
+            ("widths", "total"),
+        ),
+        Family(
+            "mesh",
+            build_mesh,
+            "multi-pool allocator mesh, clients attached to two pools "
+            "each (--pools, --clients, --total; availability holds, "
+            "full refill fails)",
+            ("pools", "clients", "total"),
+        ),
+    )
+}
+
+
+def build_scenario(family: str, **params) -> Scenario:
+    """Build one instance of a registered family (unknown keys rejected)."""
+    try:
+        spec = FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario family {family!r}; registered: "
+            f"{sorted(FAMILIES)}"
+        ) from None
+    params = {k: v for k, v in params.items() if v is not None}
+    return spec.build(**params)
+
+
+def run_scenario(
+    scenario: Scenario, *, budget=None
+) -> list[tuple[ExpectedCheck, object]]:
+    """Run every manifest check through the tier-routed engine.
+
+    Returns ``[(check, result), …]`` where ``result`` is the engine's
+    :class:`~repro.semantics.checker.CheckResult` (or a
+    :class:`~repro.semantics.budget.PartialResult` under an exhausted
+    budget).  Callers compare ``result.holds`` against
+    ``check.expected``; the scenario CLI and the family tests both drive
+    this single entry point.
+    """
+    from repro.semantics import check_leadsto, check_reachable_invariant
+    from repro.semantics.strong_fairness import check_leadsto_strong
+
+    out = []
+    for check in scenario.checks:
+        if check.kind == "invariant":
+            result = check_reachable_invariant(
+                scenario.program, check.pred, budget=budget
+            )
+        else:
+            checker = (
+                check_leadsto_strong
+                if check.fairness == "strong"
+                else check_leadsto
+            )
+            result = checker(
+                scenario.program, check.prop.p, check.prop.q, budget=budget
+            )
+        out.append((check, result))
+    return out

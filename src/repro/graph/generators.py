@@ -20,8 +20,11 @@ __all__ = [
     "star_graph",
     "clique_graph",
     "grid_graph",
+    "torus_graph",
+    "hypercube_graph",
     "tree_graph",
     "random_graph",
+    "random_regular_graph",
 ]
 
 
@@ -68,6 +71,73 @@ def grid_graph(rows: int, cols: int) -> NeighborhoodGraph:
             if r + 1 < rows:
                 edges.append((v, v + cols))
     return NeighborhoodGraph(rows * cols, edges)
+
+
+def torus_graph(rows: int, cols: int) -> NeighborhoodGraph:
+    """``rows × cols`` grid with wraparound (the 4-regular torus).
+
+    Node ``r·cols + c`` conflicts with its four toroidal neighbours.
+    Both dimensions must be ≥ 3: a wraparound over two rows (or columns)
+    would duplicate the interior edge, and :class:`NeighborhoodGraph`
+    rejects parallel edges.
+    """
+    if rows < 3 or cols < 3:
+        raise GraphError(
+            f"torus {rows}×{cols} too small: wraparound needs both "
+            "dimensions >= 3"
+        )
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            edges.append((v, r * cols + (c + 1) % cols))
+            edges.append((v, ((r + 1) % rows) * cols + c))
+    return NeighborhoodGraph(rows * cols, edges)
+
+
+def hypercube_graph(d: int) -> NeighborhoodGraph:
+    """The ``d``-dimensional hypercube ``Q_d`` (``2^d`` nodes, ``d·2^(d-1)``
+    edges) — nodes are bit vectors, conflicts flip one bit."""
+    if d < 1:
+        raise GraphError(f"a hypercube needs dimension d >= 1, got {d}")
+    n = 1 << d
+    edges = []
+    for v in range(n):
+        for bit in range(d):
+            w = v ^ (1 << bit)
+            if v < w:
+                edges.append((v, w))
+    return NeighborhoodGraph(n, edges)
+
+
+def random_regular_graph(
+    n: int, d: int, *, seed: int | np.random.Generator = 0
+) -> NeighborhoodGraph:
+    """Random ``d``-regular graph on ``n`` nodes (configuration model).
+
+    Pairs ``n·d`` half-edge stubs uniformly and retries the whole pairing
+    whenever it produces a self-loop or parallel edge — for the small
+    degrees the scenario sweeps use, a valid pairing appears within a few
+    draws.  Deterministic given ``seed``; ``n·d`` must be even and
+    ``d < n``.
+    """
+    if n < 2 or d < 1:
+        raise GraphError(f"need n >= 2 nodes of degree d >= 1, got n={n}, d={d}")
+    if d >= n:
+        raise GraphError(f"degree d={d} impossible on n={n} nodes")
+    if (n * d) % 2:
+        raise GraphError(f"n*d = {n * d} is odd: no {d}-regular graph on {n} nodes")
+    rng = make_rng(seed)
+    stubs = np.repeat(np.arange(n), d)
+    for _ in range(1000):
+        rng.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        edges = {(min(a, b), max(a, b)) for a, b in pairs}
+        if len(edges) == pairs.shape[0] and all(a != b for a, b in edges):
+            return NeighborhoodGraph(n, sorted(edges))
+    raise GraphError(
+        f"no simple {d}-regular pairing on {n} nodes found in 1000 draws"
+    )
 
 
 def tree_graph(n: int, *, seed: int | np.random.Generator = 0) -> NeighborhoodGraph:

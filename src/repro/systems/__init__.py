@@ -13,10 +13,20 @@
   paper's conclusion, exercising the ``guarantees`` operator;
 - :mod:`repro.systems.pipeline` — the source → stages → sink token
   pipeline whose composed space only the sparse tier
-  (:mod:`repro.semantics.sparse`) can check.
+  (:mod:`repro.semantics.sparse`) can check;
+- :mod:`repro.systems.fanout` — the layered fan-in/fan-out DAG
+  generalization of the pipeline (heterogeneous buffer capacities);
+- :mod:`repro.systems.mesh` — the allocator sharded into a multi-pool
+  client mesh with per-pool conservation.
+
+The parameterized *scenario families* built from these (philosophers on
+generated conflict graphs, fan-out profiles, mesh wirings — each with an
+expected-property manifest) live in :mod:`repro.gen.families`.
 """
 
 from repro.systems.counter import CounterSystem, build_counter_component, build_counter_system
+from repro.systems.fanout import FanoutSystem, build_fanout_system
+from repro.systems.mesh import MeshSystem, build_mesh_system
 from repro.systems.philosophers import (
     PhilosopherSystem,
     build_philosopher_ring,
@@ -36,4 +46,8 @@ __all__ = [
     "build_philosopher_ring",
     "PipelineSystem",
     "build_pipeline_system",
+    "FanoutSystem",
+    "build_fanout_system",
+    "MeshSystem",
+    "build_mesh_system",
 ]

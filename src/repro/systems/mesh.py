@@ -1,0 +1,189 @@
+"""Multi-pool allocator meshes: the conclusion's allocator, sharded.
+
+:mod:`repro.systems.allocator` has one pool and ``n`` clients.  This
+module shards the pool: ``P`` independent token pools, ``C`` clients, and
+a **mesh** wiring in which client ``i`` is attached to pools ``i mod P``
+and ``(i+1) mod P`` (so every pool serves several clients and every
+client can draw from two pools — the smallest wiring that makes the
+families' behaviours interlock).  Client ``i`` keeps one held-token
+counter per attached pool, so every token stays owned by exactly one
+pool and per-pool conservation is inductive:
+
+- **conservation** — ``⟨∀p : avail_p + Σ_{i ∋ p} hold_{i,p} = T⟩``;
+- **availability** — ``conservation ↝ avail_p > 0`` for every pool
+  ``p``: takes are unfair but gives are fair, exactly the polite-client
+  discipline of the single-pool allocator, so a drained pool always
+  eventually gets a token back;
+- **full refill** (negative exhibit) — ``conservation ↝ ⟨∀p : avail_p =
+  T⟩`` is false for ``C ≥ 2``: a fair take/give ping-pong keeps some
+  pool partially drained forever.
+
+The encoded space is ``(T+1)^(P + 2C)`` — exponential in the client
+count — while per-pool conservation keeps the reachable set polynomial
+(a product of per-pool token compositions), so the default CLI scenario
+(``pools=4, clients=6, total=2``) exceeds the sparse threshold yet
+explores in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.commands import GuardedCommand
+from repro.core.composition import compose_all
+from repro.core.domains import IntRange
+from repro.core.expressions import esum, land
+from repro.core.predicates import ExprPredicate, Predicate
+from repro.core.program import Program
+from repro.core.properties import Invariant, LeadsTo
+from repro.core.variables import Var
+
+__all__ = ["MeshSystem", "build_mesh_system"]
+
+
+def pool_var(p: int, total: int) -> Var:
+    """Pool ``p``'s free-token counter ``avail[p]``."""
+    return Var.indexed("avail", p, IntRange(0, total))
+
+
+def hold_var(i: int, p: int, total: int) -> Var:
+    """Client ``i``'s held-token counter against pool ``p``."""
+    return Var.indexed("hold", (i, p), IntRange(0, total))
+
+
+@dataclass
+class MeshSystem:
+    """The composed allocator mesh plus its verification interface."""
+
+    pools: int
+    clients: int
+    total: int
+    attachments: dict[int, tuple[int, ...]]
+    components: list[Program]
+    system: Program
+
+    def avail(self, p: int) -> Var:
+        return self.system.var_named(f"avail[{p}]")
+
+    def hold(self, i: int, p: int) -> Var:
+        return self.system.var_named(f"hold[{i},{p}]")
+
+    def clients_of(self, p: int) -> list[int]:
+        """The clients attached to pool ``p``."""
+        return [i for i, ps in self.attachments.items() if p in ps]
+
+    # -- properties ---------------------------------------------------------
+
+    def pool_conservation_predicate(self, p: int) -> Predicate:
+        """``avail_p + Σ_{i ∋ p} hold_{i,p} = T``."""
+        held = esum([self.hold(i, p).ref() for i in self.clients_of(p)])
+        return ExprPredicate(self.avail(p).ref() + held == self.total)
+
+    def conservation_predicate(self) -> Predicate:
+        """Conjunction of the per-pool conservation predicates."""
+        parts = [
+            self.pool_conservation_predicate(p).as_expr()
+            for p in range(self.pools)
+        ]
+        return ExprPredicate(land(*parts))
+
+    def conservation(self) -> Invariant:
+        """``invariant ⟨∀p : conservation_p⟩`` — inductive."""
+        return Invariant(self.conservation_predicate())
+
+    def availability(self, p: int) -> LeadsTo:
+        """``conservation ↝ avail_p > 0`` — pool ``p`` is never starved
+        for good (fair gives return its tokens)."""
+        return LeadsTo(
+            self.conservation_predicate(),
+            ExprPredicate(self.avail(p).ref() > 0),
+        )
+
+    def full_refill(self) -> LeadsTo:
+        """``conservation ↝ ⟨∀p : avail_p = T⟩`` — **false** for ``C ≥ 2``:
+        the fair take/give ping-pong (the single-pool allocator's negative
+        exhibit) persists per pool."""
+        full = land(
+            *(self.avail(p).ref() == self.total for p in range(self.pools))
+        )
+        return LeadsTo(self.conservation_predicate(), ExprPredicate(full))
+
+
+def build_mesh_client(
+    i: int, attached: tuple[int, ...], total: int, pool_vars: dict[int, Var]
+) -> Program:
+    """Client ``i``: per attached pool, an unfair take and a fair give."""
+    holds = {p: hold_var(i, p, total) for p in attached}
+    commands = []
+    fair = []
+    for p in attached:
+        avail, hold = pool_vars[p], holds[p]
+        commands.append(
+            GuardedCommand(
+                f"take[{i},{p}]",
+                land(avail.ref() > 0, hold.ref() < total),
+                [(hold, hold.ref() + 1), (avail, avail.ref() - 1)],
+            )
+        )
+        give = GuardedCommand(
+            f"give[{i},{p}]",
+            land(hold.ref() > 0, avail.ref() < total),
+            [(hold, hold.ref() - 1), (avail, avail.ref() + 1)],
+        )
+        commands.append(give)
+        fair.append(give.name)
+    return Program(
+        f"MeshClient[{i}]",
+        [*holds.values(), *(pool_vars[p] for p in attached)],
+        ExprPredicate(land(*(h.ref() == 0 for h in holds.values()))),
+        commands,
+        fair=fair,
+    )
+
+
+def build_mesh_system(
+    pools: int = 4, clients: int = 6, *, total: int = 2
+) -> MeshSystem:
+    """Build the allocator mesh (client ``i`` → pools ``i%P, (i+1)%P``).
+
+    Composition skips the semantic initial-state probe for the usual
+    at-scale reason: the component ``initially`` predicates constrain
+    disjoint variables (each pool full, each hold zero), so
+    satisfiability is structural, and the probe would materialize a
+    full-space mask on the larger meshes.
+    """
+    if pools < 2 or clients < 1 or total < 1:
+        raise ValueError(
+            f"need pools >= 2, clients >= 1, total >= 1, got "
+            f"pools={pools}, clients={clients}, total={total}"
+        )
+    attachments = {
+        i: tuple(sorted({i % pools, (i + 1) % pools})) for i in range(clients)
+    }
+    pool_vars = {p: pool_var(p, total) for p in range(pools)}
+    components = [
+        Program(
+            f"Pool[{p}]",
+            [pool_vars[p]],
+            ExprPredicate(pool_vars[p].ref() == total),
+            [],
+        )
+        for p in range(pools)
+    ]
+    components += [
+        build_mesh_client(i, attachments[i], total, pool_vars)
+        for i in range(clients)
+    ]
+    system = compose_all(
+        components,
+        name=f"Mesh[{pools}p{clients}c]",
+        check_init=False,
+    )
+    return MeshSystem(
+        pools=pools,
+        clients=clients,
+        total=total,
+        attachments=attachments,
+        components=components,
+        system=system,
+    )

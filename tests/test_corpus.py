@@ -1,0 +1,69 @@
+"""Regression replay of the shrunk fuzz corpus (tests/corpus/*.json).
+
+Every corpus entry is a minimal repro produced by the delta-debugging
+shrinker (:mod:`repro.gen.shrink`) from a fuzz case that disagreed under
+an injected harness fault.  Replaying goes end-to-end through the DSL
+parser — the stored program text is the artifact, not a pickle — so the
+corpus doubles as a parser/elaborator regression suite.
+
+Each entry must:
+
+- carry the current corpus schema and a recorded seed;
+- parse, elaborate, and round-trip through the pretty-printer;
+- still disagree on exactly the recorded check under the recorded fault;
+- agree on everything when the fault is *not* injected (the corpus pins
+  harness sensitivity, not live engine bugs).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.dsl import parse_program
+from repro.gen.fuzz import check_roundtrip, predicate_from_conjuncts, run_differential
+from repro.gen.shrink import CORPUS_SCHEMA, load_corpus_entry, replay_entry
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_seeded():
+    """The tentpole requires a seeded corpus of at least five repros."""
+    assert len(ENTRIES) >= 5
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+class TestCorpusEntry:
+    def test_schema_and_provenance(self, path):
+        entry = load_corpus_entry(path)
+        assert entry["schema"] == CORPUS_SCHEMA
+        assert isinstance(entry["seed"], int)
+        assert entry["fault"] is not None
+        assert entry["note"]
+
+    def test_program_parses_and_roundtrips(self, path):
+        entry = load_corpus_entry(path)
+        program = parse_program(entry["program"])
+        check_roundtrip(program)
+        # The stored predicates elaborate against the stored program.
+        predicate_from_conjuncts(program, entry["p"])
+        predicate_from_conjuncts(program, entry["q"])
+
+    def test_is_minimal(self, path):
+        """Shrinking got the repro down to a handful of commands."""
+        entry = load_corpus_entry(path)
+        assert entry["commands"] <= 5
+
+    def test_replays_the_disagreement(self, path):
+        entry = load_corpus_entry(path)
+        report = replay_entry(entry)
+        assert entry["check"] in {c.name for c in report.disagreements}
+
+    def test_agrees_without_the_fault(self, path):
+        """The repro pins harness sensitivity — on the real engine all
+        tiers must agree, or the corpus would be masking a live bug."""
+        entry = load_corpus_entry(path)
+        program = parse_program(entry["program"])
+        p = predicate_from_conjuncts(program, entry["p"])
+        q = predicate_from_conjuncts(program, entry["q"])
+        assert run_differential(program, p, q).ok

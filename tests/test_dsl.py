@@ -1,7 +1,10 @@
 """Tests for repro.dsl: lexer, parser, elaboration, pretty round-trip."""
 
+import re
+
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.dsl import (
     parse_program,
@@ -358,3 +361,96 @@ system S = A || B
 
         with pytest.raises(DslSyntaxError, match="expected 'program' or 'system'"):
             parse_module_text(COUNTER_SRC + "\nbogus\n")
+
+
+class TestFuzzedRoundTrip:
+    """Property-based round-trips over fuzzer-generated programs.
+
+    The hand-picked round-trip cases above pin known shapes; these sweep
+    the generator's whole grammar slice: for any seed, the generated
+    program must satisfy ``parse(pretty(p)) ≡ p`` (semantic equality:
+    variables, initial mask, successor tables, fair bodies) and
+    ``pretty(parse(pretty(p))) == pretty(p)`` (textual idempotence).
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_fuzzed_program_roundtrips(self, seed):
+        from repro.gen.fuzz import check_roundtrip, fuzz_case
+
+        check_roundtrip(fuzz_case(seed).program)
+
+    def test_fuzzed_predicates_roundtrip(self):
+        """Predicate conjuncts survive text → parse → elaborate → text."""
+        from repro.gen.fuzz import fuzz_case, predicate_from_conjuncts
+
+        for seed in range(20):
+            case = fuzz_case(seed)
+            for conjuncts in (case.p_conjuncts, case.q_conjuncts):
+                pred = predicate_from_conjuncts(case.program, conjuncts)
+                rendered = str(pred.as_expr())
+                again = predicate_from_conjuncts(case.program, [rendered])
+                assert np.array_equal(
+                    pred.mask(case.program.space),
+                    again.mask(case.program.space),
+                ), (seed, conjuncts)
+
+
+TRUNCATION_SRC = """program Counter
+declare
+  local c : int[0..3];
+  shared C : int[0..9]
+initially
+  c = 0 /\\ C = 0
+assign
+  fair a: c < 3 /\\ C < 9 -> c := c + 1 || C := C + 1
+end"""
+
+
+class TestTruncatedInput:
+    """Lexer/parser diagnostics on truncated sources: every prefix must
+    fail with a *located* DslSyntaxError, never a crash or a silent
+    acceptance."""
+
+    @pytest.mark.parametrize("keep", range(len(TRUNCATION_SRC.splitlines())))
+    def test_line_truncations_are_located_errors(self, keep):
+        prefix = "\n".join(TRUNCATION_SRC.splitlines()[:keep])
+        with pytest.raises(DslSyntaxError, match=r"line \d+, column \d+"):
+            parse_program_text(prefix)
+
+    def test_character_truncation_mid_token(self):
+        # Cut inside the keyword `declare`: the parser sees a stray ident.
+        cut = TRUNCATION_SRC.index("declare") + 1
+        with pytest.raises(DslSyntaxError, match="expected 'end'"):
+            parse_program_text(TRUNCATION_SRC[:cut])
+
+    def test_missing_end_names_the_expectation(self):
+        src = TRUNCATION_SRC.rsplit("\nend", 1)[0]
+        with pytest.raises(DslSyntaxError, match="expected 'end'"):
+            parse_program_text(src)
+
+    def test_truncated_declaration_names_the_alternatives(self):
+        src = "\n".join(TRUNCATION_SRC.splitlines()[:2])
+        with pytest.raises(DslSyntaxError, match="'local' or 'shared'"):
+            parse_program_text(src + "\n")
+
+    def test_truncated_expression_says_so(self):
+        src = "\n".join(TRUNCATION_SRC.splitlines()[:5])
+        with pytest.raises(
+            DslSyntaxError, match="expected an expression, found 'end of input'"
+        ):
+            parse_program_text(src)
+
+    def test_error_positions_are_monotone_in_the_prefix(self):
+        """Longer prefixes must never report an *earlier* error line —
+        the diagnostic tracks how far the parse actually got."""
+        lines = TRUNCATION_SRC.splitlines()
+        reported = []
+        for keep in range(1, len(lines)):
+            try:
+                parse_program_text("\n".join(lines[:keep]))
+            except DslSyntaxError as exc:
+                m = re.search(r"line (\d+)", str(exc))
+                assert m is not None
+                reported.append(int(m.group(1)))
+        assert reported == sorted(reported)

@@ -21,10 +21,13 @@ from repro.graph.derivation import (
 from repro.graph.generators import (
     clique_graph,
     grid_graph,
+    hypercube_graph,
     path_graph,
     random_graph,
+    random_regular_graph,
     ring_graph,
     star_graph,
+    torus_graph,
     tree_graph,
 )
 from repro.graph.neighborhood import NeighborhoodGraph
@@ -323,3 +326,65 @@ class TestGenerators:
             random_graph(5, 1.5)
         with pytest.raises(GraphError):
             grid_graph(1, 1)
+
+
+class TestScenarioFamilyGenerators:
+    """The generators behind the `scenario` families (torus, hypercube,
+    random regular): shapes, regularity, determinism, validation."""
+
+    @settings(max_examples=20)
+    @given(st.integers(3, 6), st.integers(3, 6))
+    def test_torus_is_4_regular(self, rows, cols):
+        g = torus_graph(rows, cols)
+        assert g.n == rows * cols
+        assert g.m == 2 * rows * cols
+        assert all(g.degree(v) == 4 for v in range(g.n))
+        assert g.is_symmetric_and_irreflexive()
+
+    def test_torus_wraps(self):
+        g = torus_graph(3, 4)
+        # Row wraparound: last column connects back to column 0.
+        assert g.has_edge(3, 0)
+        # Column wraparound: last row connects back to row 0.
+        assert g.has_edge(8, 0)
+
+    def test_torus_too_small(self):
+        with pytest.raises(GraphError):
+            torus_graph(2, 5)
+        with pytest.raises(GraphError):
+            torus_graph(5, 2)
+
+    @settings(max_examples=8)
+    @given(st.integers(1, 6))
+    def test_hypercube_shape(self, d):
+        g = hypercube_graph(d)
+        assert g.n == 2**d
+        assert g.m == d * 2 ** (d - 1)
+        assert all(g.degree(v) == d for v in range(g.n))
+        # Every edge flips exactly one bit.
+        assert all(bin(a ^ b).count("1") == 1 for a, b in g.edges)
+
+    def test_hypercube_validation(self):
+        with pytest.raises(GraphError):
+            hypercube_graph(0)
+
+    @settings(max_examples=20)
+    @given(st.integers(0, 1_000))
+    def test_random_regular_is_regular(self, seed):
+        g = random_regular_graph(10, 3, seed=seed)
+        assert g.n == 10 and g.m == 15
+        assert all(g.degree(v) == 3 for v in range(10))
+        assert g.is_symmetric_and_irreflexive()
+
+    def test_random_regular_seeded(self):
+        assert random_regular_graph(12, 3, seed=5) == random_regular_graph(
+            12, 3, seed=5
+        )
+
+    def test_random_regular_validation(self):
+        with pytest.raises(GraphError):  # n*d odd
+            random_regular_graph(5, 3)
+        with pytest.raises(GraphError):  # d >= n
+            random_regular_graph(4, 4)
+        with pytest.raises(GraphError):
+            random_regular_graph(1, 1)
