@@ -23,8 +23,9 @@ CI smoke (crash check only, no timing, no snapshot)::
     PYTHONPATH=src python benchmarks/record.py --smoke
 
 ``--smoke`` runs the sparse-tier scenario, certificate-check, telemetry,
-compositional-certification, and generated-workload (scenario families +
-fuzzer) benchmarks with timing disabled, then a checkpoint/resume
+compositional-certification, generated-workload (scenario families +
+fuzzer), and certification-service benchmarks with timing disabled
+(the service file still asserts its 100 req/s cached-hit floor), then a checkpoint/resume
 round trip on the product scenario (budget-exhaust → UNKNOWN → resume →
 same verdicts as an unbudgeted run; see docs/robustness.md), then one
 instrumented run whose JSONL trace and run manifest are left at the
@@ -320,6 +321,7 @@ def main(argv: list[str] | None = None) -> int:
             str(BENCH_DIR / "bench_obs.py"),
             str(BENCH_DIR / "bench_compose.py"),
             str(BENCH_DIR / "bench_generators.py"),
+            str(BENCH_DIR / "bench_service.py"),
             "--benchmark-disable", "-q", *args.extra,
         ]
         proc = subprocess.run(cmd, cwd=REPO_ROOT)

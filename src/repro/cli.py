@@ -332,6 +332,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="report disagreements without minimizing them")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the certification service (supervised worker pool + "
+        "fail-closed persistent cache; see docs/service.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8421)
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="supervised worker subprocesses (default 2)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="content-addressed persistent cache for verdicts and "
+        "subspace snapshots (omit to serve without a cache)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=8,
+        help="admission-control bound; beyond it requests are shed "
+        "with Retry-After (default 8)",
+    )
+    p_serve.add_argument(
+        "--max-retries", type=int, default=2,
+        help="crash retries per request before a structured "
+        "worker-crash error (default 2)",
+    )
+    p_serve.add_argument(
+        "--default-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="watchdog for requests that set no deadline (default 60)",
+    )
+    p_serve.add_argument(
+        "--stall-grace", type=float, default=5.0, metavar="SECONDS",
+        help="slack past a request's deadline before the stall "
+        "watchdog reaps the worker (default 5)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive worker crashes before a program digest is "
+        "quarantined (default 3)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="quarantine duration before the half-open trial (default 30)",
+    )
     return parser
 
 
@@ -1145,6 +1190,34 @@ def _prove_leadsto(program, prop, result, *, strong: bool, check_levels=None) ->
     return 0 if check.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    """Run the certification service until interrupted."""
+    from repro.service import ServiceConfig, serve
+
+    try:
+        config = ServiceConfig(
+            workers=args.workers,
+            cache_dir=str(args.cache_dir) if args.cache_dir else None,
+            max_pending=args.max_pending,
+            max_retries=args.max_retries,
+            default_timeout=args.default_timeout,
+            stall_grace=args.stall_grace,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"certification service on http://{args.host}:{args.port} "
+        f"({config.workers} worker(s), "
+        f"cache={'off' if not config.cache_dir else config.cache_dir})",
+        file=sys.stderr,
+    )
+    serve(config, host=args.host, port=args.port)
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "check": _cmd_check,
@@ -1153,6 +1226,7 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "scenario": _cmd_scenario,
     "fuzz": _cmd_fuzz,
+    "serve": _cmd_serve,
 }
 
 

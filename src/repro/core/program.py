@@ -179,7 +179,9 @@ class Program:
 
     def initial_states(self) -> list[State]:
         """All initial states, decoded (small spaces only)."""
-        return [self.space.state_at(int(i)) for i in np.flatnonzero(self.initial_mask())]
+        return [
+            self.space.state_at(int(i)) for i in np.flatnonzero(self.initial_mask())
+        ]
 
     def has_initial_state(self) -> bool:
         """True iff the ``initially`` predicate is satisfiable."""

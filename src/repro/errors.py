@@ -150,7 +150,22 @@ class CheckpointError(ReproError):
     Fail-closed by design: a checkpoint that does not validate end to end
     — magic, header, payload digest, program digest — is never partially
     loaded, and exploration never resumes from it.
+
+    Attributes
+    ----------
+    reason:
+        Structured refusal code, for callers (the certification service's
+        cache, CLI diagnostics) that dispatch on *why* the file was
+        refused rather than re-parsing the message: ``"bad-magic"``,
+        ``"truncated"``, ``"corrupt-header"``, ``"payload-digest"``,
+        ``"inconsistent"``, ``"trailing-bytes"``, ``"program-digest"``,
+        ``"command-set"``, ``"io"``, ``"missing"``; ``None`` for legacy
+        raise sites.
     """
+
+    def __init__(self, message: str, *, reason: "str | None" = None) -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class ProofError(ReproError):

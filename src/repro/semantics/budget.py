@@ -179,6 +179,29 @@ class PartialResult:
             ".status == 'unknown' and resume from .checkpoint_path"
         )
 
+    def to_doc(self) -> dict[str, Any]:
+        """JSON-safe rendering for wire protocols and manifests.
+
+        The certification service ships UNKNOWNs to remote callers as
+        structured documents; this is the one place the field set is
+        spelled, so the service protocol and the run-manifest rows can
+        never drift apart.  Deliberately mirrors the attribute names
+        (``status`` first, so a reader skimming the document sees
+        "unknown" before any statistics).
+        """
+        return {
+            "status": self.status,
+            "kind": self.kind,
+            "subject": self.subject,
+            "reason": self.reason,
+            "explored": int(self.explored),
+            "levels": int(self.levels),
+            "elapsed_s": round(float(self.elapsed), 6),
+            "rate": round(float(self.rate), 3),
+            "frontier": int(self.frontier),
+            "checkpoint_path": self.checkpoint_path,
+        }
+
     def explain(self) -> str:
         """One-line summary, shaped like ``CheckResult.explain``."""
         pace = ""

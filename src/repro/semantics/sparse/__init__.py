@@ -74,6 +74,7 @@ from repro.semantics.sparse.explorer import (
 )
 from repro.semantics.sparse.checkpoint import (
     CheckpointPolicy,
+    cache_path_for,
     load_checkpoint,
     program_digest,
     resume_exploration,
@@ -106,6 +107,7 @@ __all__ = [
     "reachable_subspace",
     "adopt_subspace",
     "CheckpointPolicy",
+    "cache_path_for",
     "load_checkpoint",
     "program_digest",
     "resume_exploration",

@@ -69,6 +69,7 @@ __all__ = [
     "MAGIC",
     "CheckpointPolicy",
     "program_digest",
+    "cache_path_for",
     "write_checkpoint",
     "load_checkpoint",
     "resume_exploration",
@@ -266,24 +267,29 @@ def _load_checkpoint(path: str, program: Program | None, rec) -> dict:
             if magic != MAGIC:
                 raise CheckpointError(
                     f"{path}: not a checkpoint (bad magic {magic!r}; "
-                    f"expected {MAGIC!r})"
+                    f"expected {MAGIC!r})",
+                    reason="bad-magic",
                 )
             hlen_raw = f.read(_HLEN_BYTES)
             if len(hlen_raw) != _HLEN_BYTES:
-                raise CheckpointError(f"{path}: truncated before header length")
+                raise CheckpointError(
+                    f"{path}: truncated before header length",
+                    reason="truncated",
+                )
             hlen = int.from_bytes(hlen_raw, "little")
             if not 0 < hlen <= 1 << 30:
                 raise CheckpointError(
-                    f"{path}: implausible header length {hlen}"
+                    f"{path}: implausible header length {hlen}",
+                    reason="corrupt-header",
                 )
             blob = f.read(hlen)
             if len(blob) != hlen:
-                raise CheckpointError(f"{path}: truncated header")
+                raise CheckpointError(f"{path}: truncated header", reason="truncated")
             try:
                 header = json.loads(blob.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 raise CheckpointError(
-                    f"{path}: corrupt header ({exc})"
+                    f"{path}: corrupt header ({exc})", reason="corrupt-header"
                 ) from exc
             arrays: dict[str, np.ndarray] = {}
             for entry in header.get("arrays", []):
@@ -291,25 +297,34 @@ def _load_checkpoint(path: str, program: Program | None, rec) -> dict:
                 if len(raw) != entry["nbytes"]:
                     raise CheckpointError(
                         f"{path}: truncated payload for array "
-                        f"{entry['name']!r}"
+                        f"{entry['name']!r}",
+                        reason="truncated",
                     )
                 digest = hashlib.sha256(raw).hexdigest()
                 if digest != entry["sha256"]:
                     raise CheckpointError(
                         f"{path}: payload digest mismatch for array "
-                        f"{entry['name']!r} (corrupt checkpoint)"
+                        f"{entry['name']!r} (corrupt checkpoint)",
+                        reason="payload-digest",
                     )
                 arrays[entry["name"]] = np.frombuffer(
                     raw, dtype=np.dtype(entry["dtype"])
                 ).reshape(entry["shape"])
             if f.read(1):
-                raise CheckpointError(f"{path}: trailing bytes after payload")
+                raise CheckpointError(
+                    f"{path}: trailing bytes after payload",
+                    reason="trailing-bytes",
+                )
     except OSError as exc:
-        raise CheckpointError(f"{path}: cannot read checkpoint: {exc}") from exc
+        raise CheckpointError(
+            f"{path}: cannot read checkpoint: {exc}", reason="io"
+        ) from exc
     for required in ("level_offsets", "level_nodes", "level_parents",
                      "level_pcmds"):
         if required not in arrays:
-            raise CheckpointError(f"{path}: missing array {required!r}")
+            raise CheckpointError(
+                f"{path}: missing array {required!r}", reason="inconsistent"
+            )
     offsets = arrays["level_offsets"]
     if (
         offsets.ndim != 1
@@ -318,11 +333,14 @@ def _load_checkpoint(path: str, program: Program | None, rec) -> dict:
         or offsets.shape[0] < 2
         or (np.diff(offsets) < 0).any()
     ):
-        raise CheckpointError(f"{path}: inconsistent level offsets")
+        raise CheckpointError(
+            f"{path}: inconsistent level offsets", reason="inconsistent"
+        )
     for name in ("level_nodes", "level_parents", "level_pcmds"):
         if arrays[name].shape[0] != offsets[-1]:
             raise CheckpointError(
-                f"{path}: array {name!r} length disagrees with offsets"
+                f"{path}: array {name!r} length disagrees with offsets",
+                reason="inconsistent",
             )
     if program is not None:
         want = program_digest(program)
@@ -330,13 +348,15 @@ def _load_checkpoint(path: str, program: Program | None, rec) -> dict:
         if got != want:
             raise CheckpointError(
                 f"{path}: checkpoint was written for a different program "
-                f"or space (digest {got} != {want}); refusing to resume"
+                f"or space (digest {got} != {want}); refusing to resume",
+                reason="program-digest",
             )
         movers = [c.name for c in program.commands if not c.is_skip()]
         if header.get("mover_names") != movers:
             raise CheckpointError(
                 f"{path}: command set changed since the checkpoint "
-                "was written; refusing to resume"
+                "was written; refusing to resume",
+                reason="command-set",
             )
     if rec.enabled:
         rec.add("checkpoint.loads")
@@ -362,6 +382,19 @@ def _split_levels(arrays: dict[str, np.ndarray]) -> _BfsState:
     )
 
 
+def cache_path_for(root: str | os.PathLike, program: Program) -> str:
+    """The digest-addressed checkpoint path of ``program`` under ``root``.
+
+    The certification service (and any caller keeping a directory of
+    checkpoints rather than naming files) stores one checkpoint per
+    program identity: ``<root>/<program_digest>.ckpt``.  Content
+    addressing makes the stale-resume problem structural — an edited
+    program hashes to a different path, so it can never even *find* the
+    old checkpoint, let alone resume from it.
+    """
+    return os.path.join(os.fspath(root), f"{program_digest(program)}.ckpt")
+
+
 def resume_exploration(
     path: str | os.PathLike,
     program: Program,
@@ -371,6 +404,13 @@ def resume_exploration(
     node_limit: int | None = None,
 ) -> ReachableSubspace:
     """Resume a checkpointed exploration of ``program`` to closure.
+
+    ``path`` may be a checkpoint file, or a **directory** holding
+    digest-addressed checkpoints — in which case the file is resolved by
+    :func:`cache_path_for` and a missing entry is refused with a
+    structured ``reason="missing"`` :class:`~repro.errors.CheckpointError`
+    (so cache-directory callers can distinguish "never built" from
+    "corrupt").
 
     Validates the checkpoint against the program digest (fail-closed),
     rebuilds the BFS state from the stored levels, and continues the loop
@@ -382,6 +422,14 @@ def resume_exploration(
     """
     from repro.semantics.sparse.explorer import DEFAULT_NODE_LIMIT
 
+    if os.path.isdir(path):
+        path = cache_path_for(path, program)
+        if not os.path.exists(path):
+            raise CheckpointError(
+                f"{path}: no checkpoint for {program.name} "
+                f"(digest {program_digest(program)}) in the cache directory",
+                reason="missing",
+            )
     loaded = load_checkpoint(path, program)
     header, arrays = loaded["header"], loaded["arrays"]
     state = _split_levels(arrays)

@@ -41,6 +41,7 @@ all work is proportional to the reachable set and the frontier.
 
 from __future__ import annotations
 
+import threading
 import time
 import traceback as _traceback
 import weakref
@@ -788,6 +789,23 @@ class ExplorationFailure:
 #: strongly pin the program).
 _CACHE: "weakref.WeakKeyDictionary[Program, ReachableSubspace | ExplorationFailure]" = weakref.WeakKeyDictionary()
 
+#: Per-program exploration locks (single-flight): concurrent
+#: ``reachable_subspace`` callers that miss the cache must share ONE
+#: BFS, not race N identical explorations — the certification service
+#: routes many threads at the same program on a cold start.  Weak keys
+#: so the lock table never pins a program.
+_EXPLORE_LOCKS: "weakref.WeakKeyDictionary[Program, threading.Lock]" = weakref.WeakKeyDictionary()
+_LOCKS_GUARD = threading.Lock()
+
+
+def _explore_lock(program: Program) -> threading.Lock:
+    with _LOCKS_GUARD:
+        lock = _EXPLORE_LOCKS.get(program)
+        if lock is None:
+            lock = threading.Lock()
+            _EXPLORE_LOCKS[program] = lock
+        return lock
+
 
 def adopt_subspace(program: Program, sub: ReachableSubspace) -> None:
     """Publish a completed exploration as ``program``'s cached subspace.
@@ -819,6 +837,13 @@ def reachable_subspace(
     trivially).  :class:`~repro.errors.BudgetExhausted` is **not**
     cached: running out of budget is transient, not a property of the
     program.
+
+    Thread safety: misses are **single-flight** per program — concurrent
+    callers serialize on a per-program lock, the first runs the BFS, the
+    rest find its published result on wake-up.  (Cache publication via
+    :func:`adopt_subspace` is a plain dict store under the GIL; the lock
+    exists to prevent N identical explorations, not to protect the
+    dict.)
     """
     rec = obs.get_recorder()
     cached = _CACHE.get(program)
@@ -826,24 +851,32 @@ def reachable_subspace(
         if rec.enabled:
             rec.add("sparse.subspace_cache.hits")
         return cached
-    if rec.enabled:
-        rec.add("sparse.subspace_cache.misses")
-    if cached is not None:
-        err = ExplorationError(
-            f"{cached.message} (cached sparse-tier failure; the original "
-            "traceback is preserved on this exception's .failure record)"
-        )
-        err.failure = cached
-        raise err
-    try:
-        sub = explore(program, budget=budget, checkpoint=checkpoint)
-    except ExplorationError as exc:
-        _CACHE[program] = ExplorationFailure(
-            message=str(exc),
-            exc_type=type(exc).__name__,
-            traceback="".join(_traceback.format_exception(exc)),
-            checkpoint_path=getattr(exc, "checkpoint_path", None),
-        )
-        raise
-    _CACHE[program] = sub
-    return sub
+    with _explore_lock(program):
+        # Re-check under the lock: a concurrent caller may have finished
+        # (or failed) this exploration while we waited.
+        cached = _CACHE.get(program)
+        if isinstance(cached, ReachableSubspace):
+            if rec.enabled:
+                rec.add("sparse.subspace_cache.hits")
+            return cached
+        if rec.enabled:
+            rec.add("sparse.subspace_cache.misses")
+        if cached is not None:
+            err = ExplorationError(
+                f"{cached.message} (cached sparse-tier failure; the original "
+                "traceback is preserved on this exception's .failure record)"
+            )
+            err.failure = cached
+            raise err
+        try:
+            sub = explore(program, budget=budget, checkpoint=checkpoint)
+        except ExplorationError as exc:
+            _CACHE[program] = ExplorationFailure(
+                message=str(exc),
+                exc_type=type(exc).__name__,
+                traceback="".join(_traceback.format_exception(exc)),
+                checkpoint_path=getattr(exc, "checkpoint_path", None),
+            )
+            raise
+        _CACHE[program] = sub
+        return sub

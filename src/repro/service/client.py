@@ -1,0 +1,91 @@
+"""A minimal stdlib client for the certification service.
+
+``urllib``-based, synchronous, and deliberately thin — it exists so the
+benchmarks, the chaos driver, and tests all speak to the server the
+same way a well-behaved external caller would:
+
+- non-2xx responses with a JSON body are **returned**, not raised (the
+  response document is the API; the HTTP status is a rendering of it);
+- 429/503 respect ``Retry-After`` up to ``max_retries`` times before
+  giving the shed/quarantine document back to the caller;
+- transport errors (connection refused, socket timeout) raise
+  ``OSError`` — the server being *gone* is different from the server
+  *answering* "not now", and conflating them is how callers end up
+  retrying against a corpse.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Client for one service base URL (e.g. ``http://127.0.0.1:8421``)."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 120.0,
+        max_retries: int = 3,
+        retry_cap: float = 5.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.retry_cap = retry_cap
+
+    def verify(self, request: dict[str, Any]) -> dict[str, Any]:
+        """POST one request document; returns the response document.
+
+        Retries shed (429) and quarantined (503) answers per their
+        ``Retry-After`` up to ``max_retries`` times, then returns the
+        last document as-is.
+        """
+        for attempt in range(self.max_retries + 1):
+            status, doc = self._post("/v1/verify", request)
+            if status not in (429, 503) or attempt == self.max_retries:
+                return doc
+            delay = doc.get("retry_after", 0.1)
+            try:
+                delay = float(delay)
+            except (TypeError, ValueError):
+                delay = 0.1
+            time.sleep(min(max(delay, 0.0), self.retry_cap))
+        return doc  # pragma: no cover
+
+    def health(self) -> dict[str, Any]:
+        req = urllib.request.Request(self.base_url + "/v1/health")
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def _post(self, path: str, doc: dict[str, Any]) -> tuple[int, dict]:
+        body = json.dumps(doc).encode("utf-8")
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            # Structured service answers ride on error statuses too.
+            raw = exc.read()
+            try:
+                return exc.code, json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return exc.code, {
+                    "status": "error",
+                    "error": {
+                        "code": "internal",
+                        "message": f"HTTP {exc.code} with non-JSON body",
+                    },
+                }

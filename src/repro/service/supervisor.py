@@ -1,0 +1,385 @@
+"""Supervised worker pool: respawn, retry, quarantine, reap.
+
+The supervisor owns the service's crash story.  Its invariants, each
+pinned by ``tests/test_service_chaos.py``:
+
+- **A worker death is a structured error, never a server death.**
+  Death is detected on use (EOF / ``BrokenPipeError`` on the pipes) and
+  the slot respawns with per-slot exponential backoff — a worker that
+  dies at startup cannot hot-loop the supervisor into a fork bomb.
+- **A crashed request is retried on a fresh worker**, up to
+  ``max_retries`` times with backoff, then failed with
+  ``code="worker-crash"``.  Retrying is safe because checks are pure:
+  a request computes a verdict, and its only side effect — the cache
+  publish — is atomic and idempotent.
+- **A stalled worker is reaped, not waited on.**  Every dispatch has a
+  watchdog deadline (the request deadline plus ``stall_grace``; just
+  the per-request ``default_timeout`` when no deadline was given).  A
+  worker that blows it is killed and the request fails with
+  ``code="worker-timeout"`` — a deliberate *error*, never an UNKNOWN:
+  UNKNOWN means the *engine* ran out of budget and left a resume point;
+  a stall means the engine stopped reporting, and pretending that is a
+  resumable state would launder a hang into a degradation the caller
+  might retry forever.
+- **Programs that repeatedly kill workers get quarantined.**  A
+  per-program-digest circuit breaker opens after
+  ``breaker_threshold`` *consecutive* crashes and fails requests for
+  that digest fast (``code="quarantined"``, with a retry-after) for
+  ``breaker_cooldown`` seconds; the first request after cooldown is the
+  half-open trial — success closes the breaker, another crash reopens
+  it.  Without the breaker, one poisonous program burns
+  ``max_retries + 1`` workers per request, starving everyone else.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+from repro import obs
+from repro.service.protocol import FrameError, read_frame, write_frame
+from repro.util.faultinject import FAULTS_ENV
+
+__all__ = [
+    "WorkerCrash",
+    "WorkerTimeout",
+    "Quarantined",
+    "CircuitBreaker",
+    "WorkerPool",
+]
+
+
+class WorkerCrash(Exception):
+    """The worker died before replying (retries exhausted)."""
+
+
+class WorkerTimeout(Exception):
+    """The worker blew its watchdog deadline and was reaped."""
+
+
+class Quarantined(Exception):
+    """The circuit breaker is open for this program digest."""
+
+    def __init__(self, digest: str, retry_after: float) -> None:
+        super().__init__(
+            f"program {digest[:12]}… is quarantined after repeated worker "
+            f"crashes; retry in {retry_after:.0f}s"
+        )
+        self.digest = digest
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Consecutive-crash breaker, one state machine per program digest."""
+
+    def __init__(self, *, threshold: int = 3, cooldown: float = 30.0) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._lock = threading.Lock()
+        # digest -> [consecutive crashes, open-until monotonic, half-open?]
+        self._state: dict[str, list] = {}
+
+    def check(self, digest: str) -> None:
+        """Raise :class:`Quarantined` if the digest's breaker is open.
+
+        An expired cooldown admits exactly one half-open trial; further
+        requests stay quarantined until the trial settles.
+        """
+        with self._lock:
+            st = self._state.get(digest)
+            if st is None:
+                return
+            crashes, open_until, trialing = st
+            if crashes < self.threshold:
+                return
+            now = time.monotonic()
+            if now < open_until:
+                raise Quarantined(digest, open_until - now)
+            if trialing:
+                raise Quarantined(digest, self.cooldown)
+            st[2] = True  # this caller is the half-open trial
+
+    def record_crash(self, digest: str) -> bool:
+        """Count a crash; returns True when the breaker (re)opens."""
+        with self._lock:
+            st = self._state.setdefault(digest, [0, 0.0, False])
+            st[0] += 1
+            st[2] = False
+            if st[0] >= self.threshold:
+                st[1] = time.monotonic() + self.cooldown
+                return True
+            return False
+
+    def record_success(self, digest: str) -> None:
+        with self._lock:
+            self._state.pop(digest, None)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Open breakers, for the health endpoint."""
+        now = time.monotonic()
+        out = {}
+        with self._lock:
+            for digest, (crashes, open_until, trialing) in self._state.items():
+                if crashes >= self.threshold:
+                    out[digest] = {
+                        "crashes": crashes,
+                        "open_for_s": max(0.0, round(open_until - now, 3)),
+                        "half_open": trialing,
+                    }
+        return out
+
+
+class _Worker:
+    """One subprocess and its pipes; owned by exactly one dispatch at a
+    time (the pool hands workers out under its lock)."""
+
+    def __init__(self, argv: list[str], env: dict[str, str]) -> None:
+        self.proc = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        self.seq = 0
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except OSError:
+            pass
+        try:
+            self.proc.wait(timeout=5)
+        except Exception:
+            pass
+
+    def ask(self, request: dict, timeout: float) -> dict:
+        """One request/response exchange with a hard watchdog.
+
+        Raises :class:`WorkerCrash` on death mid-exchange and
+        :class:`WorkerTimeout` when the reply does not land in
+        ``timeout`` seconds (the worker is killed first, so a late
+        reply can never desynchronize the next exchange).
+        """
+        self.seq += 1
+        seq = self.seq
+        try:
+            write_frame(self.proc.stdin, {"seq": seq, "request": request})
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrash(f"worker died taking the request: {exc}") from exc
+
+        result: list = [None]
+
+        def _read() -> None:
+            try:
+                result[0] = read_frame(self.proc.stdout)
+            except FrameError as exc:
+                result[0] = exc
+
+        reader = threading.Thread(target=_read, daemon=True)
+        reader.start()
+        reader.join(timeout)
+        if reader.is_alive():
+            self.kill()
+            reader.join(1.0)
+            raise WorkerTimeout(f"no reply in {timeout:.1f}s; worker reaped")
+        reply = result[0]
+        if reply is None:
+            raise WorkerCrash(
+                f"worker exited mid-check (status {self.proc.poll()})"
+            )
+        if isinstance(reply, FrameError):
+            self.kill()
+            raise WorkerCrash(f"worker pipe desynchronized: {reply}")
+        if reply.get("seq") != seq:
+            self.kill()
+            raise WorkerCrash(
+                f"out-of-order reply (seq {reply.get('seq')} != {seq})"
+            )
+        return reply["payload"]
+
+
+class WorkerPool:
+    """Fixed-size pool of supervised workers with crash-retry dispatch."""
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        cache_dir: str | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        spawn_backoff: float = 0.05,
+        spawn_backoff_cap: float = 2.0,
+        default_timeout: float = 60.0,
+        stall_grace: float = 5.0,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"pool size must be > 0, got {size}")
+        self.size = size
+        self.cache_dir = cache_dir
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.spawn_backoff = spawn_backoff
+        self.spawn_backoff_cap = spawn_backoff_cap
+        self.default_timeout = default_timeout
+        self.stall_grace = stall_grace
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._lock = threading.Lock()
+        self._free = threading.Semaphore(size)
+        self._idle: list[_Worker] = []
+        self._spawn_failures = 0
+        self.crashes = 0
+        self.timeouts = 0
+        self.retries = 0
+        self._closed = False
+
+    # -- spawning --------------------------------------------------------
+
+    def _argv(self) -> list[str]:
+        argv = [sys.executable, "-m", "repro.service.worker"]
+        if self.cache_dir:
+            argv += ["--cache-dir", self.cache_dir]
+        return argv
+
+    def _env(self) -> dict[str, str]:
+        env = dict(os.environ)
+        # Workers must import the same repro the supervisor runs, even
+        # when it was started from a source tree without installation.
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        parts = [src] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+        faults = os.environ.get(FAULTS_ENV)
+        if faults:
+            env[FAULTS_ENV] = faults
+        return env
+
+    def _spawn(self) -> _Worker:
+        """Spawn with exponential backoff on consecutive failures."""
+        while True:
+            with self._lock:
+                failures = self._spawn_failures
+            if failures:
+                time.sleep(
+                    min(
+                        self.spawn_backoff * (2 ** (failures - 1)),
+                        self.spawn_backoff_cap,
+                    )
+                )
+            try:
+                worker = _Worker(self._argv(), self._env())
+            except OSError:
+                with self._lock:
+                    self._spawn_failures += 1
+                continue
+            with self._lock:
+                self._spawn_failures = 0
+            rec = obs.get_recorder()
+            if rec.enabled:
+                rec.add("service.worker.spawns")
+            return worker
+
+    def _checkout(self) -> _Worker:
+        self._free.acquire()
+        with self._lock:
+            while self._idle:
+                worker = self._idle.pop()
+                if worker.alive():
+                    return worker
+                worker.kill()
+        return self._spawn()
+
+    def _checkin(self, worker: _Worker, *, broken: bool) -> None:
+        if broken or not worker.alive():
+            worker.kill()
+        else:
+            with self._lock:
+                if not self._closed:
+                    self._idle.append(worker)
+                    worker = None  # type: ignore[assignment]
+            if worker is not None:
+                worker.kill()
+        self._free.release()
+
+    # -- dispatch --------------------------------------------------------
+
+    def submit(self, request: dict, *, digest: str) -> dict:
+        """Run one request on the pool; crash-retry with backoff.
+
+        Raises :class:`Quarantined` / :class:`WorkerTimeout` /
+        :class:`WorkerCrash`; any normal reply (including worker-side
+        ``status="error"`` documents) is returned as-is.
+        """
+        self.breaker.check(digest)
+        timeout = self.default_timeout
+        deadline = request.get("deadline")
+        if deadline is not None:
+            # The engine gets `deadline` to wind down on its own; the
+            # watchdog only fires when it fails to (a genuine stall).
+            timeout = float(deadline) + self.stall_grace
+        rec = obs.get_recorder()
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            worker = self._checkout()
+            try:
+                payload = worker.ask(request, timeout)
+            except WorkerTimeout:
+                self.timeouts += 1
+                self._checkin(worker, broken=True)
+                if rec.enabled:
+                    rec.add("service.worker.timeouts")
+                # No retry: a stall is time already spent; retrying
+                # doubles the caller's wait for a likely repeat.
+                raise
+            except WorkerCrash:
+                self.crashes += 1
+                self._checkin(worker, broken=True)
+                if rec.enabled:
+                    rec.add("service.worker.crashes")
+                opened = self.breaker.record_crash(digest)
+                if opened and rec.enabled:
+                    rec.add("service.breaker.opens")
+                if opened or attempt == attempts - 1:
+                    raise
+                self.retries += 1
+                if rec.enabled:
+                    rec.add("service.worker.retries")
+                time.sleep(self.retry_backoff * (2**attempt))
+                continue
+            except BaseException:
+                self._checkin(worker, broken=True)
+                raise
+            self._checkin(worker, broken=False)
+            self.breaker.record_success(digest)
+            return payload
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for worker in idle:
+            worker.kill()
+
+    def stats(self) -> dict:
+        with self._lock:
+            idle = len(self._idle)
+        return {
+            "size": self.size,
+            "idle": idle,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "breakers_open": len(self.breaker.snapshot()),
+        }

@@ -38,6 +38,32 @@ Instrumented sites
     After the temp file is fsynced, before the atomic publish
     (``os.replace``) — the "crash at the worst moment" point: a valid
     temp file exists but the destination must be untouched.
+``service.worker.check``
+    Inside a certification-service worker, between parsing a request and
+    running the engine (detail: ``digest``, ``kind``).  The canonical
+    place to simulate a worker crash (action ``kill``) or a hung worker
+    (action ``stall:SECONDS``) mid-check.
+``service.cache.write.payload`` / ``service.cache.write.rename``
+    The service cache's verdict-entry write stages, mirroring the
+    checkpoint write sites: firing at ``payload`` leaves a torn temp
+    file, firing at ``rename`` crashes after fsync but before the atomic
+    ``os.replace`` publish.
+``service.queue.admit``
+    Before a certification-service request is admitted to the bounded
+    queue — arm to force load shedding regardless of actual queue depth.
+
+Cross-process arming
+--------------------
+:func:`inject` arms a site in *this* process; the certification
+service's workers are **subprocesses**, so their faults are armed from
+the environment instead: :func:`arm_from_spec` parses a spec string like
+``"service.worker.check=kill:after=2;service.cache.write.rename=fault"``
+and arms each site for the life of the process, and worker mains call
+``arm_from_env()`` at startup (the supervisor forwards the variable).
+Besides exception names, two *actions* are recognized: ``kill`` —
+``os._exit(137)``, an un-catchable crash — and ``stall:SECONDS`` — a
+plain sleep simulating a hung worker (no exception; the site returns
+afterwards).
 
 File-corruption helpers (:func:`flip_byte`, :func:`truncate_file`) are
 provided for tests that damage a *published* checkpoint rather than
@@ -47,6 +73,7 @@ interrupting a write.
 from __future__ import annotations
 
 import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
@@ -55,10 +82,19 @@ __all__ = [
     "InjectedFault",
     "fault_point",
     "inject",
+    "arm_from_spec",
+    "arm_from_env",
+    "disarm_all",
     "active_sites",
+    "FAULTS_ENV",
     "flip_byte",
     "truncate_file",
 ]
+
+#: Environment variable :func:`arm_from_env` reads by default.  The
+#: certification service's supervisor forwards it verbatim to worker
+#: subprocesses, so one spec string arms the same faults fleet-wide.
+FAULTS_ENV = "REPRO_FAULTS"
 
 
 class InjectedFault(Exception):
@@ -92,7 +128,9 @@ def fault_point(site: str, **detail) -> None:
     """Fire the armed fault for ``site``, if any.
 
     Called by production code at instrumented sites.  With no fault
-    armed anywhere this returns after a single boolean check.
+    armed anywhere this returns after a single boolean check.  A plan
+    whose factory performs a side effect and returns ``None`` (the
+    ``stall:SECONDS`` action) fires without raising.
     """
     if not _ARMED:
         return
@@ -106,7 +144,9 @@ def fault_point(site: str, **detail) -> None:
     if plan.times is not None and plan.fired >= plan.times:
         return
     plan.fired += 1
-    raise plan.make()
+    outcome = plan.make()
+    if outcome is not None:
+        raise outcome
 
 
 def _factory(exc) -> Callable[[], BaseException]:
@@ -147,6 +187,118 @@ def inject(
     finally:
         _PLANS.pop(site, None)
         _ARMED = bool(_PLANS)
+
+
+#: Named exceptions recognized by :func:`arm_from_spec` action tokens.
+_NAMED_EXCEPTIONS: dict[str, type[BaseException]] = {
+    "fault": InjectedFault,
+    "memory": MemoryError,
+    "interrupt": KeyboardInterrupt,
+    "oserror": OSError,
+}
+
+
+def _action_factory(tokens: list[str]) -> Callable[[], BaseException | None]:
+    """Build a plan factory from a spec's action tokens.
+
+    ``kill`` exits the process with status 137 (the SIGKILL convention) —
+    un-catchable, like a real OOM kill; ``stall SECONDS`` sleeps and
+    returns ``None`` (the site does not raise); any other token names an
+    exception from the registry above.
+    """
+    action = tokens[0]
+    if action == "kill":
+
+        def _kill() -> None:
+            os._exit(137)
+
+        return _kill
+    if action == "stall":
+        if len(tokens) < 2:
+            raise ValueError("stall action needs a duration: 'stall:SECONDS'")
+        seconds = float(tokens[1])
+
+        def _stall() -> None:
+            time.sleep(seconds)
+
+        return _stall
+    exc = _NAMED_EXCEPTIONS.get(action)
+    if exc is None:
+        raise ValueError(
+            f"unknown fault action {action!r}; expected 'kill', "
+            f"'stall:SECONDS', or one of {sorted(_NAMED_EXCEPTIONS)}"
+        )
+    return exc
+
+
+def arm_from_spec(spec: str) -> tuple[str, ...]:
+    """Arm fault sites from a spec string, for the life of the process.
+
+    Grammar: ``site=action[:after=N][:times=N|all]`` joined by ``;``.
+    Actions: ``kill`` (``os._exit(137)``), ``stall:SECONDS`` (sleep, no
+    exception), or a named exception (``fault`` / ``memory`` /
+    ``interrupt`` / ``oserror``).  ``times`` defaults to 1, matching
+    :func:`inject`; ``times=all`` fires on every hit past ``after``.
+    Unlike :func:`inject` there is no scope to exit — this is the
+    cross-process arming path (worker subprocesses read it from the
+    environment at startup), so the plans persist until
+    :func:`disarm_all`.  Returns the armed site names.
+    """
+    global _ARMED
+    armed: list[str] = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        site, sep, rest = clause.partition("=")
+        site = site.strip()
+        if not sep or not site or not rest:
+            raise ValueError(f"malformed fault clause {clause!r}")
+        if site in _PLANS:
+            raise RuntimeError(f"fault site {site!r} is already armed")
+        after, times = 0, 1
+        action_tokens: list[str] = []
+        for token in rest.split(":"):
+            token = token.strip()
+            if token.startswith("after="):
+                after = int(token[len("after="):])
+            elif token.startswith("times="):
+                val = token[len("times="):]
+                times = None if val == "all" else int(val)
+            else:
+                action_tokens.append(token)
+        if not action_tokens:
+            raise ValueError(f"fault clause {clause!r} names no action")
+        plan = _Plan(
+            site=site,
+            make=_action_factory(action_tokens),
+            after=after,
+            times=times,
+        )
+        _PLANS[site] = plan
+        armed.append(site)
+    _ARMED = bool(_PLANS)
+    return tuple(armed)
+
+
+def arm_from_env(var: str = FAULTS_ENV) -> tuple[str, ...]:
+    """Arm fault sites from environment variable ``var`` (if set).
+
+    Called by subprocess entry points (the certification-service worker
+    main) so a parent process can inject faults across the process
+    boundary; returns the armed sites (empty when the variable is unset).
+    """
+    spec = os.environ.get(var, "")
+    if not spec:
+        return ()
+    return arm_from_spec(spec)
+
+
+def disarm_all() -> None:
+    """Drop every armed plan (spec-armed or leaked); test hygiene."""
+    global _ARMED
+    _PLANS.clear()
+    _ARMED = False
 
 
 def active_sites() -> tuple[str, ...]:

@@ -454,3 +454,81 @@ class TestCliDifferential:
         assert code == 0
         assert (tmp_path / "product.ckpt").exists()
         assert "checkpoint=product.ckpt" in out
+
+
+# ---------------------------------------------------------------------------
+# Digest-addressed cache directories and structured refusal reasons
+# ---------------------------------------------------------------------------
+
+
+class TestCacheDirectory:
+    """``resume_exploration`` over a directory of digest-keyed entries.
+
+    The certification service keeps one checkpoint per program identity
+    under ``<dir>/<program_digest>.ckpt``; resolving through the digest
+    makes stale resumes structurally impossible (an edited program
+    hashes to a path that does not exist) and every refusal carries a
+    machine-readable ``reason`` so cache layers can tell "never built"
+    from "corrupt".
+    """
+
+    def test_directory_resolves_by_digest(self, tmp_path):
+        from repro.semantics.sparse import cache_path_for
+
+        program = fresh_program()
+        sub = explore(program)
+        path = cache_path_for(tmp_path, program)
+        assert path == str(tmp_path / f"{program_digest(program)}.ckpt")
+        save_subspace(path, sub)
+        resumed = resume_exploration(tmp_path, program)
+        assert resumed.size == sub.size
+        assert np.array_equal(resumed.global_ids, sub.global_ids)
+
+    def test_missing_entry_refused_with_structured_reason(self, tmp_path):
+        with pytest.raises(CheckpointError) as exc_info:
+            resume_exploration(tmp_path, fresh_program())
+        assert exc_info.value.reason == "missing"
+
+    def test_wrong_program_digest_reason(self, tmp_path):
+        from repro.semantics.sparse import cache_path_for
+
+        program = fresh_program()
+        other = build_pipeline_system(4, total=2).system
+        save_subspace(cache_path_for(tmp_path, program), explore(program))
+        # Force the lookup to the wrong file: the digest check inside
+        # the loader still refuses, with the structured reason.
+        wrong = cache_path_for(tmp_path, program)
+        with pytest.raises(CheckpointError) as exc_info:
+            resume_exploration(wrong, other)
+        assert exc_info.value.reason == "program-digest"
+
+    def test_corrupt_entry_reason_is_payload_digest(self, tmp_path):
+        from repro.semantics.sparse import cache_path_for
+        from repro.util.faultinject import flip_byte
+
+        program = fresh_program()
+        path = cache_path_for(tmp_path, program)
+        save_subspace(path, explore(program))
+        flip_byte(path, -1)
+        with pytest.raises(CheckpointError) as exc_info:
+            resume_exploration(tmp_path, program)
+        assert exc_info.value.reason == "payload-digest"
+
+    def test_reason_codes_cover_the_failure_modes(self, tmp_path):
+        from repro.util.faultinject import truncate_file
+
+        program = fresh_program()
+        path = str(tmp_path / "x.ckpt")
+        save_subspace(path, explore(program))
+        truncate_file(path, 12)
+        with pytest.raises(CheckpointError) as exc_info:
+            load_checkpoint(path)
+        assert exc_info.value.reason == "truncated"
+        with open(path, "wb") as f:
+            f.write(b"NOTACKPT!!\n" * 3)
+        with pytest.raises(CheckpointError) as exc_info:
+            load_checkpoint(path)
+        assert exc_info.value.reason == "bad-magic"
+        with pytest.raises(CheckpointError) as exc_info:
+            load_checkpoint(str(tmp_path / "absent.ckpt"))
+        assert exc_info.value.reason == "io"

@@ -1,0 +1,416 @@
+"""Certification service: protocol, cache, façade, and HTTP front.
+
+The chaos-flavored counterparts (injected worker kills, stalls, torn
+cache writes, forced shedding) live in ``test_service_chaos.py``; this
+file pins the sunny-day contracts and every *parent-side* failure path
+that needs no subprocess.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.dsl import parse_program, parse_property
+from repro.semantics.sparse.checkpoint import program_digest
+from repro.service import (
+    CertificationService,
+    ServiceClient,
+    ServiceConfig,
+    start_server,
+)
+from repro.service.cache import SCHEMA, ServiceCache
+from repro.service.protocol import (
+    ERROR_CODES,
+    FrameError,
+    normalize_request,
+    read_frame,
+    request_key,
+    write_frame,
+)
+from repro.service.server import http_status_of
+from repro.util.faultinject import flip_byte, inject
+
+COUNTER = """
+program counter
+declare
+  local c : int[0..3]
+initially
+  c = 0
+assign
+  fair step: c < 3 -> c := c + 1
+end
+"""
+
+STUCK = """
+program stuck
+declare
+  local c : int[0..3]
+initially
+  c = 0
+assign
+  fair step: c < 2 -> c := c + 1
+end
+"""
+
+REQ = {"program": COUNTER, "property": "true ~> c = 3"}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = CertificationService(
+        ServiceConfig(workers=2, cache_dir=str(tmp_path / "cache"), max_pending=4)
+    )
+    with svc:
+        yield svc
+
+
+# ---------------------------------------------------------------------------
+# Protocol: framing and request identity
+# ---------------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        buf = io.BytesIO()
+        doc = {"seq": 7, "request": {"program": "p", "nested": [1, 2, {"a": None}]}}
+        write_frame(buf, doc)
+        buf.seek(0)
+        assert read_frame(buf) == doc
+        assert read_frame(buf) is None  # clean EOF
+
+    def test_torn_frame_is_eof_not_garbage(self):
+        buf = io.BytesIO()
+        write_frame(buf, {"x": "y" * 100})
+        torn = io.BytesIO(buf.getvalue()[:-40])  # peer died mid-write
+        assert read_frame(torn) is None
+
+    def test_implausible_length_is_frame_error(self):
+        buf = io.BytesIO((1 << 62).to_bytes(8, "little") + b"junk")
+        with pytest.raises(FrameError):
+            read_frame(buf)
+
+    def test_non_object_frame_is_frame_error(self):
+        buf = io.BytesIO()
+        blob = json.dumps([1, 2, 3]).encode()
+        buf.write(len(blob).to_bytes(8, "little") + blob)
+        buf.seek(0)
+        with pytest.raises(FrameError):
+            read_frame(buf)
+
+
+class TestNormalize:
+    def test_defaults_filled(self):
+        req = normalize_request(dict(REQ))
+        assert req["fairness"] == "weak"
+        assert req["tier"] == "auto"
+        assert req["prove"] is False
+
+    @pytest.mark.parametrize(
+        "patch",
+        [
+            {"program": ""},
+            {"property": None},
+            {"fairness": "eventual"},
+            {"tier": "compositional"},
+            {"prove": "yes"},
+            {"deadline": "soon"},
+            {"node_budget": 0},
+            {"deadline": -1},
+        ],
+    )
+    def test_malformed_fields_refused(self, patch):
+        with pytest.raises(ValueError):
+            normalize_request({**REQ, **patch})
+
+    def test_key_tracks_answer_inputs_only(self):
+        base = normalize_request(dict(REQ))
+        digest = "d" * 64
+        k0 = request_key(digest, base)
+        # Budgets bound effort, not truth: same key.
+        assert request_key(digest, normalize_request({**REQ, "deadline": 5})) == k0
+        # Property, fairness, prove each change the answer: new keys.
+        variants = [
+            {**REQ, "property": "invariant c <= 3"},
+            {**REQ, "fairness": "strong"},
+            {**REQ, "prove": True},
+        ]
+        keys = {request_key(digest, normalize_request(v)) for v in variants}
+        assert k0 not in keys and len(keys) == 3
+        assert request_key("e" * 64, base) != k0
+
+
+# ---------------------------------------------------------------------------
+# Cache: fail-closed verdicts and subspace snapshots
+# ---------------------------------------------------------------------------
+
+
+class TestServiceCache:
+    def test_verdict_roundtrip(self, tmp_path):
+        cache = ServiceCache(tmp_path)
+        payload = {"status": "ok", "holds": True, "tier": "dense"}
+        cache.put_verdict("a" * 64, payload)
+        assert cache.get_verdict("a" * 64) == payload
+        assert cache.stats()["hits"] == 1
+
+    def test_miss_is_none(self, tmp_path):
+        assert ServiceCache(tmp_path).get_verdict("b" * 64) is None
+
+    def test_undecided_payloads_are_uncacheable(self, tmp_path):
+        cache = ServiceCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.put_verdict("a" * 64, {"status": "unknown", "reason": "deadline"})
+        with pytest.raises(ValueError):
+            cache.put_verdict("a" * 64, {"status": "ok", "holds": None})
+
+    def test_corrupt_entry_evicted_never_served(self, tmp_path):
+        cache = ServiceCache(tmp_path)
+        key = "c" * 64
+        cache.put_verdict(key, {"status": "ok", "holds": False, "tier": "dense"})
+        path = cache._verdict_path(key)
+        flip_byte(path, -15)  # lands inside the payload document
+        assert cache.get_verdict(key) is None
+        assert cache.stats()["evictions"] == 1
+        import os
+
+        assert not os.path.exists(path)  # evicted, so the next write rebuilds
+
+    def test_key_mismatch_evicted(self, tmp_path):
+        cache = ServiceCache(tmp_path)
+        payload = {"status": "ok", "holds": True}
+        cache.put_verdict("d" * 64, payload)
+        import os
+
+        os.replace(cache._verdict_path("d" * 64), cache._verdict_path("e" * 64))
+        assert cache.get_verdict("e" * 64) is None
+
+    def test_wrong_schema_evicted(self, tmp_path):
+        cache = ServiceCache(tmp_path)
+        path = cache._verdict_path("f" * 64)
+        with open(path, "w") as f:
+            json.dump({"schema": SCHEMA + "-not", "payload": {}}, f)
+        assert cache.get_verdict("f" * 64) is None
+
+    def test_subspace_roundtrip_and_corruption(self, tmp_path):
+        from repro.semantics.sparse.explorer import explore
+
+        program = parse_program(COUNTER)
+        cache = ServiceCache(tmp_path)
+        sub = explore(program)
+        cache.store_subspace(sub)
+        again = cache.load_subspace(program)
+        assert again is not None and again.size == sub.size
+        flip_byte(cache.subspace_path(program), -3)
+        assert cache.load_subspace(program) is None  # evicted, not served
+        assert cache.load_subspace(program) is None  # now an ordinary miss
+        assert cache.stats()["evictions"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Service façade
+# ---------------------------------------------------------------------------
+
+
+class TestSubmit:
+    def test_decided_verdict(self, service):
+        r = service.submit(dict(REQ))
+        assert r["status"] == "ok"
+        assert r["holds"] is True
+        assert r["cached"] is False
+        assert r["digest"] == program_digest(parse_program(COUNTER))
+
+    def test_failing_property_is_decided_false(self, service):
+        r = service.submit({"program": STUCK, "property": "true ~> c = 3"})
+        assert r["status"] == "ok" and r["holds"] is False
+
+    def test_second_request_is_cache_hit(self, service):
+        first = service.submit(dict(REQ))
+        second = service.submit(dict(REQ))
+        assert second["cached"] is True
+        assert second["holds"] is first["holds"]
+        assert service.cache.stats()["hits"] >= 1
+
+    def test_cache_survives_service_restart(self, tmp_path):
+        cfg = ServiceConfig(workers=1, cache_dir=str(tmp_path), max_pending=2)
+        with CertificationService(cfg) as svc:
+            assert svc.submit(dict(REQ))["cached"] is False
+        with CertificationService(cfg) as svc:
+            r = svc.submit(dict(REQ))
+            assert r["cached"] is True and r["holds"] is True
+
+    def test_parse_error_never_burns_a_worker(self, service):
+        r = service.submit({"program": "garbage", "property": "x = 1"})
+        assert r["status"] == "error"
+        assert r["error"]["code"] == "parse-error"
+        assert service.pool.stats()["crashes"] == 0
+
+    def test_bad_request(self, service):
+        r = service.submit({"program": COUNTER})
+        assert r["status"] == "error" and r["error"]["code"] == "bad-request"
+
+    def test_unknown_program_name(self, service):
+        r = service.submit({**REQ, "program_name": "nonexistent"})
+        assert r["status"] == "error" and r["error"]["code"] == "parse-error"
+
+    def test_prove_attaches_certificate(self, service):
+        r = service.submit({**REQ, "prove": True})
+        assert r["status"] == "ok" and r["holds"] is True
+        assert r["certified"] is True
+
+    def test_deadline_zero_is_structured_unknown(self, service):
+        # tier=sparse + zero deadline: exploration exhausts immediately.
+        # The degradation contract: UNKNOWN with resume statistics —
+        # never a verdict, never a hang.
+        r = service.submit({**REQ, "tier": "sparse", "deadline": 0})
+        assert r["status"] == "unknown"
+        assert r["reason"] == "deadline"
+        assert "holds" not in r
+        assert r["checkpoint_path"]  # resumable
+
+    def test_unknowns_are_never_cached(self, service):
+        service.submit({**REQ, "tier": "sparse", "deadline": 0})
+        # Same key as an undeadlined request; must recompute, not serve
+        # the UNKNOWN.
+        r = service.submit({**REQ, "tier": "sparse"})
+        assert r["status"] == "ok" and r["holds"] is True
+
+    def test_coalescing_single_flight(self, service):
+        barrier = threading.Barrier(4)
+        results = []
+
+        def call():
+            barrier.wait()
+            results.append(service.submit({**REQ, "property": "true ~> c >= 2"}))
+
+        threads = [threading.Thread(target=call) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r["status"] == "ok" and r["holds"] is True for r in results)
+        followers = [r for r in results if r.get("coalesced")]
+        assert service.coalesced == len(followers)
+        # Exactly one computation published, however the race resolved:
+        # followers coalesced onto the leader, stragglers hit the cache.
+        assert service.cache.stats()["writes"] == 1
+
+    def test_shed_when_admission_fault_armed(self, service):
+        with inject("service.queue.admit"):
+            r = service.submit(dict(REQ))
+        assert r["status"] == "shed"
+        assert r["error"]["code"] == "overloaded"
+        assert r["retry_after"] > 0
+        assert service.shed == 1
+
+    def test_health_snapshot(self, service):
+        service.submit(dict(REQ))
+        h = service.health()
+        assert h["status"] == "ok"
+        assert h["counters"]["requests"] == 1
+        assert h["pool"]["size"] == 2
+        assert h["cache"]["writes"] >= 1
+
+    def test_config_refuses_starvable_pool(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(workers=4, max_pending=2)
+
+
+# ---------------------------------------------------------------------------
+# HTTP front
+# ---------------------------------------------------------------------------
+
+
+class TestHttp:
+    def test_status_mapping(self):
+        assert http_status_of({"status": "ok"}) == 200
+        assert http_status_of({"status": "unknown"}) == 200
+        assert http_status_of({"status": "shed"}) == 429
+        for code, expected in ERROR_CODES.items():
+            assert (
+                http_status_of({"status": "error", "error": {"code": code}})
+                == expected
+            )
+
+    def test_round_trip(self, service):
+        server, url = start_server(service)
+        try:
+            client = ServiceClient(url)
+            r = client.verify(dict(REQ))
+            assert r["status"] == "ok" and r["holds"] is True
+            r2 = client.verify(dict(REQ))
+            assert r2["cached"] is True
+            bad = client.verify({"program": "junk", "property": "x = 1"})
+            assert bad["error"]["code"] == "parse-error"
+            health = client.health()
+            assert health["counters"]["requests"] == 3
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_unroutable_paths_and_bodies(self, service):
+        import urllib.error
+        import urllib.request
+
+        server, url = start_server(service)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(url + "/nope", timeout=10)
+            assert exc_info.value.code == 404
+            req = urllib.request.Request(
+                url + "/v1/verify", data=b"not json", method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(req, timeout=10)
+            assert exc_info.value.code == 400
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# Worker-side request handling (in-process, no subprocess needed)
+# ---------------------------------------------------------------------------
+
+
+class TestHandleRequest:
+    def test_decides_in_process(self, tmp_path):
+        from repro.service.worker import handle_request
+
+        req = normalize_request(dict(REQ))
+        payload = handle_request(req, None)
+        assert payload["status"] == "ok" and payload["holds"] is True
+
+    def test_sparse_verdict_publishes_subspace(self, tmp_path):
+        from repro.service.worker import handle_request
+
+        cache = ServiceCache(tmp_path)
+        req = normalize_request({**REQ, "tier": "sparse"})
+        payload = handle_request(req, cache)
+        assert payload["status"] == "ok" and payload["tier"] == "sparse"
+        import os
+
+        assert os.path.exists(cache.subspace_path(parse_program(COUNTER)))
+
+    def test_dense_refusal_is_engine_error(self):
+        from repro.semantics import sparse as sparse_mod
+        from repro.service.worker import handle_request
+
+        old = sparse_mod.SPARSE_THRESHOLD
+        sparse_mod.SPARSE_THRESHOLD = 1  # force "routes sparse"
+        try:
+            req = normalize_request({**REQ, "tier": "dense"})
+            payload = handle_request(req, None)
+        finally:
+            sparse_mod.SPARSE_THRESHOLD = old
+        assert payload["status"] == "error"
+        assert payload["error"]["code"] == "engine-error"
+
+
+def test_property_objects_parse_against_programs():
+    # Sanity for the request shapes used throughout this file.
+    program = parse_program(COUNTER)
+    prop = parse_property("true ~> c = 3", program)
+    assert prop.describe()

@@ -1,0 +1,321 @@
+"""Chaos coverage for the certification service.
+
+The service's contract under injected failure: **every request
+terminates** with a correct verdict, a structured UNKNOWN, or a
+structured load-shed/error — never a wrong verdict, never a hung
+request, never an answer served from a corrupt cache.  Each test here
+breaks one component (worker kills mid-check, hung workers, torn cache
+writes, forced queue overflow) and asserts that ladder holds.
+
+Worker faults are armed through the environment
+(:data:`repro.util.faultinject.FAULTS_ENV`): the supervisor forwards
+the variable to every worker it spawns, and each worker arms it at
+startup — so ``times=`` budgets are **per worker process**, which the
+tests below exploit (a respawned worker starts with a fresh hit
+counter).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.service import CertificationService, ServiceConfig
+from repro.util.faultinject import FAULTS_ENV, InjectedFault, inject
+
+COUNTER = """
+program counter
+declare
+  local c : int[0..3]
+initially
+  c = 0
+assign
+  fair step: c < 3 -> c := c + 1
+end
+"""
+
+REQ = {"program": COUNTER, "property": "true ~> c = 3"}
+
+
+@pytest.fixture()
+def faults(monkeypatch):
+    """Arm worker-side faults by (monkey-patched) environment."""
+
+    def arm(spec: str) -> None:
+        monkeypatch.setenv(FAULTS_ENV, spec)
+
+    yield arm
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+
+
+def make_service(tmp_path, **overrides) -> CertificationService:
+    defaults = dict(
+        workers=1,
+        cache_dir=str(tmp_path / "cache"),
+        max_pending=4,
+        max_retries=2,
+        default_timeout=30.0,
+        stall_grace=1.0,
+        breaker_threshold=3,
+        breaker_cooldown=0.3,
+    )
+    defaults.update(overrides)
+    return CertificationService(ServiceConfig(**defaults))
+
+
+# ---------------------------------------------------------------------------
+# Worker crashes
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerCrash:
+    def test_crash_midcheck_retries_to_correct_verdict(self, tmp_path, faults):
+        # after=1: each worker's FIRST check passes, its second dies.
+        # Warm the (single) worker with one request, then hit it again:
+        # the second request kills it mid-check, the supervisor respawns
+        # and retries on the fresh worker, whose first check succeeds.
+        faults("service.worker.check=kill:after=1:times=all")
+        with make_service(tmp_path) as svc:
+            warm = svc.submit(dict(REQ))
+            assert warm["status"] == "ok" and warm["holds"] is True
+            r = svc.submit({**REQ, "property": "invariant c <= 3"})
+            assert r["status"] == "ok" and r["holds"] is True
+            assert svc.pool.crashes == 1
+            assert svc.pool.retries == 1
+
+    def test_crash_is_never_a_verdict(self, tmp_path, faults):
+        # Every worker dies on every check: after retries the caller
+        # gets a structured worker-crash error — with no 'holds' to
+        # misread — and the server itself stays up and serviceable.
+        faults("service.worker.check=kill:times=all")
+        with make_service(tmp_path, breaker_threshold=100) as svc:
+            r = svc.submit(dict(REQ))
+            assert r["status"] == "error"
+            assert r["error"]["code"] == "worker-crash"
+            assert "holds" not in r
+            assert svc.pool.crashes == svc.config.max_retries + 1
+            h = svc.health()  # the supervisor survived its whole pool dying
+            assert h["status"] == "ok"
+
+    def test_repeat_crasher_is_quarantined(self, tmp_path, faults):
+        faults("service.worker.check=kill:times=all")
+        with make_service(tmp_path) as svc:
+            first = svc.submit(dict(REQ))
+            assert first["error"]["code"] == "worker-crash"
+            # Breaker (threshold 3) opened during the crash-retry loop;
+            # the next request fails fast without burning workers.
+            crashes_before = svc.pool.crashes
+            second = svc.submit(dict(REQ))
+            assert second["error"]["code"] == "quarantined"
+            assert second["retry_after"] > 0
+            assert svc.pool.crashes == crashes_before
+            assert svc.health()["breakers"]  # visible in telemetry
+
+    def test_breaker_half_open_recovery(self, tmp_path, faults, monkeypatch):
+        faults("service.worker.check=kill:times=all")
+        with make_service(tmp_path) as svc:
+            assert svc.submit(dict(REQ))["error"]["code"] == "worker-crash"
+            # Cure the fault, wait out the cooldown: the half-open
+            # trial succeeds and the breaker closes for good.
+            monkeypatch.delenv(FAULTS_ENV)
+            time.sleep(svc.config.breaker_cooldown + 0.05)
+            r = svc.submit(dict(REQ))
+            assert r["status"] == "ok" and r["holds"] is True
+            assert not svc.health()["breakers"]
+
+    def test_quarantine_is_per_program(self, tmp_path, faults):
+        # The check site only fires (kills) for its first two hits per
+        # worker... but workers die on firing, so every *crashing*
+        # request burns fresh workers while a different program's
+        # digest stays unquarantined and decidable afterwards.
+        faults("service.worker.check=kill:times=all")
+        other = COUNTER.replace("program counter", "program counter2")
+        with make_service(tmp_path) as svc:
+            assert svc.submit(dict(REQ))["error"]["code"] == "worker-crash"
+            assert svc.submit(dict(REQ))["error"]["code"] == "quarantined"
+            # Cure the fault: the *other* program was never quarantined.
+            del os.environ[FAULTS_ENV]
+            r = svc.submit({**REQ, "program": other})
+            assert r["status"] == "ok" and r["holds"] is True
+
+
+# ---------------------------------------------------------------------------
+# Stalled workers
+# ---------------------------------------------------------------------------
+
+
+class TestStall:
+    def test_stalled_worker_is_reaped_not_awaited(self, tmp_path, faults):
+        faults("service.worker.check=stall:60")
+        with make_service(tmp_path, default_timeout=1.0) as svc:
+            t0 = time.monotonic()
+            r = svc.submit(dict(REQ))
+            elapsed = time.monotonic() - t0
+            assert r["status"] == "error"
+            assert r["error"]["code"] == "worker-timeout"
+            assert "holds" not in r
+            assert elapsed < 10.0  # reaped at ~1s, not after the 60s stall
+            assert svc.pool.timeouts == 1
+
+    def test_deadline_plus_grace_bounds_the_watchdog(self, tmp_path, faults):
+        faults("service.worker.check=stall:60")
+        with make_service(tmp_path, stall_grace=0.5) as svc:
+            t0 = time.monotonic()
+            r = svc.submit({**REQ, "deadline": 0.5})
+            elapsed = time.monotonic() - t0
+            assert r["error"]["code"] == "worker-timeout"
+            assert elapsed < 10.0
+
+    def test_service_recovers_after_reap(self, tmp_path, faults, monkeypatch):
+        faults("service.worker.check=stall:60")
+        with make_service(tmp_path, default_timeout=1.0) as svc:
+            assert svc.submit(dict(REQ))["error"]["code"] == "worker-timeout"
+            monkeypatch.delenv(FAULTS_ENV)
+            r = svc.submit(dict(REQ))
+            assert r["status"] == "ok" and r["holds"] is True
+
+
+# ---------------------------------------------------------------------------
+# Torn cache writes
+# ---------------------------------------------------------------------------
+
+
+class TestTornCacheWrite:
+    def test_torn_verdict_write_serves_verdict_and_stays_clean(
+        self, tmp_path, faults
+    ):
+        # The verdict-cache publish happens in the parent; tear it with
+        # an in-process fault.  The caller still gets the verdict (cache
+        # publish is best-effort) and the cache contains no torn entry.
+        with make_service(tmp_path) as svc:
+            with inject("service.cache.write.payload", OSError):
+                r = svc.submit(dict(REQ))
+            assert r["status"] == "ok" and r["holds"] is True
+            # Nothing was published: the next request recomputes...
+            r2 = svc.submit(dict(REQ))
+            assert r2["status"] == "ok" and r2["cached"] is False
+            # ...and that publish succeeded.
+            r3 = svc.submit(dict(REQ))
+            assert r3["cached"] is True
+
+    def test_crash_at_rename_never_publishes(self, tmp_path):
+        from repro.service.cache import ServiceCache
+
+        cache = ServiceCache(tmp_path)
+        key = "a" * 64
+        with inject("service.cache.write.rename"):
+            with pytest.raises(InjectedFault):
+                cache.put_verdict(key, {"status": "ok", "holds": True})
+        assert cache.get_verdict(key) is None  # destination untouched
+        assert os.listdir(cache.verdict_dir) == []  # temp cleaned up
+
+    def test_worker_side_checkpoint_tear_does_not_poison_cache(
+        self, tmp_path, faults
+    ):
+        # Tear the *subspace* publish inside the worker (the checkpoint
+        # writer's own fault site, armed cross-process).  The worker
+        # dies with an unhandled InjectedFault -> the supervisor retries
+        # on a fresh worker... which is also armed (times=1 per process)
+        # -> retries exhaust into a structured crash error.  The cache
+        # must hold no torn checkpoint afterwards: curing the fault and
+        # re-asking yields the correct verdict from a clean rebuild.
+        faults("checkpoint.write.rename=fault")
+        sparse_req = {**REQ, "tier": "sparse"}
+        with make_service(tmp_path, breaker_threshold=100) as svc:
+            r = svc.submit(dict(sparse_req))
+            assert r["status"] == "error"
+            assert r["error"]["code"] == "worker-crash"
+            del os.environ[FAULTS_ENV]
+            r2 = svc.submit(dict(sparse_req))
+            assert r2["status"] == "ok" and r2["holds"] is True
+
+
+# ---------------------------------------------------------------------------
+# Queue overflow
+# ---------------------------------------------------------------------------
+
+
+class TestOverflow:
+    def test_forced_shed_is_structured_and_recoverable(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            with inject("service.queue.admit", after=0, times=2):
+                a = svc.submit(dict(REQ))
+                b = svc.submit(dict(REQ))
+            c = svc.submit(dict(REQ))
+        assert a["status"] == b["status"] == "shed"
+        assert a["error"]["code"] == "overloaded"
+        assert a["retry_after"] > 0
+        assert c["status"] == "ok" and c["holds"] is True
+        assert svc.shed == 2
+
+    def test_real_overflow_sheds_excess_load(self, tmp_path, faults):
+        # Stall the lone worker so requests pile up, then overflow the
+        # admission bound with more callers than max_pending.
+        import threading
+
+        faults("service.worker.check=stall:60")
+        results: list[dict] = []
+        lock = threading.Lock()
+        with make_service(
+            tmp_path, workers=1, max_pending=2, default_timeout=2.0
+        ) as svc:
+
+            def call():
+                r = svc.submit(dict(REQ))
+                with lock:
+                    results.append(r)
+
+            threads = [threading.Thread(target=call) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        statuses = sorted(r["status"] for r in results)
+        # At least max_pending callers got in (and timed out against the
+        # stalled worker); the overflow was shed, and nobody hung.
+        assert len(results) == 6
+        assert statuses.count("shed") >= 1
+        assert all(s in ("shed", "error") for s in statuses)
+        for r in results:
+            assert "holds" not in r  # chaos never manufactures a verdict
+
+
+# ---------------------------------------------------------------------------
+# The ladder, end to end
+# ---------------------------------------------------------------------------
+
+
+def test_mixed_chaos_yields_zero_wrong_answers(tmp_path, faults):
+    """A request mix under worker kills: every answer is correct or
+    structured — the acceptance criterion of the chaos suite."""
+    faults("service.worker.check=kill:after=2:times=all")
+    programs = {
+        "counter": (COUNTER, "true ~> c = 3", True),
+        "stuck": (
+            COUNTER.replace("c < 3", "c < 2").replace(
+                "program counter", "program stuck"
+            ),
+            "true ~> c = 3",
+            False,
+        ),
+        "inv": (COUNTER, "invariant c <= 3", True),
+    }
+    wrong = 0
+    answered = 0
+    structured = 0
+    with make_service(tmp_path, workers=2, breaker_threshold=1000) as svc:
+        for round_ in range(4):
+            for _name, (src, prop, expected) in programs.items():
+                r = svc.submit({"program": src, "property": prop})
+                assert r["status"] in ("ok", "unknown", "error", "shed")
+                if r["status"] == "ok":
+                    answered += 1
+                    if r["holds"] is not expected:
+                        wrong += 1
+                else:
+                    structured += 1
+        assert wrong == 0
+        assert answered > 0  # chaos did not blank the service entirely
+        assert svc.pool.crashes > 0  # ...and the chaos was real

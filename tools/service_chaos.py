@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""CI chaos driver: a live certification server under injected failure.
+
+Boots ``python -m repro serve`` as a real subprocess, arms worker kills
+through ``REPRO_FAULTS`` (forwarded by the supervisor to every worker it
+spawns), fires a concurrent request mix with *known* expected verdicts
+over HTTP, and asserts the service's chaos contract:
+
+- **zero wrong answers** — every decided verdict matches the expected
+  truth value;
+- **no hangs** — every request returns within the client timeout;
+- **structured degradation only** — non-verdict outcomes are UNKNOWN,
+  load-shed, or coded errors from the protocol registry;
+- **the server survives** — the health endpoint answers after the mix,
+  with the crash counters proving the chaos actually landed.
+
+Usage (CI runs exactly this)::
+
+    PYTHONPATH=src python tools/service_chaos.py
+
+Exits non-zero with a report on any violation.  The same scenarios run
+in-process (faster, finer-grained) in ``tests/test_service_chaos.py``;
+this driver exists to exercise the *deployed* shape — real server
+process, real sockets, real worker subprocesses — in the CI service
+job.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.protocol import ERROR_CODES  # noqa: E402
+
+COUNTER = """
+program counter
+declare
+  local c : int[0..3]
+initially
+  c = 0
+assign
+  fair step: c < 3 -> c := c + 1
+end
+"""
+
+STUCK = COUNTER.replace("c < 3", "c < 2").replace(
+    "program counter", "program stuck"
+)
+
+#: (request, expected holds) — None expected means "any structured
+#: non-verdict outcome is acceptable, a verdict must still be correct".
+MIX = [
+    ({"program": COUNTER, "property": "true ~> c = 3"}, True),
+    ({"program": COUNTER, "property": "invariant c <= 3"}, True),
+    ({"program": STUCK, "property": "true ~> c = 3"}, False),
+    ({"program": COUNTER, "property": "c = 0 ~> c >= 2"}, True),
+    ({"program": COUNTER, "property": "true ~> c = 3", "prove": True}, True),
+]
+
+PORT = int(os.environ.get("SERVICE_CHAOS_PORT", "8431"))
+ROUNDS = int(os.environ.get("SERVICE_CHAOS_ROUNDS", "4"))
+THREADS = int(os.environ.get("SERVICE_CHAOS_THREADS", "4"))
+
+
+def wait_for_health(client: ServiceClient, deadline: float = 30.0) -> None:
+    t0 = time.monotonic()
+    while True:
+        try:
+            if client.health()["status"] == "ok":
+                return
+        except (OSError, urllib.error.URLError):
+            pass
+        if time.monotonic() - t0 > deadline:
+            raise SystemExit("service never became healthy")
+        time.sleep(0.2)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    # Each worker's second check dies (per-process hit counters), so
+    # crashes recur for the whole run as workers are respawned.
+    env["REPRO_FAULTS"] = "service.worker.check=kill:after=1:times=1"
+
+    with tempfile.TemporaryDirectory(prefix="service-chaos-") as tmp:
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", str(PORT), "--workers", "2",
+                "--cache-dir", str(Path(tmp) / "cache"),
+                "--max-pending", "16", "--max-retries", "3",
+                "--breaker-threshold", "1000",  # keep the chaos flowing
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{PORT}", timeout=120.0, max_retries=5
+            )
+            wait_for_health(client)
+
+            wrong: list[str] = []
+            malformed: list[str] = []
+            outcomes = {"ok": 0, "unknown": 0, "error": 0, "shed": 0}
+            lock = threading.Lock()
+
+            def run_mix() -> None:
+                for _ in range(ROUNDS):
+                    for request, expected in MIX:
+                        doc = client.verify(dict(request))
+                        status = doc.get("status")
+                        with lock:
+                            if status not in outcomes:
+                                malformed.append(f"bad status in {doc!r}")
+                                continue
+                            outcomes[status] += 1
+                            if status == "ok" and doc.get("holds") is not expected:
+                                wrong.append(
+                                    f"{request['property']!r}: holds="
+                                    f"{doc.get('holds')} expected {expected}"
+                                )
+                            if status == "error":
+                                code = (doc.get("error") or {}).get("code")
+                                if code not in ERROR_CODES:
+                                    malformed.append(f"unknown code in {doc!r}")
+
+            threads = [
+                threading.Thread(target=run_mix) for _ in range(THREADS)
+            ]
+            t0 = time.monotonic()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.monotonic() - t0
+
+            health = client.health()
+            crashes = health["pool"]["crashes"]
+            total = sum(outcomes.values())
+            print(
+                f"chaos mix: {total} requests in {elapsed:.1f}s -> "
+                f"{outcomes} | worker crashes {crashes}, "
+                f"retries {health['pool']['retries']}, "
+                f"cache {health['cache']}"
+            )
+            failures = []
+            if wrong:
+                failures.append(f"WRONG ANSWERS ({len(wrong)}): {wrong[:5]}")
+            if malformed:
+                failures.append(f"MALFORMED ({len(malformed)}): {malformed[:5]}")
+            if outcomes["ok"] == 0:
+                failures.append("no request ever succeeded")
+            if crashes == 0:
+                failures.append(
+                    "no worker crashes recorded: the chaos never landed"
+                )
+            if failures:
+                print("service chaos FAILED:\n  " + "\n  ".join(failures))
+                return 1
+            print("service chaos ok: zero wrong answers under worker kills")
+            return 0
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
